@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure of the paper at laptop
+scale and asserts the qualitative result (who wins, rough factors,
+crossovers) as a regression check.  Heavy flow-level simulations run a
+single round via ``benchmark.pedantic``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn):
+        return run_once(benchmark, fn)
+
+    return runner

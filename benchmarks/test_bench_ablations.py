@@ -1,0 +1,192 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These are not paper figures; they quantify the sensitivity of SilkRoad's
+design parameters (cuckoo geometry, insertion rate, Bloom sizing, version
+reuse) the way an adopter would want before deployment.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.asicsim.cuckoo import CuckooTable, TableFull
+from repro.asicsim.registers import BloomFilter
+from repro.core.dip_pool_table import DipPoolTable
+from repro.experiments import fig16
+
+
+def _fill(table: CuckooTable, keys) -> int:
+    inserted = 0
+    for i, key in enumerate(keys):
+        try:
+            table.insert(key, i % 64)
+            inserted += 1
+        except TableFull:
+            pass
+    return inserted
+
+
+def _keys(n: int, seed: int = 0):
+    rnd = random.Random(seed)
+    return [bytes(rnd.getrandbits(8) for _ in range(13)) for _ in range(n)]
+
+
+class TestCuckooGeometryAblation:
+    def test_bench_occupancy_vs_ways(self, once):
+        """More ways per bucket -> higher achievable occupancy.
+
+        Two stages and an uncapped search (``fast_fail_load=1.0``) expose
+        the geometry effect; with four stages the BFS masks it almost
+        entirely.
+        """
+
+        def run():
+            results = {}
+            for ways in (1, 2, 4):
+                table = CuckooTable(
+                    buckets_per_stage=4096 // (2 * ways),
+                    ways=ways,
+                    stages=2,
+                    fast_fail_load=1.0,
+                )
+                keys = _keys(table.capacity, seed=ways)
+                results[ways] = _fill(table, keys) / table.capacity
+            return results
+
+        occupancy = once(run)
+        assert occupancy[1] < occupancy[4]
+        assert occupancy[2] <= occupancy[4]
+        assert occupancy[4] > 0.9  # the packing SilkRoad's sizing assumes
+
+    def test_bench_occupancy_vs_stages(self, once):
+        """More stages -> more candidate buckets -> better packing."""
+
+        def run():
+            results = {}
+            for stages in (1, 2, 4):
+                table = CuckooTable(
+                    buckets_per_stage=4096 // (4 * stages),
+                    ways=4,
+                    stages=stages,
+                    fast_fail_load=1.0,
+                )
+                keys = _keys(table.capacity, seed=stages)
+                results[stages] = _fill(table, keys) / table.capacity
+            return results
+
+        occupancy = once(run)
+        assert occupancy[1] <= occupancy[2] <= occupancy[4]
+
+
+class TestInsertionRateAblation:
+    def test_bench_pcc_sensitivity_to_cpu_speed(self, once):
+        """Without the TransitTable, a slower switch CPU means a longer
+        pending window and more broken connections."""
+
+        def run():
+            violations = {}
+            for rate in (1_000.0, 50_000.0):
+                points = fig16.run(
+                    rates=(50.0,),
+                    scale=0.3,
+                    seed=7,
+                    horizon_s=180.0,
+                    systems={
+                        "no-tt": fig16.default_systems(
+                            insertion_rate_per_s=rate, learning_timeout_s=5e-3
+                        )["silkroad-no-transittable"],
+                    },
+                )
+                violations[rate] = points[0].violations
+            return violations
+
+        by_rate = once(run)
+        assert by_rate[1_000.0] >= by_rate[50_000.0]
+        assert by_rate[1_000.0] > 0
+
+
+class TestBloomSizingAblation:
+    def test_bench_analytic_fp_vs_size(self, benchmark):
+        """The 256-byte choice: FP rate collapses with filter size."""
+
+        def run():
+            return {
+                size: BloomFilter(size).expected_false_positive_rate(50)
+                for size in (8, 32, 256, 1024)
+            }
+
+        rates = benchmark(run)
+        assert rates[8] > rates[32] > rates[256] > rates[1024]
+        assert rates[8] > 0.5  # a saturated 64-bit filter
+        assert rates[256] < 1e-4  # the paper's pick is comfortably safe
+
+
+class TestVersionWidthAblation:
+    def test_bench_version_bits_vs_exhaustion(self, once):
+        """Narrow version fields exhaust under held connections; 6 bits
+        with reuse ride out heavy churn."""
+
+        def run():
+            from repro.core.dip_pool_table import VersionsExhausted
+            from repro.netsim.cluster import make_cluster
+
+            outcomes = {}
+            for bits in (2, 6):
+                cluster = make_cluster(num_vips=1, dips_per_vip=32)
+                vip = cluster.vips[0]
+                table = DipPoolTable(version_bits=bits, version_reuse=False)
+                table.add_vip(vip, cluster.services[0].dips)
+                survived = 0
+                try:
+                    for i in range(20):
+                        table.acquire(vip, table.current_version(vip))
+                        table.remove_dip(vip, cluster.services[0].dips[i])
+                        survived += 1
+                except VersionsExhausted:
+                    pass
+                outcomes[bits] = survived
+            return outcomes
+
+        survived = once(run)
+        assert survived[2] < survived[6]
+        assert survived[6] == 20
+
+
+class TestMultiDigestAblation:
+    def test_bench_per_stage_digests(self, once):
+        """§7: graded digest widths beat a uniform equal-budget table
+        while the table is lightly loaded."""
+        from repro.experiments import multi_digest
+
+        points = once(lambda: multi_digest.run(capacity=12_000, probes=40_000))
+        assert multi_digest.light_fill_advantage(points) > 2.0
+
+
+class TestDataPlaneMicrobenchmarks:
+    def test_bench_lookup_throughput(self, benchmark):
+        table = CuckooTable.for_capacity(50_000)
+        keys = _keys(40_000, seed=1)
+        _fill(table, keys)
+        # Probe only resident keys: lookups of keys whose insertion failed
+        # may legitimately false-hit another entry.
+        probe = [k for k in keys if k in table][::40]
+
+        def lookups():
+            for key in probe:
+                table.lookup(key)
+
+        benchmark(lookups)
+        assert table.false_positive_lookups == 0
+
+    def test_bench_insert_throughput(self, benchmark):
+        keys = _keys(5_000, seed=2)
+
+        def inserts():
+            table = CuckooTable.for_capacity(10_000)
+            _fill(table, keys)
+            return table
+
+        table = benchmark(inserts)
+        assert len(table) == 5_000

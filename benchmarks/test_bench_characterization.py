@@ -1,0 +1,63 @@
+"""Benchmarks for the workload-characterization figures (Table 1, Figures
+2, 3, 4, 6, 8): synthesize the fleet/logs and reproduce the paper's
+summary statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Cdf
+from repro.experiments import fig2, fig3, fig4, fig6, fig8, table1
+from repro.netsim.cluster import ClusterType
+from repro.netsim.updates import RootCause
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark(table1.run)
+    assert len(rows) == 3
+    assert table1.sram_growth_factor() == pytest.approx(5.0)
+
+
+def test_bench_fig2(once):
+    result = once(lambda: fig2.run(seed=2, minutes=4320))
+    pct10 = result.pct_clusters_p99_above(10)
+    pct50 = result.pct_clusters_p99_above(50)
+    # Paper: 32 % of clusters above 10 updates/min at p99, 3 % above 50.
+    assert 15 < pct10 < 55
+    assert pct50 < 12
+    assert pct50 < pct10
+
+
+def test_bench_fig3(once):
+    shares = once(lambda: fig3.run(seed=3, changes_per_cluster=3000))
+    assert shares[RootCause.UPGRADE] == pytest.approx(0.827, abs=0.03)
+    for cause, share in shares.items():
+        if cause is not RootCause.UPGRADE:
+            assert share < 0.13  # paper: every other cause is small
+
+
+def test_bench_fig4(once):
+    cdfs = once(lambda: fig4.run(seed=4, samples=50_000))
+    upgrade = cdfs[RootCause.UPGRADE]
+    assert upgrade.median / 60.0 == pytest.approx(3.0, rel=0.15)  # 3 min
+    assert upgrade.p99 / 60.0 == pytest.approx(100.0, rel=0.3)  # 100 min
+    assert cdfs[RootCause.PROVISIONING] is None  # no downtime
+
+
+def test_bench_fig6(once):
+    result = once(lambda: fig6.run(seed=6))
+    pop = result.p99_cdf(ClusterType.POP)
+    backend = result.p99_cdf(ClusterType.BACKEND)
+    frontend = result.p99_cdf(ClusterType.FRONTEND)
+    # Paper: peak PoP ~10 M, peak Backend ~15 M, Frontends far fewer.
+    assert 5e6 < pop.quantile(1.0) < 3e7
+    assert 8e6 < backend.quantile(1.0) < 4e7
+    assert frontend.quantile(1.0) < 1.5e6
+
+
+def test_bench_fig8(once):
+    cdf = once(lambda: fig8.run(seed=8))
+    # Paper: 1 K to >50 M new connections per VIP-minute.
+    assert cdf.quantile(0.05) < 3_000
+    assert cdf.quantile(1.0) > 1e6
+    assert cdf.median > 3_000

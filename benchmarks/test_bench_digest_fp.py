@@ -1,0 +1,22 @@
+"""Benchmark for §6.1: digest width vs false positives and memory."""
+
+from __future__ import annotations
+
+from repro.experiments import digest_fp
+
+
+def test_bench_digest_fp(once):
+    points = once(
+        lambda: digest_fp.run(
+            digest_bits=(12, 16, 24), resident=30_000, probes=80_000, seed=0xD16
+        )
+    )
+    by = {p.digest_bits: p for p in points}
+
+    # Wider digests cost more SRAM but collapse the false-positive rate.
+    assert by[12].sram_bytes <= by[16].sram_bytes <= by[24].sram_bytes
+    assert by[12].fp_rate > by[16].fp_rate >= by[24].fp_rate
+    # Paper anchor: 16-bit digest ~0.01 % FP (hundreds per minute at the
+    # PoP's 2.77 M new conns/min); 24-bit ~zero at this probe count.
+    assert by[16].fp_rate < 1e-3
+    assert by[24].fp_rate < 1e-4

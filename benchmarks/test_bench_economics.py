@@ -1,0 +1,15 @@
+"""Benchmark for §6.1 economics: power/cost vs an SLB fleet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import economics
+
+
+def test_bench_economics(benchmark):
+    comparison = benchmark(economics.run)
+    # Paper: ~1/500 the power and ~1/250 the capital cost.
+    assert comparison.power_ratio == pytest.approx(500, rel=0.25)
+    assert comparison.cost_ratio == pytest.approx(250, rel=0.05)
+    assert comparison.slb_count == pytest.approx(833, rel=0.01)

@@ -1,0 +1,26 @@
+"""Benchmark for Figure 15: version reuse bounds the version space."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig15
+
+
+def test_bench_fig15(once):
+    points = once(lambda: fig15.run(update_counts=(10, 100, 330), seed=15))
+    by = {p.updates_applied: p for p in points}
+    heavy = points[-1]
+
+    # Paper: ~330 updates need ~330 versions (9 bits) without reuse ...
+    assert heavy.versions_no_reuse == pytest.approx(heavy.updates_applied + 1, abs=3)
+    assert heavy.bits_no_reuse >= 8
+    # ... but with substitution-reuse + recycling, 6 bits (64 live
+    # versions) suffice.
+    assert heavy.peak_live_with_reuse <= 64
+    assert heavy.bits_with_reuse <= 6
+
+    # Reuse wins at every intensity and the gap widens with update count.
+    gaps = [p.versions_no_reuse - p.peak_live_with_reuse for p in points]
+    assert all(g > 0 for g in gaps)
+    assert gaps == sorted(gaps)

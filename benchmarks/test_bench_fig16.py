@@ -1,0 +1,33 @@
+"""Benchmark for Figure 16: PCC violations vs update frequency.
+
+The paper's core comparison: Duet breaks orders of magnitude more
+connections than SilkRoad-without-TransitTable, and SilkRoad proper breaks
+none at any update rate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig16
+
+
+def test_bench_fig16(once):
+    points = once(
+        lambda: fig16.run(
+            rates=(10.0, 50.0),
+            scale=0.5,
+            seed=16,
+            horizon_s=300.0,
+            systems=fig16.default_systems(
+                insertion_rate_per_s=10_000.0, duet_period_s=60.0
+            ),
+        )
+    )
+    total = {}
+    for p in points:
+        total[p.system] = total.get(p.system, 0) + p.violations
+
+    # SilkRoad: zero violations at every rate (the headline guarantee).
+    assert total["silkroad"] == 0
+    # Duet breaks the most; the no-TransitTable ablation sits in between.
+    assert total["duet"] > total["silkroad-no-transittable"] >= 0
+    assert total["duet"] > 0

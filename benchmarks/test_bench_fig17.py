@@ -1,0 +1,30 @@
+"""Benchmark for Figure 17: PCC violations vs connection arrival rate."""
+
+from __future__ import annotations
+
+from repro.experiments import fig17
+
+
+def test_bench_fig17(once):
+    points = once(
+        lambda: fig17.run(
+            arrival_scales=(0.5, 2.0),
+            scale=0.5,
+            seed=17,
+            horizon_s=300.0,
+            systems=fig17.default_systems(
+                insertion_rate_per_s=10_000.0, duet_period_s=60.0
+            ),
+        )
+    )
+    by = {(p.system, p.arrival_scale): p for p in points}
+
+    # SilkRoad: none at any intensity.
+    assert by[("silkroad", 0.5)].violations == 0
+    assert by[("silkroad", 2.0)].violations == 0
+    # Duet's violations grow with the arrival rate (more old connections
+    # alive at each migrate-back).
+    assert (
+        by[("duet", 2.0)].violations >= by[("duet", 0.5)].violations
+    )
+    assert by[("duet", 2.0)].violations > 0

@@ -1,0 +1,27 @@
+"""Benchmark for Figure 18: TransitTable size vs PCC protection."""
+
+from __future__ import annotations
+
+from repro.experiments import fig18
+
+
+def test_bench_fig18(once):
+    points = once(
+        lambda: fig18.run(
+            sizes=(8, 256),
+            timeouts=(0.5e-3, 5e-3),
+            seed=18,
+            horizon_s=45.0,
+            warmup_s=8.0,
+        )
+    )
+    by = {(p.transit_bytes, p.timeout_s): p for p in points}
+
+    # Paper: 8 B suffices at sub-millisecond filter timeouts ...
+    assert by[(8, 0.5e-3)].violations == 0
+    # ... but saturates at 5 ms, breaking a handful of connections,
+    assert by[(8, 5e-3)].violations > 0
+    assert by[(8, 5e-3)].transit_fp_adopted > 0
+    # ... while 256 B protects everything everywhere.
+    assert by[(256, 0.5e-3)].violations == 0
+    assert by[(256, 5e-3)].violations == 0

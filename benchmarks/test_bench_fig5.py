@@ -1,0 +1,36 @@
+"""Benchmark for Figure 5: the Duet dilemma (SLB load vs PCC breakage)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig5
+
+
+def test_bench_fig5(once):
+    # The horizon must cover the 10-minute migration period, or
+    # Migrate-10min degenerates into never-migrate.
+    points = once(
+        lambda: fig5.run(rates=(1.0, 50.0), scale=0.3, seed=5, horizon_s=900.0)
+    )
+    by = {(p.policy, p.updates_per_min): p for p in points}
+
+    fast = by[("Migrate-1min", 50.0)]
+    slow = by[("Migrate-10min", 50.0)]
+    safe = by[("Migrate-PCC", 50.0)]
+
+    # Paper's Figure 5 shape at high update rates:
+    # (a) migrating back sooner lowers the SLB load ...
+    assert fast.slb_traffic_fraction < slow.slb_traffic_fraction
+    # ... (b) but breaks more connections,
+    assert fast.violation_fraction >= slow.violation_fraction
+    # (c) and waiting for PCC safety costs the most SLB load with zero
+    # violations.
+    assert safe.violation_fraction == 0.0
+    assert safe.slb_traffic_fraction >= slow.slb_traffic_fraction
+
+    # More updates -> more SLB load for the periodic policies.
+    assert (
+        by[("Migrate-10min", 1.0)].slb_traffic_fraction
+        <= slow.slb_traffic_fraction
+    )

@@ -1,0 +1,13 @@
+"""Benchmark for §5.2: per-VIP meter marking accuracy at 10 Gb/s."""
+
+from __future__ import annotations
+
+from repro.experiments import meter_accuracy
+
+
+def test_bench_meter_accuracy(once):
+    points = once(meter_accuracy.run)
+    # Paper: <1 % average marking error across thresholds and bursts.
+    assert meter_accuracy.average_error(points) < 1.0
+    for p in points:
+        assert p.green_error_pct < 1.0

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Cluster planning: would SilkRoad fit *your* clusters, and what would it
+replace?
+
+Synthesizes a fleet of ~100 clusters with the paper's workload statistics
+(§3.1/§6), then for each cluster type answers the operator questions of
+§6.1: how much switch SRAM does SilkRoad need per ToR, does it fit current
+ASICs, and how many software load balancers does one switch replace?
+
+Run:  python examples/datacenter_cluster.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Cdf, format_table
+from repro.baselines import cost_of_equal_throughput, silkroads_required, slbs_required
+from repro.experiments.fig12 import silkroad_sram_bytes
+from repro.netsim.cluster import ClusterType
+from repro.traces import FleetSynthesizer
+
+
+def main() -> None:
+    fleet = FleetSynthesizer(seed=2026).synthesize()
+
+    rows = []
+    for kind in ClusterType:
+        profiles = [p for p in fleet if p.kind is kind]
+        sram_mb = Cdf.of(silkroad_sram_bytes(p) / 1e6 for p in profiles)
+        ratios = Cdf.of(
+            slbs_required(p.peak_pps, p.traffic_gbps)
+            / silkroads_required(p.active_conns_per_tor_p99)
+            for p in profiles
+        )
+        conns = Cdf.of(p.active_conns_per_tor_p99 for p in profiles)
+        rows.append(
+            (
+                kind.value,
+                len(profiles),
+                f"{conns.median / 1e6:.1f}M / {conns.quantile(1.0) / 1e6:.1f}M",
+                f"{sram_mb.median:.1f} / {sram_mb.quantile(1.0):.1f}",
+                f"{ratios.median:.0f} / {ratios.quantile(1.0):.0f}",
+            )
+        )
+
+    print(
+        format_table(
+            (
+                "cluster type",
+                "#clusters",
+                "conns/ToR (median/peak)",
+                "SilkRoad SRAM MB (median/peak)",
+                "SLBs replaced per switch (median/peak)",
+            ),
+            rows,
+            title="Fleet planning with SilkRoad (synthetic fleet, paper §6 statistics)",
+        )
+    )
+
+    over_budget = [p for p in fleet if silkroad_sram_bytes(p) > 100e6]
+    print(
+        f"\nclusters exceeding a 100 MB ASIC: {len(over_budget)} of {len(fleet)}"
+    )
+
+    economics = cost_of_equal_throughput()
+    print(
+        f"replacing one 6.4 Tbps ASIC's throughput with SLBs takes "
+        f"~{economics.slb_count:.0f} machines: {economics.power_ratio:.0f}x "
+        f"the power, {economics.cost_ratio:.0f}x the capital cost"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""SilkRoad reproduction: stateful L4 load balancing in switching ASICs.
+
+A faithful, laptop-scale reproduction of *SilkRoad: Making Stateful
+Layer-4 Load Balancing Fast and Cheap Using Switching ASICs* (Miao, Zeng,
+Kim, Lee, Yu — SIGCOMM 2017).
+
+Quickstart::
+
+    from repro import SilkRoadSwitch, SilkRoadConfig
+    from repro.netsim import VirtualIP, DirectIP
+
+    switch = SilkRoadSwitch(SilkRoadConfig(conn_table_capacity=100_000))
+    switch.announce_vip(
+        VirtualIP.parse("20.0.0.1:80"),
+        [DirectIP.parse("10.0.0.1:8080"), DirectIP.parse("10.0.0.2:8080")],
+    )
+
+Packages:
+
+* :mod:`repro.core` — the SilkRoad switch (ConnTable, VIPTable,
+  DIPPoolTable, TransitTable, 3-step PCC updates, control plane),
+* :mod:`repro.asicsim` — the switching-ASIC substrate (cuckoo tables,
+  register arrays, meters, learning filter, pipeline/resource model),
+* :mod:`repro.netsim` — flow-level simulator (events, workloads, updates,
+  clusters, fabric),
+* :mod:`repro.baselines` — ECMP, resilient hashing, Maglev, SLB, Duet,
+* :mod:`repro.traces` — synthetic production-trace substitutes,
+* :mod:`repro.deploy` — network-wide VIP placement and failure handling,
+* :mod:`repro.experiments` — one harness per paper table/figure.
+"""
+
+from .core import SilkRoadConfig, SilkRoadSwitch
+
+__version__ = "1.0.0"
+
+__all__ = ["SilkRoadConfig", "SilkRoadSwitch", "__version__"]

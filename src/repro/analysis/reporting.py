@@ -1,0 +1,65 @@
+"""Plain-text table/series rendering for experiment output.
+
+The benchmark harnesses print the same rows/series the paper's figures
+plot; these helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, points: Sequence[Tuple[float, float]], xlabel: str = "x", ylabel: str = "y"
+) -> str:
+    """Render one figure series as aligned (x, y) pairs."""
+    lines = [f"{name}  ({xlabel} -> {ylabel})"]
+    for x, y in points:
+        lines.append(f"  {_fmt(x):>12}  {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    title: str, paper: Dict[str, float], measured: Dict[str, float], unit: str = ""
+) -> str:
+    """Side-by-side paper-vs-measured table (EXPERIMENTS.md style)."""
+    rows = []
+    for key in paper:
+        rows.append((key, paper[key], measured.get(key, float("nan")), unit))
+    return format_table(("metric", "paper", "measured", "unit"), rows, title=title)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        if magnitude >= 100:
+            return f"{value:,.1f}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,639 @@
+"""Multi-stage cuckoo exact-match table, as instantiated on RMT-style ASICs.
+
+A large exact-match table (like SilkRoad's ConnTable) is spread over several
+physical pipeline stages.  Each stage hashes the key with its *own* hash
+function into a bucket of ``ways`` slots (the entries packed into one SRAM
+word).  The data plane looks the key up in every stage's candidate bucket and
+returns the first digest match; the switch CPU performs insertions by running
+a breadth-first cuckoo search that moves existing entries between their
+candidate buckets to free a slot.
+
+Two behaviours of the real hardware matter to SilkRoad and are modelled
+faithfully here:
+
+* **Digest false positives.** Only a short digest of the key is stored, so a
+  *different* key can hit an existing entry.  ``lookup`` reports this exactly
+  like the ASIC would (it simply returns the matching slot's value), and also
+  flags it so the harness can count false positives (§6.1 of the paper).
+  The control plane resolves a detected collision by *relocating* the
+  resident entry to a different stage, where the two keys hash apart
+  (:meth:`CuckooTable.relocate`).
+
+* **Slow, software-driven insertion.** Insertion cost is returned as the
+  number of entry moves the BFS performed, which the control-plane model
+  turns into CPU time.
+
+The table additionally enforces the software invariant that no *resident*
+connection's lookup is shadowed by another resident entry: when a placement
+would shadow (or be shadowed by) an existing entry, the search avoids it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .hashing import HashUnit, hash_family
+from .sram import DEFAULT_WORD_BITS, bytes_for_entries
+
+#: Packing overhead per entry (instruction + next-table address), §6 of paper.
+DEFAULT_OVERHEAD_BITS = 6
+
+
+class TableFull(RuntimeError):
+    """Raised when the cuckoo BFS cannot free a slot for a new entry."""
+
+
+class DuplicateKey(KeyError):
+    """Raised when inserting a key that is already resident."""
+
+
+@dataclass
+class Slot:
+    """One occupied table slot (one packed entry in an SRAM word)."""
+
+    key: bytes
+    digest: int
+    value: int
+
+
+@dataclass(frozen=True)
+class Location:
+    """Physical position of an entry: (stage, bucket, way)."""
+
+    stage: int
+    bucket: int
+    way: int
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of a data-plane lookup.
+
+    ``hit`` is what the ASIC sees (digest matched).  ``false_positive`` is
+    ground truth the simulator keeps: the digest matched but the stored key
+    differs from the queried key.
+    """
+
+    hit: bool
+    value: Optional[int] = None
+    location: Optional[Location] = None
+    false_positive: bool = False
+
+
+@dataclass(frozen=True)
+class InsertResult:
+    """Outcome of a software insertion."""
+
+    location: Location
+    moves: int
+
+
+class CuckooTable:
+    """A ``stages``-stage, ``ways``-way cuckoo hash table with digests.
+
+    Parameters
+    ----------
+    buckets_per_stage:
+        Number of buckets (SRAM words) in each stage.
+    ways:
+        Slots per bucket; four 28-bit entries fit a 112-bit word.
+    stages:
+        Physical pipeline stages the table spans.
+    digest_bits:
+        Width of the stored key digest (16 in SilkRoad's default design).
+        A per-stage sequence implements the §7 optimization of giving
+        early stages wider digests (fewer false positives) and later
+        stages narrower ones (denser packing as the table fills).
+    value_bits:
+        Width of the action data (6-bit DIP-pool version by default).
+    overhead_bits:
+        Per-entry packing overhead.
+    max_bfs_nodes:
+        Cap on the BFS frontier before declaring the table full.
+    fast_fail_load:
+        Load factor above which insertions fail immediately instead of
+        running the BFS (saturated-table protection).  Set to 1.0 to
+        always search (occupancy ablations do).
+    """
+
+    def __init__(
+        self,
+        buckets_per_stage: int,
+        ways: int = 4,
+        stages: int = 4,
+        digest_bits=16,
+        value_bits: int = 6,
+        overhead_bits: int = DEFAULT_OVERHEAD_BITS,
+        word_bits: int = DEFAULT_WORD_BITS,
+        max_bfs_nodes: int = 4096,
+        fast_fail_load: float = 0.98,
+        seed: int = 0x51CC_0AD0,
+    ) -> None:
+        if buckets_per_stage <= 0:
+            raise ValueError("buckets_per_stage must be positive")
+        if ways <= 0:
+            raise ValueError("ways must be positive")
+        if stages <= 0:
+            raise ValueError("stages must be positive")
+        self.buckets_per_stage = buckets_per_stage
+        self.ways = ways
+        self.stages = stages
+        if isinstance(digest_bits, int):
+            self.digest_bits_per_stage = [digest_bits] * stages
+        else:
+            self.digest_bits_per_stage = list(digest_bits)
+            if len(self.digest_bits_per_stage) != stages:
+                raise ValueError("need one digest width per stage")
+        if any(not 1 <= b <= 64 for b in self.digest_bits_per_stage):
+            raise ValueError("digest widths must be in [1, 64]")
+        self.digest_bits = max(self.digest_bits_per_stage)
+        self.value_bits = value_bits
+        self.overhead_bits = overhead_bits
+        self.word_bits = word_bits
+        self.max_bfs_nodes = max_bfs_nodes
+        if not 0.0 < fast_fail_load <= 1.0:
+            raise ValueError("fast_fail_load must be in (0, 1]")
+        self.fast_fail_load = fast_fail_load
+        # Each stage gets an independent index hash and digest hash, as the
+        # hardware lets each stage use a different polynomial.
+        self._index_units: List[HashUnit] = hash_family(stages, base_seed=seed)
+        self._digest_units: List[HashUnit] = hash_family(stages, base_seed=seed ^ 0xD16E57)
+        self._slots: List[List[List[Optional[Slot]]]] = [
+            [[None] * ways for _ in range(buckets_per_stage)] for _ in range(stages)
+        ]
+        # Software shadow state: full-key -> location, and per-stage candidate
+        # profiles so collision checks are O(stages) instead of O(n).
+        self._where: Dict[bytes, Location] = {}
+        self._profiles: Dict[bytes, Tuple[Tuple[int, int], ...]] = {}
+        self._profile_cache: Dict[bytes, Tuple[Tuple[int, int], ...]] = {}
+        # (stage, bucket, digest) -> set of resident keys with that candidate.
+        self._candidates: Dict[Tuple[int, int, int], Set[bytes]] = {}
+        self.false_positive_lookups = 0
+        self.total_lookups = 0
+        self.failed_inserts = 0
+        self.collision_relocations = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_capacity(
+        cls,
+        capacity: int,
+        target_load: float = 0.90,
+        ways: int = 4,
+        stages: int = 4,
+        **kwargs,
+    ) -> "CuckooTable":
+        """Size a table so ``capacity`` entries fit at ``target_load``."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 < target_load <= 1.0:
+            raise ValueError("target_load must be in (0, 1]")
+        slots_needed = int(capacity / target_load)
+        per_stage = -(-slots_needed // (stages * ways))
+        return cls(buckets_per_stage=max(per_stage, 1), ways=ways, stages=stages, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Geometry / accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Total number of slots across all stages."""
+        return self.stages * self.buckets_per_stage * self.ways
+
+    @property
+    def entry_bits(self) -> int:
+        return self.digest_bits + self.value_bits + self.overhead_bits
+
+    @property
+    def sram_bytes(self) -> int:
+        """SRAM allocated to the table (all slots, packed into words).
+
+        With per-stage digest widths, each stage packs its own entry size
+        (that is the point of the §7 optimization).
+        """
+        slots_per_stage = self.buckets_per_stage * self.ways
+        return sum(
+            bytes_for_entries(
+                slots_per_stage,
+                bits + self.value_bits + self.overhead_bits,
+                self.word_bits,
+            )
+            for bits in self.digest_bits_per_stage
+        )
+
+    @property
+    def load_factor(self) -> float:
+        return len(self._where) / self.capacity if self.capacity else 0.0
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._where
+
+    def keys(self) -> Iterator[bytes]:
+        return iter(self._where)
+
+    # ------------------------------------------------------------------
+    # Per-key geometry
+    # ------------------------------------------------------------------
+
+    def _profile(self, key: bytes) -> Tuple[Tuple[int, int], ...]:
+        """Candidate (bucket, digest) of a key in every stage.
+
+        Resident keys are cached in ``_profiles``; a bounded side cache
+        covers keys mid-insertion (the insert path consults the profile
+        several times per key).
+        """
+        cached = self._profiles.get(key)
+        if cached is not None:
+            return cached
+        cached = self._profile_cache.get(key)
+        if cached is not None:
+            return cached
+        profile = tuple(
+            (
+                self._index_units[s].index(key, self.buckets_per_stage),
+                self._digest_units[s].digest(key, self.digest_bits_per_stage[s]),
+            )
+            for s in range(self.stages)
+        )
+        if len(self._profile_cache) >= 16384:
+            self._profile_cache.clear()
+        self._profile_cache[key] = profile
+        return profile
+
+    # ------------------------------------------------------------------
+    # Data-plane lookup
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: bytes) -> LookupResult:
+        """Data-plane lookup: first digest match across stages wins.
+
+        Exactly mirrors the hardware: only the digest is compared, so a
+        different resident key can (rarely) match.  The result carries the
+        ground-truth ``false_positive`` flag for measurement.
+        """
+        self.total_lookups += 1
+        profile = self._profile(key)
+        for stage, (bucket, digest) in enumerate(profile):
+            for way, slot in enumerate(self._slots[stage][bucket]):
+                if slot is not None and slot.digest == digest:
+                    fp = slot.key != key
+                    if fp:
+                        self.false_positive_lookups += 1
+                    return LookupResult(
+                        hit=True,
+                        value=slot.value,
+                        location=Location(stage, bucket, way),
+                        false_positive=fp,
+                    )
+        return LookupResult(hit=False)
+
+    def get_exact(self, key: bytes) -> Optional[int]:
+        """Software (full-key) lookup; no false positives."""
+        loc = self._where.get(key)
+        if loc is None:
+            return None
+        slot = self._slots[loc.stage][loc.bucket][loc.way]
+        assert slot is not None and slot.key == key
+        return slot.value
+
+    def location_of(self, key: bytes) -> Optional[Location]:
+        return self._where.get(key)
+
+    # ------------------------------------------------------------------
+    # Placement legality (software invariant)
+    # ------------------------------------------------------------------
+
+    def _shadowed_by_resident(self, key: bytes, stage: int) -> bool:
+        """True if ``key`` placed at ``stage`` would be found *after* a false
+        match on some resident entry in an earlier stage."""
+        profile = self._profile(key)
+        for t in range(stage):
+            bucket, digest = profile[t]
+            for slot in self._slots[t][bucket]:
+                if slot is not None and slot.digest == digest and slot.key != key:
+                    return True
+        # Same-stage, same-bucket digest twin would also be ambiguous.
+        bucket, digest = profile[stage]
+        for slot in self._slots[stage][bucket]:
+            if slot is not None and slot.digest == digest and slot.key != key:
+                return True
+        return False
+
+    def _shadows_resident(self, key: bytes, stage: int) -> bool:
+        """True if placing ``key`` at ``stage`` would sit in front of some
+        resident entry stored in a *later* stage that digest-matches it."""
+        bucket, digest = self._profile(key)[stage]
+        for other in self._candidates.get((stage, bucket, digest), ()):  # resident keys
+            if other == key:
+                continue
+            other_loc = self._where[other]
+            if other_loc.stage > stage:
+                return True
+            if other_loc.stage == stage and other_loc.bucket == bucket:
+                return True
+        return False
+
+    def _placement_legal(self, key: bytes, stage: int) -> bool:
+        return not self._shadowed_by_resident(key, stage) and not self._shadows_resident(
+            key, stage
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation primitives
+    # ------------------------------------------------------------------
+
+    def _register(self, key: bytes, loc: Location) -> None:
+        profile = self._profile(key)
+        self._profiles[key] = profile
+        self._where[key] = loc
+        for s, (bucket, digest) in enumerate(profile):
+            self._candidates.setdefault((s, bucket, digest), set()).add(key)
+
+    def _unregister(self, key: bytes) -> None:
+        profile = self._profiles.pop(key)
+        del self._where[key]
+        for s, (bucket, digest) in enumerate(profile):
+            bucket_set = self._candidates.get((s, bucket, digest))
+            if bucket_set is not None:
+                bucket_set.discard(key)
+                if not bucket_set:
+                    del self._candidates[(s, bucket, digest)]
+
+    def _place(self, key: bytes, value: int, loc: Location) -> None:
+        digest = self._profile(key)[loc.stage][1]
+        self._slots[loc.stage][loc.bucket][loc.way] = Slot(key, digest, value)
+        self._register(key, loc)
+
+    def _free_way(self, stage: int, bucket: int) -> Optional[int]:
+        for way, slot in enumerate(self._slots[stage][bucket]):
+            if slot is None:
+                return way
+        return None
+
+    # ------------------------------------------------------------------
+    # Insertion (software, cuckoo BFS)
+    # ------------------------------------------------------------------
+
+    def insert(self, key: bytes, value: int) -> InsertResult:
+        """Insert an entry, cuckoo-moving residents if needed.
+
+        Returns the number of entry moves performed (0 for a direct
+        placement), which the control plane converts into CPU time.
+        Raises :class:`TableFull` when no placement is found, and
+        :class:`DuplicateKey` on exact-key re-insertion.
+        """
+        if key in self._where:
+            raise DuplicateKey(f"key already resident: {key!r}")
+        # Fast-fail when the table is effectively packed: running the BFS
+        # for every arrival at a saturated table would burn the switch CPU
+        # (and the simulator) for nothing.
+        if self.fast_fail_load < 1.0 and len(self._where) >= int(
+            self.capacity * self.fast_fail_load
+        ):
+            self.failed_inserts += 1
+            raise TableFull(
+                f"table effectively full ({len(self._where)}/{self.capacity})"
+            )
+        profile = self._profile(key)
+
+        # A resident digest twin in one of the key's candidate buckets
+        # shadows every legal placement; the switch software resolves the
+        # collision by relocating the resident entry to another stage (the
+        # same fix the redirected-SYN path performs, §4.2).
+        for twin in self._digest_twins(key):
+            if self.relocate(twin):
+                self.collision_relocations += 1
+
+        # Fast path: a free, legal slot in some candidate bucket.
+        for stage, (bucket, _digest) in enumerate(profile):
+            way = self._free_way(stage, bucket)
+            if way is not None and self._placement_legal(key, stage):
+                self._place(key, value, Location(stage, bucket, way))
+                return InsertResult(Location(stage, bucket, way), moves=0)
+
+        # BFS over move sequences.
+        path = self._bfs_find_path(key)
+        if path is None:
+            self.failed_inserts += 1
+            raise TableFull(
+                f"no slot for key after BFS over {self.max_bfs_nodes} nodes "
+                f"(load {self.load_factor:.3f})"
+            )
+        moves = self._apply_move_path(path)
+        # Path ends with the stage where the new key goes.
+        final_stage, final_bucket = path[0]
+        way = self._free_way(final_stage, final_bucket)
+        assert way is not None, "BFS path did not free a slot"
+        self._place(key, value, Location(final_stage, final_bucket, way))
+        return InsertResult(Location(final_stage, final_bucket, way), moves=moves)
+
+    def _digest_twins(self, key: bytes) -> List[bytes]:
+        """Resident keys whose stored digest collides with ``key`` in one of
+        its candidate buckets (they would shadow any placement of it)."""
+        twins: List[bytes] = []
+        for stage, (bucket, digest) in enumerate(self._profile(key)):
+            for slot in self._slots[stage][bucket]:
+                if slot is not None and slot.digest == digest and slot.key != key:
+                    twins.append(slot.key)
+        return twins
+
+    def _bfs_find_path(self, key: bytes):
+        """Find a sequence of moves freeing a legal slot for ``key``.
+
+        Returns a list of (stage, bucket) pairs from the key's entry bucket
+        down to the bucket where a free slot exists, together with the slots
+        to shift, encoded as a list of (stage, bucket, way, dest_stage,
+        dest_bucket) moves in application order.  ``None`` if not found.
+        """
+        profile = self._profile(key)
+        # Each frontier node: (stage, bucket, parent_index, way_moved_from_parent)
+        frontier: List[Tuple[int, int, int, Optional[int]]] = []
+        seen: Set[Tuple[int, int]] = set()
+        queue: deque = deque()
+        for stage, (bucket, _d) in enumerate(profile):
+            if not self._placement_legal(key, stage):
+                continue
+            node = (stage, bucket, -1, None)
+            frontier.append(node)
+            queue.append(len(frontier) - 1)
+            seen.add((stage, bucket))
+
+        nodes_explored = 0
+        while queue and nodes_explored < self.max_bfs_nodes:
+            idx = queue.popleft()
+            stage, bucket, _parent, _way = frontier[idx]
+            nodes_explored += 1
+            # Try to extend: each resident of this bucket could move to one of
+            # its candidate buckets in other stages.
+            for way, slot in enumerate(self._slots[stage][bucket]):
+                if slot is None:
+                    # Free slot here: reconstruct the path.
+                    return self._reconstruct_path(frontier, idx)
+                victim_profile = self._profiles[slot.key]
+                for dest_stage in range(self.stages):
+                    if dest_stage == stage:
+                        continue
+                    dest_bucket = victim_profile[dest_stage][0]
+                    if (dest_stage, dest_bucket) in seen:
+                        continue
+                    if not self._move_legal(slot.key, dest_stage):
+                        continue
+                    dest_way = self._free_way(dest_stage, dest_bucket)
+                    frontier.append((dest_stage, dest_bucket, idx, way))
+                    seen.add((dest_stage, dest_bucket))
+                    if dest_way is not None:
+                        return self._reconstruct_path(frontier, len(frontier) - 1)
+                    queue.append(len(frontier) - 1)
+        return None
+
+    def _move_legal(self, key: bytes, dest_stage: int) -> bool:
+        """Whether moving resident ``key`` to ``dest_stage`` keeps lookups
+        unambiguous (ignores its current location, which is being vacated)."""
+        # Temporarily treat key as absent from its current slot for checks.
+        loc = self._where[key]
+        slot = self._slots[loc.stage][loc.bucket][loc.way]
+        self._slots[loc.stage][loc.bucket][loc.way] = None
+        try:
+            return self._placement_legal(key, dest_stage)
+        finally:
+            self._slots[loc.stage][loc.bucket][loc.way] = slot
+
+    def _reconstruct_path(self, frontier, idx: int):
+        """Turn BFS parent pointers into an ordered move list.
+
+        The returned structure is a list whose first element is the
+        (stage, bucket) receiving the *new* key, followed by the moves to
+        apply in order (deepest first).
+        """
+        chain = []
+        while idx != -1:
+            stage, bucket, parent, way = frontier[idx]
+            chain.append((stage, bucket, way))
+            idx = parent
+        # chain is [deepest ... root]; root is the new key's bucket.
+        root_stage, root_bucket, _ = chain[-1]
+        moves = []
+        # Walk from root towards deepest: entry at (root,way) moves to child.
+        for depth in range(len(chain) - 1, 0, -1):
+            src_stage, src_bucket, _ = chain[depth]
+            dst_stage, dst_bucket, way = chain[depth - 1]
+            moves.append((src_stage, src_bucket, way, dst_stage, dst_bucket))
+        return [(root_stage, root_bucket)] + moves
+
+    def _apply_move_path(self, path) -> int:
+        """Apply moves deepest-first so each destination has a free way."""
+        moves = path[1:]
+        for src_stage, src_bucket, way, dst_stage, dst_bucket in reversed(moves):
+            slot = self._slots[src_stage][src_bucket][way]
+            assert slot is not None, "BFS referenced an empty way"
+            dest_way = self._free_way(dst_stage, dst_bucket)
+            assert dest_way is not None, "move destination is full"
+            self._slots[src_stage][src_bucket][way] = None
+            new_digest = self._profiles[slot.key][dst_stage][1]
+            self._slots[dst_stage][dst_bucket][dest_way] = Slot(
+                slot.key, new_digest, slot.value
+            )
+            self._where[slot.key] = Location(dst_stage, dst_bucket, dest_way)
+        return len(moves)
+
+    # ------------------------------------------------------------------
+    # Update / delete / relocate
+    # ------------------------------------------------------------------
+
+    def update(self, key: bytes, value: int) -> None:
+        """Rewrite the action data of a resident entry in place."""
+        loc = self._where.get(key)
+        if loc is None:
+            raise KeyError(f"key not resident: {key!r}")
+        slot = self._slots[loc.stage][loc.bucket][loc.way]
+        assert slot is not None
+        slot.value = value
+
+    def delete(self, key: bytes) -> None:
+        """Remove a resident entry (connection expiry)."""
+        loc = self._where.get(key)
+        if loc is None:
+            raise KeyError(f"key not resident: {key!r}")
+        self._slots[loc.stage][loc.bucket][loc.way] = None
+        self._unregister(key)
+
+    def relocate(self, key: bytes) -> bool:
+        """Move a resident entry to a different stage.
+
+        Used by the control plane to resolve a digest collision detected via
+        a redirected TCP SYN: the *existing* colliding entry is moved to a
+        stage where the two connections hash apart.  Returns ``True`` on
+        success.
+        """
+        loc = self._where.get(key)
+        if loc is None:
+            raise KeyError(f"key not resident: {key!r}")
+        profile = self._profiles[key]
+        slot = self._slots[loc.stage][loc.bucket][loc.way]
+        assert slot is not None
+        for dest_stage in range(self.stages):
+            if dest_stage == loc.stage:
+                continue
+            dest_bucket = profile[dest_stage][0]
+            dest_way = self._free_way(dest_stage, dest_bucket)
+            if dest_way is None:
+                continue
+            if not self._move_legal(key, dest_stage):
+                continue
+            self._slots[loc.stage][loc.bucket][loc.way] = None
+            self._slots[dest_stage][dest_bucket][dest_way] = Slot(
+                key, profile[dest_stage][1], slot.value
+            )
+            self._where[key] = Location(dest_stage, dest_bucket, dest_way)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests and experiments
+    # ------------------------------------------------------------------
+
+    def stage_occupancy(self) -> List[int]:
+        """Number of resident entries per stage."""
+        counts = [0] * self.stages
+        for loc in self._where.values():
+            counts[loc.stage] += 1
+        return counts
+
+    def check_invariants(self) -> None:
+        """Validate shadow state against the slot array (test helper)."""
+        seen = 0
+        for stage in range(self.stages):
+            for bucket in range(self.buckets_per_stage):
+                for way, slot in enumerate(self._slots[stage][bucket]):
+                    if slot is None:
+                        continue
+                    seen += 1
+                    loc = self._where.get(slot.key)
+                    if loc != Location(stage, bucket, way):
+                        raise AssertionError(
+                            f"shadow map out of sync for {slot.key!r}: {loc}"
+                        )
+                    expected_digest = self._profiles[slot.key][stage][1]
+                    if slot.digest != expected_digest:
+                        raise AssertionError("stored digest mismatch")
+        if seen != len(self._where):
+            raise AssertionError(f"slot count {seen} != shadow count {len(self._where)}")
+        # Every resident key's data-plane lookup must find its own entry.
+        # (Preserve the measurement counters: this is a checker, not traffic.)
+        saved = (self.total_lookups, self.false_positive_lookups)
+        try:
+            for key in self._where:
+                result = self.lookup(key)
+                if not result.hit or result.false_positive:
+                    raise AssertionError(f"resident key shadowed: {key!r}")
+        finally:
+            self.total_lookups, self.false_positive_lookups = saved

@@ -1,0 +1,85 @@
+"""Hash units of a switching ASIC.
+
+Modern switching ASICs ship a set of generic hash units (used for ECMP, LAG,
+checksum offload, exact-match table addressing, ...).  SilkRoad uses them for
+
+* addressing the multi-way cuckoo stages of ConnTable (one independent hash
+  function per physical stage),
+* computing the compact *digest* stored in ConnTable instead of the 5-tuple,
+* addressing the TransitTable Bloom filter.
+
+This module models those units as a family of deterministic, seedable 64-bit
+mixers.  The mixer is a splitmix64-style finalizer applied to a CRC of the
+key, which gives good avalanche behaviour on the short keys (13/37-byte
+5-tuples) a load balancer hashes, while staying fast in pure Python.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """One round of the splitmix64 finalizer (public-domain constants)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def mix64(value: int, seed: int = 0) -> int:
+    """Mix a 64-bit integer with a seed into a well-distributed 64-bit hash."""
+    return _splitmix64((value ^ _splitmix64(seed & _MASK64)) & _MASK64)
+
+
+@dataclass(frozen=True)
+class HashUnit:
+    """A single seeded hash function, as provided by the ASIC's hash blocks.
+
+    Two units with different seeds behave as independent hash functions; the
+    ASIC similarly lets each physical stage use a distinct polynomial.
+    """
+
+    seed: int
+
+    def hash_bytes(self, key: bytes) -> int:
+        """Hash a byte-string key to a 64-bit value."""
+        crc = zlib.crc32(key)
+        return mix64((crc << 32) | (len(key) & 0xFFFFFFFF), self.seed)
+
+    def hash_int(self, key: int) -> int:
+        """Hash an integer key to a 64-bit value."""
+        return mix64(key & _MASK64, self.seed ^ (key >> 64))
+
+    def index(self, key: bytes, size: int) -> int:
+        """Map a key to a table index in ``[0, size)``."""
+        if size <= 0:
+            raise ValueError("table size must be positive")
+        return self.hash_bytes(key) % size
+
+    def digest(self, key: bytes, bits: int) -> int:
+        """Compute a ``bits``-wide digest of a key.
+
+        SilkRoad stores this digest in ConnTable instead of the full 5-tuple
+        (16 bits by default, versus 296 bits for an IPv6 5-tuple).
+        """
+        if not 1 <= bits <= 64:
+            raise ValueError("digest width must be in [1, 64]")
+        # Use the high bits: they are the best mixed bits of splitmix64, and
+        # they are disjoint from the low bits a small table index consumes,
+        # keeping digest and index roughly independent as in real designs.
+        return self.hash_bytes(key) >> (64 - bits)
+
+
+def hash_family(count: int, base_seed: int = 0x51CC_0AD0) -> list[HashUnit]:
+    """Create ``count`` independent hash units.
+
+    Used to give every cuckoo stage, and every Bloom-filter way, its own
+    hash function.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [HashUnit(seed=mix64(i, base_seed)) for i in range(count)]

@@ -1,0 +1,128 @@
+"""The ASIC's learning filter, repurposed for connection learning.
+
+L2 switches learn MAC addresses in hardware through a *learning filter*: the
+data plane deposits new-key events into a small on-chip buffer that batches
+and deduplicates them, and notifies the switch CPU when the buffer fills or
+a timeout expires.  SilkRoad reuses exactly this block to learn new L4
+connections (§4.1): the first packet of a connection triggers a learn event;
+the CPU later drains the batch and runs cuckoo insertion into ConnTable.
+
+The batching delay of this filter is the root cause of *pending connections*
+(arrived but not yet installed), which is what the TransitTable exists to
+protect during DIP-pool updates.  Figure 18 sweeps the filter timeout between
+0.5 ms and 5 ms; 2 K events with a 1 ms timeout is the paper's default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LearnEvent:
+    """One deduplicated new-connection event."""
+
+    key: bytes
+    metadata: Tuple
+    first_seen: float
+
+
+@dataclass
+class LearnBatch:
+    """A drained batch handed to the switch CPU."""
+
+    events: List[LearnEvent]
+    flushed_at: float
+    reason: str  # "full" or "timeout"
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class LearningFilter:
+    """Batches and deduplicates new-key events for the switch CPU.
+
+    Parameters
+    ----------
+    capacity:
+        Events held before a forced flush (hardware buffer depth; 2048 by
+        default, the paper's "2K insertions").
+    timeout:
+        Seconds after the *oldest undelivered event* at which the filter
+        notifies the CPU even if not full (0.5-5 ms in the paper).
+    """
+
+    def __init__(self, capacity: int = 2048, timeout: float = 1e-3) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.capacity = capacity
+        self.timeout = timeout
+        self._pending: Dict[bytes, LearnEvent] = {}
+        self._oldest: Optional[float] = None
+        self.offered = 0
+        self.deduplicated = 0
+        self.flushes_full = 0
+        self.flushes_timeout = 0
+
+    def offer(self, key: bytes, now: float, metadata: Tuple = ()) -> Optional[LearnBatch]:
+        """Deposit a learn event; returns a batch if the buffer filled.
+
+        Duplicate keys (multiple packets of the same connection racing the
+        CPU) are merged, as the hardware filter does.
+        """
+        self.offered += 1
+        if key in self._pending:
+            self.deduplicated += 1
+            return None
+        self._pending[key] = LearnEvent(key=key, metadata=metadata, first_seen=now)
+        if self._oldest is None:
+            self._oldest = now
+        if len(self._pending) >= self.capacity:
+            return self._flush(now, "full")
+        return None
+
+    def poll(self, now: float) -> Optional[LearnBatch]:
+        """Flush on timeout; the CPU calls this on its notification timer.
+
+        The comparison uses the same float expression as
+        :meth:`next_deadline` so a timer fired exactly at the deadline
+        always flushes (``now - oldest >= timeout`` can round the other
+        way).
+        """
+        if self._oldest is not None and now >= self._oldest + self.timeout:
+            return self._flush(now, "timeout")
+        return None
+
+    def next_deadline(self) -> Optional[float]:
+        """Absolute time of the next timeout flush, if any events pend."""
+        if self._oldest is None:
+            return None
+        return self._oldest + self.timeout
+
+    def _flush(self, now: float, reason: str) -> LearnBatch:
+        if reason == "full":
+            self.flushes_full += 1
+        else:
+            self.flushes_timeout += 1
+        batch = LearnBatch(
+            events=list(self._pending.values()), flushed_at=now, reason=reason
+        )
+        self._pending.clear()
+        self._oldest = None
+        return batch
+
+    def flush(self, now: float) -> Optional[LearnBatch]:
+        """Force-drain (used at simulation end)."""
+        if not self._pending:
+            return None
+        return self._flush(now, "timeout")
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._pending

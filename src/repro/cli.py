@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``experiments [names...]`` — regenerate paper tables/figures (all by
+  default; see ``--list``).
+* ``pcc`` — run one flow-level PCC simulation against a chosen system and
+  print the report.
+* ``fleet`` — synthesize the cluster fleet and dump per-cluster statistics
+  as CSV.
+* ``forward`` — push a synthetic packet through the P4 SilkRoad pipeline
+  and print the forwarding decision.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import io
+import sys
+from typing import List, Optional
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments import runner
+
+    if args.list:
+        print("\n".join(runner.EXPERIMENTS))
+        return 0
+    names = args.names or None
+    unknown = [n for n in (names or []) if n not in runner.EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    runner.run_all(names, stream=sys.stdout)
+    return 0
+
+
+def _cmd_pcc(args: argparse.Namespace) -> int:
+    from .baselines import DuetLoadBalancer, MigrationPolicy, SoftwareLoadBalancer
+    from .experiments.common import build_workload, silkroad_factory
+
+    factories = {
+        "silkroad": silkroad_factory(),
+        "silkroad-no-tt": silkroad_factory(use_transit_table=False),
+        "duet": lambda: DuetLoadBalancer(
+            policy=MigrationPolicy.PERIODIC, migrate_period_s=args.duet_period
+        ),
+        "slb": lambda: SoftwareLoadBalancer(),
+    }
+    workload = build_workload(
+        updates_per_min=args.updates_per_min,
+        scale=args.scale,
+        seed=args.seed,
+        horizon_s=args.horizon,
+    )
+    report, _conns, lb = workload.replay(factories[args.system])
+    print(report.summary())
+    for key, value in sorted(report.extra.items()):
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .traces import FleetSynthesizer
+
+    profiles = FleetSynthesizer(seed=args.seed).synthesize()
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(
+        [
+            "name", "kind", "num_tors", "num_vips", "dips_per_vip",
+            "active_conns_per_tor_p99", "updates_per_min_p99",
+            "new_conns_per_vip_per_min", "traffic_gbps", "ipv6",
+        ]
+    )
+    for p in profiles:
+        writer.writerow(
+            [
+                p.name, p.kind.value, p.num_tors, p.num_vips, p.dips_per_vip,
+                f"{p.active_conns_per_tor_p99:.0f}",
+                f"{p.updates_per_min_p99:.2f}",
+                f"{p.new_conns_per_vip_per_min:.0f}",
+                f"{p.traffic_gbps:.1f}", p.ipv6,
+            ]
+        )
+    print(out.getvalue(), end="")
+    return 0
+
+
+def _cmd_forward(args: argparse.Namespace) -> int:
+    from .netsim import make_cluster
+    from .netsim.packet import TupleFactory
+    from .p4 import SilkRoadP4, build_packet, read_pcap, write_pcap
+
+    cluster = make_cluster(num_vips=args.vips, dips_per_vip=args.dips)
+    p4 = SilkRoadP4()
+    for service in cluster.services:
+        p4.program_vip(service.vip, version=0)
+        p4.program_pool(service.vip, 0, service.dips)
+
+    if args.pcap_in:
+        frames = read_pcap(args.pcap_in)
+        for ts, data in frames:
+            result = p4.process(data)
+            state = "dropped" if result.dropped else f"-> {result.dip}"
+            print(f"[{ts:12.6f}] {state}")
+        return 0
+
+    factory = TupleFactory()
+    emitted = []
+    for i in range(args.count):
+        ft = factory.next_for(cluster.vips[i % args.vips])
+        frame = build_packet(ft, syn=True)
+        result = p4.process(frame)
+        emitted.append((float(i) * 1e-3, frame))
+        print(
+            f"{ft} -> {result.dip} (version v{result.version}, "
+            f"{'learned' if result.learned else 'hit'})"
+        )
+    if args.pcap_out:
+        count = write_pcap(args.pcap_out, emitted)
+        print(f"wrote {count} frames to {args.pcap_out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SilkRoad reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_exp.add_argument("names", nargs="*", help="experiment names (default: all)")
+    p_exp.add_argument("--list", action="store_true", help="list experiment names")
+    p_exp.set_defaults(fn=_cmd_experiments)
+
+    p_pcc = sub.add_parser("pcc", help="run one PCC simulation")
+    p_pcc.add_argument(
+        "--system",
+        choices=("silkroad", "silkroad-no-tt", "duet", "slb"),
+        default="silkroad",
+    )
+    p_pcc.add_argument("--updates-per-min", type=float, default=10.0)
+    p_pcc.add_argument("--scale", type=float, default=0.5)
+    p_pcc.add_argument("--horizon", type=float, default=120.0)
+    p_pcc.add_argument("--seed", type=int, default=7)
+    p_pcc.add_argument("--duet-period", type=float, default=120.0)
+    p_pcc.set_defaults(fn=_cmd_pcc)
+
+    p_fleet = sub.add_parser("fleet", help="dump the synthetic fleet as CSV")
+    p_fleet.add_argument("--seed", type=int, default=0xF1EE7)
+    p_fleet.set_defaults(fn=_cmd_fleet)
+
+    p_fwd = sub.add_parser("forward", help="forward packets through the P4 pipeline")
+    p_fwd.add_argument("--vips", type=int, default=2)
+    p_fwd.add_argument("--dips", type=int, default=4)
+    p_fwd.add_argument("--count", type=int, default=5)
+    p_fwd.add_argument("--pcap-out", help="write the generated frames to a pcap")
+    p_fwd.add_argument("--pcap-in", help="replay frames from a pcap instead")
+    p_fwd.set_defaults(fn=_cmd_forward)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

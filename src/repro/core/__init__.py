@@ -1,0 +1,57 @@
+"""SilkRoad core: the paper's primary contribution.
+
+:class:`SilkRoadSwitch` is the public entry point — a stateful L4 load
+balancer whose ConnTable, VIPTable, DIPPoolTable and TransitTable all live
+in (modelled) switching-ASIC structures, with per-connection consistency
+guaranteed across DIP-pool updates by the 3-step update protocol.
+"""
+
+from .config import SilkRoadConfig
+from .conn_table import (
+    ConnTable,
+    EntryLayout,
+    conn_table_bytes,
+    digest_only_layout,
+    digest_version_layout,
+    memory_saving,
+    naive_layout,
+)
+from .control_plane import SwitchCpu
+from .dip_pool_table import DipPool, DipPoolTable, VersionsExhausted
+from .health import HealthMonitor, always_alive
+from .pcc_update import Phase, UpdateCoordinator, UpdateTimings
+from .silkroad import SilkRoadSwitch
+from .stats import PccSummary, active_connection_peak, summarize, violations_by_minute
+from .transit_table import TransitTable
+from .verify import InvariantViolation, verify_switch
+from .vip_table import VipEntry, VipTable
+
+__all__ = [
+    "ConnTable",
+    "DipPool",
+    "HealthMonitor",
+    "DipPoolTable",
+    "EntryLayout",
+    "PccSummary",
+    "Phase",
+    "SilkRoadConfig",
+    "SilkRoadSwitch",
+    "SwitchCpu",
+    "TransitTable",
+    "UpdateCoordinator",
+    "UpdateTimings",
+    "VersionsExhausted",
+    "VipEntry",
+    "VipTable",
+    "InvariantViolation",
+    "verify_switch",
+    "active_connection_peak",
+    "always_alive",
+    "conn_table_bytes",
+    "digest_only_layout",
+    "digest_version_layout",
+    "memory_saving",
+    "naive_layout",
+    "summarize",
+    "violations_by_minute",
+]

@@ -1,0 +1,87 @@
+"""SilkRoad switch configuration.
+
+Defaults follow the paper's evaluation setup (§5, §6): 16-bit digests,
+6-bit DIP-pool versions, four ConnTable entries per 112-bit SRAM word, a
+256-byte TransitTable, a 2 K-event learning filter with a 1 ms timeout, and
+a switch CPU inserting 200 K ConnTable entries per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..asicsim.sram import DEFAULT_WORD_BITS
+
+
+@dataclass(frozen=True)
+class SilkRoadConfig:
+    """All knobs of a SilkRoad switch instance."""
+
+    # --- ConnTable geometry (§4.2).
+    conn_table_capacity: int = 1_000_000
+    conn_table_target_load: float = 0.9375  # 15/16: cuckoo packs tightly
+    conn_table_stages: int = 4
+    conn_table_ways: int = 4
+    digest_bits: int = 16
+    version_bits: int = 6
+    overhead_bits: int = 6
+    word_bits: int = DEFAULT_WORD_BITS
+
+    # --- TransitTable (§4.3).
+    use_transit_table: bool = True
+    transit_table_bytes: int = 256
+    transit_hash_ways: int = 4
+    #: Redirect TCP SYNs that falsely hit the TransitTable in step 2 to the
+    #: switch CPU for correction.  The paper describes this mitigation but
+    #: its own Figure 18 still measures violations for tiny filters, so the
+    #: reproduction defaults to off; turning it on gives zero violations at
+    #: any filter size.
+    syn_redirect_on_transit_fp: bool = False
+
+    # --- Connection learning (§4.1, §4.3).
+    learning_filter_capacity: int = 2048
+    learning_filter_timeout_s: float = 1e-3
+    insertion_rate_per_s: float = 200_000.0
+    #: Software handling time for a redirected (false-positive) TCP SYN.
+    fp_resolution_delay_s: float = 2e-3
+
+    # --- Versioning (§4.2).
+    version_reuse: bool = True
+
+    # --- Overflow policy (§7, "Combine with SLB solutions").
+    #: When ConnTable is full, pin the connection in software (switch CPU
+    #: or an SLB tier) instead of leaving it on the slow path: PCC is
+    #: preserved at the cost of software-forwarded traffic, effectively
+    #: treating ConnTable as a cache of connections.
+    overflow_to_software: bool = False
+
+    # --- Connection expiry: entry removed this long after the last packet.
+    idle_timeout_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.conn_table_capacity <= 0:
+            raise ValueError("conn_table_capacity must be positive")
+        if not 1 <= self.digest_bits <= 64:
+            raise ValueError("digest_bits must be in [1, 64]")
+        if not 1 <= self.version_bits <= 16:
+            raise ValueError("version_bits must be in [1, 16]")
+        if self.transit_table_bytes <= 0:
+            raise ValueError("transit_table_bytes must be positive")
+        if self.insertion_rate_per_s <= 0:
+            raise ValueError("insertion_rate_per_s must be positive")
+        if self.learning_filter_capacity <= 0:
+            raise ValueError("learning_filter_capacity must be positive")
+        if self.learning_filter_timeout_s <= 0:
+            raise ValueError("learning_filter_timeout_s must be positive")
+        if self.idle_timeout_s < 0:
+            raise ValueError("idle_timeout_s must be non-negative")
+
+    @property
+    def num_versions(self) -> int:
+        """Distinct DIP-pool versions representable per VIP."""
+        return 1 << self.version_bits
+
+    @property
+    def conn_entry_bits(self) -> int:
+        """Bits per packed ConnTable entry (28 with paper defaults)."""
+        return self.digest_bits + self.version_bits + self.overhead_bits

@@ -1,0 +1,185 @@
+"""ConnTable: per-connection state in ASIC SRAM (§4.2).
+
+A thin, load-balancer-flavoured wrapper around the generic multi-stage
+cuckoo table of :mod:`repro.asicsim.cuckoo`: keys are connection 5-tuples
+(as canonical bytes), values are DIP-pool version numbers, and the entry
+layout is the paper's 28-bit packed record (16-bit digest + 6-bit version +
+6-bit overhead; four entries per 112-bit SRAM word).
+
+The module also provides the memory arithmetic for the three design points
+Figure 14 compares:
+
+* ``naive`` — full 5-tuple key, full DIP action (what a match-action table
+  would store without SilkRoad's compaction; 55 bytes per IPv6 entry),
+* ``digest_only`` — hash-digest key, full DIP action,
+* ``digest_version`` — hash-digest key, version action (SilkRoad).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..asicsim.cuckoo import CuckooTable, InsertResult, LookupResult, TableFull
+from ..asicsim.sram import DEFAULT_WORD_BITS, bytes_for_entries
+from .config import SilkRoadConfig
+
+
+class ConnTable:
+    """The connection table of one SilkRoad switch."""
+
+    def __init__(self, config: SilkRoadConfig, seed: int = 0x51CC_0AD0) -> None:
+        self.config = config
+        self._table = CuckooTable.for_capacity(
+            config.conn_table_capacity,
+            target_load=config.conn_table_target_load,
+            ways=config.conn_table_ways,
+            stages=config.conn_table_stages,
+            digest_bits=config.digest_bits,
+            value_bits=config.version_bits,
+            overhead_bits=config.overhead_bits,
+            word_bits=config.word_bits,
+            seed=seed,
+        )
+
+    # -- data plane ----------------------------------------------------
+
+    def lookup(self, key: bytes) -> LookupResult:
+        """Digest lookup, exactly as the ASIC performs it."""
+        return self._table.lookup(key)
+
+    # -- software (switch CPU) -----------------------------------------
+
+    def insert(self, key: bytes, version: int) -> InsertResult:
+        return self._table.insert(key, version)
+
+    def delete(self, key: bytes) -> None:
+        self._table.delete(key)
+
+    def get_exact(self, key: bytes) -> Optional[int]:
+        return self._table.get_exact(key)
+
+    def relocate_colliding_entry(self, new_key: bytes) -> bool:
+        """Resolve a digest collision for ``new_key``: find the resident
+        entry its SYN falsely hit and move it to a different stage."""
+        result = self._table.lookup(new_key)
+        if not result.hit or not result.false_positive:
+            return True  # nothing to resolve
+        assert result.location is not None
+        slot = self._table._slots[result.location.stage][result.location.bucket][
+            result.location.way
+        ]
+        assert slot is not None
+        return self._table.relocate(slot.key)
+
+    # -- introspection ---------------------------------------------------
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def capacity(self) -> int:
+        return self._table.capacity
+
+    @property
+    def load_factor(self) -> float:
+        return self._table.load_factor
+
+    @property
+    def false_positive_lookups(self) -> int:
+        return self._table.false_positive_lookups
+
+    @property
+    def total_lookups(self) -> int:
+        return self._table.total_lookups
+
+    @property
+    def failed_inserts(self) -> int:
+        return self._table.failed_inserts
+
+    @property
+    def sram_bytes(self) -> int:
+        return self._table.sram_bytes
+
+    def check_invariants(self) -> None:
+        self._table.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# Figure 14 memory arithmetic
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EntryLayout:
+    """Bit layout of one ConnTable entry under a design variant."""
+
+    key_bits: int
+    action_bits: int
+    overhead_bits: int = 6
+
+    @property
+    def entry_bits(self) -> int:
+        return self.key_bits + self.action_bits + self.overhead_bits
+
+
+def naive_layout(ipv6: bool) -> EntryLayout:
+    """Full 5-tuple -> full DIP (the paper's 55-byte IPv6 strawman)."""
+    if ipv6:
+        return EntryLayout(key_bits=37 * 8, action_bits=18 * 8)
+    return EntryLayout(key_bits=13 * 8, action_bits=6 * 8)
+
+
+def digest_only_layout(ipv6: bool, digest_bits: int = 16) -> EntryLayout:
+    """Hash-digest key, full DIP action."""
+    dip_bits = 18 * 8 if ipv6 else 6 * 8
+    return EntryLayout(key_bits=digest_bits, action_bits=dip_bits)
+
+
+def digest_version_layout(digest_bits: int = 16, version_bits: int = 6) -> EntryLayout:
+    """SilkRoad: hash-digest key, pool-version action (28 bits default)."""
+    return EntryLayout(key_bits=digest_bits, action_bits=version_bits)
+
+
+def conn_table_bytes(
+    num_connections: int,
+    layout: EntryLayout,
+    word_bits: int = DEFAULT_WORD_BITS,
+) -> int:
+    """SRAM bytes for a ConnTable under a given layout (word-packed)."""
+    return bytes_for_entries(num_connections, layout.entry_bits, word_bits)
+
+
+def memory_saving(
+    num_connections: int,
+    ipv6: bool,
+    use_digest: bool = True,
+    use_version: bool = True,
+    digest_bits: int = 16,
+    version_bits: int = 6,
+    dip_pool_bytes: int = 0,
+) -> float:
+    """Fractional SRAM saving versus the naive layout (Figure 14).
+
+    ``dip_pool_bytes`` adds the DIPPoolTable overhead that versioning
+    requires (the extra indirection is charged against the saving).
+    """
+    base = conn_table_bytes(num_connections, naive_layout(ipv6))
+    if base == 0:
+        return 0.0
+    if use_digest and use_version:
+        layout = digest_version_layout(digest_bits, version_bits)
+        cost = conn_table_bytes(num_connections, layout) + dip_pool_bytes
+    elif use_digest:
+        layout = digest_only_layout(ipv6, digest_bits)
+        cost = conn_table_bytes(num_connections, layout)
+    elif use_version:
+        dip_bits = (37 * 8) if ipv6 else (13 * 8)
+        layout = EntryLayout(key_bits=dip_bits, action_bits=version_bits)
+        cost = conn_table_bytes(num_connections, layout) + dip_pool_bytes
+    else:
+        cost = base
+    return max(0.0, 1.0 - cost / base)

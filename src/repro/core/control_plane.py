@@ -1,0 +1,85 @@
+"""Switch-CPU model: slow-path connection learning and insertion (§4.1, §5.2).
+
+The switch's embedded x86 CPU drains learning-filter batches, runs the
+cuckoo BFS to pick slots, and writes entries into ConnTable over PCI-E.
+The paper measures ~200 K insertions/second as achievable; that rate, not
+the data plane, is what creates *pending connections* and hence the whole
+PCC problem.
+
+The CPU is modelled as a single-server FIFO: entries complete at
+``1/insertion_rate`` intervals, starting when the CPU is free.  Redirected
+false-positive TCP SYNs are handled as separate jobs with a fixed software
+delay (a few milliseconds, §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..asicsim.learning_filter import LearnBatch, LearnEvent
+from ..netsim.events import EventQueue
+from ..netsim.simulator import PRIO_INTERNAL
+
+#: Callback invoked when the CPU finishes installing one connection:
+#: ``(key, metadata, now)``.
+InstallCallback = Callable[[bytes, Tuple], None]
+
+
+class SwitchCpu:
+    """Single-core switch CPU processing ConnTable insertions in FIFO order."""
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        insertion_rate_per_s: float,
+        on_installed: InstallCallback,
+    ) -> None:
+        if insertion_rate_per_s <= 0:
+            raise ValueError("insertion rate must be positive")
+        self.queue = queue
+        self.insertion_rate_per_s = insertion_rate_per_s
+        self.on_installed = on_installed
+        # -inf: the CPU has never been busy (the simulation clock may start
+        # negative during warm-up replay).
+        self._busy_until = float("-inf")
+        self.submitted = 0
+        self.completed = 0
+        self.batches = 0
+
+    @property
+    def per_entry_s(self) -> float:
+        return 1.0 / self.insertion_rate_per_s
+
+    @property
+    def backlog(self) -> int:
+        """Entries submitted but not yet installed."""
+        return self.submitted - self.completed
+
+    def queueing_delay(self) -> float:
+        """Time until the CPU would start a job submitted now."""
+        return max(0.0, self._busy_until - self.queue.now)
+
+    def submit_batch(self, batch: LearnBatch) -> None:
+        """Enqueue a learning-filter batch; entries complete sequentially."""
+        self.batches += 1
+        start = max(self.queue.now, self._busy_until)
+        for event in batch.events:
+            start += self.per_entry_s
+            self._schedule_install(event.key, event.metadata, start)
+        self._busy_until = start
+
+    def submit_one(self, key: bytes, metadata: Tuple, extra_delay_s: float = 0.0) -> None:
+        """Enqueue a single out-of-band job (e.g. a redirected SYN fix)."""
+        start = max(self.queue.now, self._busy_until) + extra_delay_s + self.per_entry_s
+        self._schedule_install(key, metadata, start)
+        self._busy_until = start
+
+    def _schedule_install(self, key: bytes, metadata: Tuple, when: float) -> None:
+        self.submitted += 1
+
+        def fire() -> None:
+            self.completed += 1
+            self.on_installed(key, metadata)
+
+        self.queue.schedule(when, fire, PRIO_INTERNAL)

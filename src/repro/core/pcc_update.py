@@ -1,0 +1,202 @@
+"""The 3-step per-connection-consistent update coordinator (§4.3, Figure 9).
+
+A DIP-pool update cannot simply rewrite VIPTable: connections that arrived
+but are not yet installed in ConnTable (*pending connections*) would have
+their first packets matched against the old pool and their later packets
+against the new one.  The coordinator serializes updates per VIP and walks
+each through three steps:
+
+* **Step 1** — from the request (``t_req``): every new connection of the
+  VIP is marked in the TransitTable; wait until every connection that
+  arrived *before* ``t_req`` is installed in ConnTable.
+* **Step 2** — execute (``t_exec``): the DIP pool change is applied and
+  VIPTable exposes (old, new) versions; ConnTable misses consult the
+  TransitTable — hit means old version, miss means new.  Wait until every
+  *marked* connection is installed.
+* **Step 3** — finish (``t_finish``): drop the old version from VIPTable
+  and clear the TransitTable.
+
+Updates requested while one is in flight queue and run back-to-back.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Set
+
+from ..netsim.packet import VirtualIP
+from ..netsim.updates import UpdateEvent
+
+
+class Phase(enum.Enum):
+    IDLE = "idle"
+    STEP1 = "step1"  # t_req reached, waiting for pre-request pending conns
+    STEP2 = "step2"  # executed, waiting for marked conns
+
+
+@dataclass
+class _VipUpdate:
+    phase: Phase = Phase.IDLE
+    active: Optional[UpdateEvent] = None
+    queued: Deque[UpdateEvent] = field(default_factory=deque)
+    awaiting_exec: Set[bytes] = field(default_factory=set)
+    marked: Set[bytes] = field(default_factory=set)
+    t_req: float = 0.0
+    t_exec: float = 0.0
+
+
+@dataclass
+class UpdateTimings:
+    """Observed step timings, for analysis of update latency."""
+
+    vip: VirtualIP
+    t_req: float
+    t_exec: float
+    t_finish: float
+
+    @property
+    def step1_s(self) -> float:
+        return self.t_exec - self.t_req
+
+    @property
+    def step2_s(self) -> float:
+        return self.t_finish - self.t_exec
+
+
+class UpdateCoordinator:
+    """Drives 3-step updates for all VIPs of one switch.
+
+    The coordinator owns no tables; it calls back into the switch:
+
+    * ``pending_keys(vip)`` — keys of that VIP currently pending,
+    * ``execute(event)`` — apply the pool change + VIPTable transition
+      (called at ``t_exec``),
+    * ``finish(vip)`` — drop the old version / clear filter bookkeeping
+      (called at ``t_finish``),
+    * ``mark(key)`` — write the key into the TransitTable,
+    * ``now()`` — simulation clock.
+    """
+
+    def __init__(
+        self,
+        pending_keys: Callable[[VirtualIP], Set[bytes]],
+        execute: Callable[[UpdateEvent], None],
+        finish: Callable[[VirtualIP], None],
+        mark: Callable[[bytes], None],
+        now: Callable[[], float],
+        start: Optional[Callable[[VirtualIP], None]] = None,
+    ) -> None:
+        self._pending_keys = pending_keys
+        self._execute = execute
+        self._finish = finish
+        self._mark = mark
+        self._now = now
+        self._start = start or (lambda vip: None)
+        self._vips: Dict[VirtualIP, _VipUpdate] = {}
+        self.timings: List[UpdateTimings] = []
+        self.updates_requested = 0
+        self.updates_completed = 0
+
+    def _state(self, vip: VirtualIP) -> _VipUpdate:
+        return self._vips.setdefault(vip, _VipUpdate())
+
+    def phase(self, vip: VirtualIP) -> Phase:
+        state = self._vips.get(vip)
+        return state.phase if state is not None else Phase.IDLE
+
+    def queue_depth(self, vip: VirtualIP) -> int:
+        state = self._vips.get(vip)
+        return len(state.queued) if state is not None else 0
+
+    # ------------------------------------------------------------------
+    # Operator-facing
+    # ------------------------------------------------------------------
+
+    def request(self, event: UpdateEvent) -> None:
+        """An operator requests a DIP-pool update (t_req if idle)."""
+        self.updates_requested += 1
+        state = self._state(event.vip)
+        if state.phase is not Phase.IDLE:
+            state.queued.append(event)
+            return
+        self._begin(state, event)
+
+    def _begin(self, state: _VipUpdate, event: UpdateEvent) -> None:
+        state.phase = Phase.STEP1
+        state.active = event
+        state.t_req = self._now()
+        state.awaiting_exec = set(self._pending_keys(event.vip))
+        state.marked = set()
+        self._start(event.vip)
+        self._maybe_exec(event.vip, state)
+
+    # ------------------------------------------------------------------
+    # Data-plane/CPU notifications from the switch
+    # ------------------------------------------------------------------
+
+    def note_new_pending(self, vip: VirtualIP, key: bytes) -> bool:
+        """A new connection of ``vip`` became pending.
+
+        In step 1 it is marked in the TransitTable (returns True); in any
+        other phase the TransitTable is not written.
+        """
+        state = self._vips.get(vip)
+        if state is None or state.phase is not Phase.STEP1:
+            return False
+        self._mark(key)
+        state.marked.add(key)
+        return True
+
+    def on_installed(self, vip: VirtualIP, key: bytes) -> None:
+        """The CPU finished installing ``key`` into ConnTable."""
+        state = self._vips.get(vip)
+        if state is None or state.phase is Phase.IDLE:
+            return
+        if state.phase is Phase.STEP1:
+            state.awaiting_exec.discard(key)
+            self._maybe_exec(vip, state)
+        elif state.phase is Phase.STEP2:
+            state.marked.discard(key)
+            self._maybe_finish(vip, state)
+
+    def on_pending_aborted(self, vip: VirtualIP, key: bytes) -> None:
+        """A pending connection died before being installed."""
+        state = self._vips.get(vip)
+        if state is None or state.phase is Phase.IDLE:
+            return
+        if state.phase is Phase.STEP1:
+            state.awaiting_exec.discard(key)
+            state.marked.discard(key)
+            self._maybe_exec(vip, state)
+        elif state.phase is Phase.STEP2:
+            state.marked.discard(key)
+            self._maybe_finish(vip, state)
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+
+    def _maybe_exec(self, vip: VirtualIP, state: _VipUpdate) -> None:
+        if state.phase is not Phase.STEP1 or state.awaiting_exec:
+            return
+        state.phase = Phase.STEP2
+        state.t_exec = self._now()
+        assert state.active is not None
+        self._execute(state.active)
+        self._maybe_finish(vip, state)
+
+    def _maybe_finish(self, vip: VirtualIP, state: _VipUpdate) -> None:
+        if state.phase is not Phase.STEP2 or state.marked:
+            return
+        t_finish = self._now()
+        self.timings.append(
+            UpdateTimings(vip=vip, t_req=state.t_req, t_exec=state.t_exec, t_finish=t_finish)
+        )
+        self.updates_completed += 1
+        state.phase = Phase.IDLE
+        state.active = None
+        self._finish(vip)
+        if state.queued:
+            self._begin(state, state.queued.popleft())

@@ -1,0 +1,464 @@
+"""SilkRoad: the stateful L4 load balancer in a switching ASIC (§4, §5).
+
+:class:`SilkRoadSwitch` composes the four tables of Figure 10 —
+
+* **ConnTable** (multi-stage cuckoo, digest -> version),
+* **VIPTable** (VIP -> version, with the step-2 dual-version transition),
+* **DIPPoolTable** ((VIP, version) -> pool, with version reuse),
+* **TransitTable** (pending-connection Bloom filter),
+
+plus the learning filter, the switch-CPU insertion model, and the 3-step
+PCC update coordinator.  It implements the flow-level simulator's
+:class:`~repro.netsim.simulator.LoadBalancer` interface, recording every
+forwarding-decision change onto the connections it carries.
+
+Setting ``config.use_transit_table = False`` gives the paper's
+"SilkRoad without TransitTable" ablation: updates execute immediately and
+pending connections re-hash, breaking PCC for the few milliseconds of the
+insertion window (Figures 16-18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from ..asicsim.cuckoo import DuplicateKey, TableFull
+from ..asicsim.learning_filter import LearningFilter
+from ..asicsim.meters import MeterBank
+from ..netsim.events import EventHandle, EventQueue
+from ..netsim.flows import Connection
+from ..netsim.packet import DirectIP, VirtualIP
+from ..netsim.simulator import LoadBalancer, PRIO_INTERNAL
+from ..netsim.updates import UpdateEvent, UpdateKind
+from .config import SilkRoadConfig
+from .conn_table import ConnTable
+from .control_plane import SwitchCpu
+from .dip_pool_table import DipPoolTable, VersionsExhausted
+from .pcc_update import Phase, UpdateCoordinator
+from .transit_table import TransitTable
+from .vip_table import VipTable
+
+
+@dataclass
+class _ConnState:
+    """Everything the switch (hardware + software) knows about one conn."""
+
+    conn: Connection
+    vip: VirtualIP
+    version: int
+    installed: bool = False
+    dead: bool = False
+    #: ConnTable was full; the connection will never install (slow path).
+    overflowed: bool = False
+    #: the connection was written into the TransitTable during step 1.
+    marked: bool = False
+    #: step-2 Bloom false positive made this conn adopt the old version.
+    adopted_old_via_fp: bool = False
+    current_dip: Optional[DirectIP] = None
+
+
+class SilkRoadSwitch(LoadBalancer):
+    """One SilkRoad switch instance."""
+
+    def __init__(self, config: SilkRoadConfig = SilkRoadConfig(), name: str = "silkroad"):
+        self.name = name
+        self.config = config
+        self.vip_table = VipTable()
+        self.dip_pools = DipPoolTable(
+            version_bits=config.version_bits, version_reuse=config.version_reuse
+        )
+        self.conn_table = ConnTable(config)
+        self.transit = TransitTable(
+            size_bytes=config.transit_table_bytes, num_hashes=config.transit_hash_ways
+        )
+        self.meters = MeterBank()
+        self.learning = LearningFilter(
+            capacity=config.learning_filter_capacity,
+            timeout=config.learning_filter_timeout_s,
+        )
+        self.coordinator = UpdateCoordinator(
+            pending_keys=self._pending_keys_of,
+            execute=self._execute_update,
+            finish=self._finish_update,
+            mark=self._mark_transit,
+            now=lambda: self.queue.now,
+            start=lambda vip: self.transit.update_started(),
+        )
+        self._states: Dict[bytes, _ConnState] = {}
+        self._pending_by_vip: Dict[VirtualIP, Set[bytes]] = {}
+        self._conns_on: Dict[Tuple[VirtualIP, DirectIP], Set[bytes]] = {}
+        self._poll_handle: Optional[EventHandle] = None
+        # Counters
+        self.fp_syn_redirects = 0
+        self.transit_fp_adopted = 0
+        self.transit_fp_corrected = 0
+        self.table_full_events = 0
+        self.overflow_pinned = 0
+        self.version_exhaustion_events = 0
+        self.connections_seen = 0
+        # A private queue lets the switch be driven directly as a library
+        # object; FlowSimulator.bind() replaces it with the shared one.
+        self.bind(EventQueue())
+
+    # ------------------------------------------------------------------
+    # Provisioning
+    # ------------------------------------------------------------------
+
+    def announce_vip(self, vip: VirtualIP, dips) -> None:
+        """Install a VIP with its initial DIP pool."""
+        version = self.dip_pools.add_vip(vip, dips)
+        self.vip_table.install(vip, version)
+
+    def withdraw_vip(self, vip: VirtualIP) -> None:
+        """Stop announcing a VIP.  Refused while connections still use it
+        (drain them first, as an operator would withdraw BGP gradually)."""
+        if any(
+            not state.dead and state.vip == vip for state in self._states.values()
+        ):
+            raise ValueError(f"cannot withdraw {vip}: connections still active")
+        if self.coordinator.phase(vip) is not Phase.IDLE:
+            raise ValueError(f"cannot withdraw {vip}: update in flight")
+        self.vip_table.withdraw(vip)
+        self.dip_pools.remove_vip(vip)
+
+    # ------------------------------------------------------------------
+    # LoadBalancer interface
+    # ------------------------------------------------------------------
+
+    def on_connection_arrival(self, conn: Connection) -> None:
+        now = self.queue.now
+        key = conn.key
+        self.connections_seen += 1
+        result = self.conn_table.lookup(key)
+        if result.hit:
+            # New connections are unique, so a hit is a digest false
+            # positive.  The SYN is redirected to the CPU, which relocates
+            # the colliding entry and installs this connection directly.
+            assert result.false_positive
+            self.fp_syn_redirects += 1
+            state = self._admit(conn, now)
+            self._cpu.submit_one(
+                key, ("fp",), extra_delay_s=self.config.fp_resolution_delay_s
+            )
+            return
+        state = self._admit(conn, now)
+        batch = self.learning.offer(key, now)
+        if batch is not None:
+            self._cancel_poll()
+            self._cpu.submit_batch(batch)
+        self._arm_poll()
+
+    def on_connection_end(self, conn: Connection) -> None:
+        key = conn.key
+        state = self._states.get(key)
+        if state is None:
+            return
+        state.dead = True
+        self._drop_decision_index(state)
+        if state.installed:
+            # Entry ages out idle_timeout after the last packet.
+            def expire() -> None:
+                self._expire_entry(key)
+
+            self.queue.schedule_in(self.config.idle_timeout_s, expire, PRIO_INTERNAL)
+        else:
+            pending = self._pending_by_vip.get(state.vip)
+            if pending is not None:
+                pending.discard(key)
+            self.coordinator.on_pending_aborted(state.vip, key)
+            self.dip_pools.release(state.vip, state.version)
+            del self._states[key]
+
+    def apply_update(self, event: UpdateEvent) -> None:
+        if self.config.use_transit_table:
+            self.coordinator.request(event)
+        else:
+            self._execute_update(event)
+
+    def finalize(self) -> None:
+        batch = self.learning.flush(self.queue.now)
+        if batch is not None:
+            self._cpu.submit_batch(batch)
+
+    # ------------------------------------------------------------------
+    # Admission: version decision for a brand-new connection (Figure 10)
+    # ------------------------------------------------------------------
+
+    def _admit(self, conn: Connection, now: float) -> _ConnState:
+        vip = conn.vip
+        key = conn.key
+        entry = self.vip_table.lookup(vip)
+        adopted_old = False
+        if entry.in_transition and self.config.use_transit_table:
+            # Step 2: ConnTable miss -> consult the TransitTable.
+            query = self.transit.check(key)
+            if query.positive:
+                # A new connection can only hit the filter falsely.
+                if self.config.syn_redirect_on_transit_fp:
+                    self.transit_fp_corrected += 1
+                    version = entry.current_version
+                else:
+                    self.transit_fp_adopted += 1
+                    assert entry.old_version is not None
+                    version = entry.old_version
+                    adopted_old = True
+            else:
+                version = entry.current_version
+        else:
+            version = entry.current_version
+        state = _ConnState(conn=conn, vip=vip, version=version)
+        state.adopted_old_via_fp = adopted_old
+        self._states[key] = state
+        self.dip_pools.acquire(vip, version)
+        self._pending_by_vip.setdefault(vip, set()).add(key)
+        # Step 1 of an in-flight update marks the connection.
+        state.marked = self.coordinator.note_new_pending(vip, key)
+        dip = self.dip_pools.select(vip, version, key)
+        self._set_decision(state, dip, now)
+        return state
+
+    # ------------------------------------------------------------------
+    # CPU completion path
+    # ------------------------------------------------------------------
+
+    def _on_installed(self, key: bytes, metadata: Tuple) -> None:
+        now = self.queue.now
+        state = self._states.get(key)
+        if state is None or state.dead:
+            # Connection ended before its entry was written; nothing to do
+            # (the abort already told the coordinator).
+            return
+        if metadata and metadata[0] == "fp":
+            # Redirected SYN: resolve the digest collision first.
+            self.conn_table.relocate_colliding_entry(key)
+        try:
+            self.conn_table.insert(key, state.version)
+        except TableFull:
+            self.table_full_events += 1
+            if self.config.overflow_to_software:
+                # §7 hybrid: the connection is pinned in software (switch
+                # CPU or an SLB), so its mapping is frozen and PCC holds;
+                # only the forwarding medium changes.
+                self.overflow_pinned += 1
+                state.installed = True
+                pending = self._pending_by_vip.get(state.vip)
+                if pending is not None:
+                    pending.discard(key)
+                self.coordinator.on_installed(state.vip, key)
+            else:
+                # The connection stays on the slow path: it will re-hash
+                # at the next VIPTable flip.  Tell the coordinator to stop
+                # waiting for it (and never snapshot it again), or updates
+                # would stall forever.
+                state.overflowed = True
+                self.coordinator.on_pending_aborted(state.vip, key)
+            return
+        except DuplicateKey:
+            return
+        state.installed = True
+        pending = self._pending_by_vip.get(state.vip)
+        if pending is not None:
+            pending.discard(key)
+        self.coordinator.on_installed(state.vip, key)
+        # The installed entry pins the connection to its arrival version;
+        # if interim VIPTable flips re-mapped it (no-TransitTable mode),
+        # the decision now reverts.
+        dip = self.dip_pools.select(state.vip, state.version, key)
+        self._set_decision(state, dip, now)
+
+    def _expire_entry(self, key: bytes) -> None:
+        state = self._states.pop(key, None)
+        if state is None:
+            return
+        if state.installed and key in self.conn_table:
+            self.conn_table.delete(key)
+        self.dip_pools.release(state.vip, state.version)
+
+    # ------------------------------------------------------------------
+    # Update execution (t_exec) and completion (t_finish)
+    # ------------------------------------------------------------------
+
+    def _execute_update(self, event: UpdateEvent) -> None:
+        now = self.queue.now
+        vip = event.vip
+        old_version = self.dip_pools.current_version(vip)
+        try:
+            if event.kind is UpdateKind.REMOVE:
+                new_version = self.dip_pools.remove_dip(vip, event.dip)
+            else:
+                new_version = self.dip_pools.add_dip(vip, event.dip)
+        except VersionsExhausted:
+            self.version_exhaustion_events += 1
+            return
+        if event.kind is UpdateKind.REMOVE:
+            self._break_connections_on(vip, event.dip)
+        if self.config.use_transit_table:
+            self.vip_table.begin_transition(vip, new_version)
+            # Marked pending connections keep the old version via the
+            # filter.  Un-marked, un-installed connections can only be
+            # slow-path overflow (a full ConnTable): from now on their
+            # packets miss ConnTable and consult the filter like any other
+            # miss — usually re-hashing to the new version.
+            for key in self._pending_by_vip.get(vip, set()):
+                state = self._states.get(key)
+                if state is None or state.dead or state.installed or state.marked:
+                    continue
+                query = self.transit.check(key)
+                use_version = old_version if query.positive else new_version
+                dip = self.dip_pools.select(vip, use_version, key)
+                self._set_decision(state, dip, now)
+        else:
+            self.vip_table.set_version(vip, new_version)
+            self._remap_pending(vip, new_version, now)
+
+    def _finish_update(self, vip: VirtualIP) -> None:
+        now = self.queue.now
+        self.vip_table.end_transition(vip)
+        self.transit.update_finished()
+        # Pending connections that adopted the old version through a Bloom
+        # false positive lose their protection when the filter clears: their
+        # next packets miss ConnTable and take the (new) current version.
+        entry = self.vip_table.lookup(vip)
+        for key in list(self._pending_by_vip.get(vip, ())):
+            state = self._states.get(key)
+            if state is None or not state.adopted_old_via_fp or state.dead:
+                continue
+            state.adopted_old_via_fp = False
+            dip = self.dip_pools.select(vip, entry.current_version, key)
+            self._set_decision(state, dip, now)
+
+    def _remap_pending(self, vip: VirtualIP, new_version: int, now: float) -> None:
+        """No-TransitTable mode: pending connections re-hash immediately."""
+        for key in list(self._pending_by_vip.get(vip, ())):
+            state = self._states.get(key)
+            if state is None or state.dead:
+                continue
+            dip = self.dip_pools.select(vip, new_version, key)
+            self._set_decision(state, dip, now)
+
+    # ------------------------------------------------------------------
+    # Coordinator plumbing
+    # ------------------------------------------------------------------
+
+    def _pending_keys_of(self, vip: VirtualIP) -> Set[bytes]:
+        """Pending connections an update must wait for.
+
+        Slow-path overflow connections are excluded: they will never
+        install, so waiting for them would stall every future update.
+        """
+        return {
+            key
+            for key in self._pending_by_vip.get(vip, set())
+            if not self._states[key].overflowed
+        }
+
+    def _mark_transit(self, key: bytes) -> None:
+        self.transit.mark(key)
+
+    # ------------------------------------------------------------------
+    # Decision bookkeeping
+    # ------------------------------------------------------------------
+
+    def _set_decision(self, state: _ConnState, dip: DirectIP, now: float) -> None:
+        if state.current_dip == dip:
+            return
+        self._drop_decision_index(state)
+        state.current_dip = dip
+        self._conns_on.setdefault((state.vip, dip), set()).add(state.conn.key)
+        if state.conn.active_at(now) or now <= state.conn.start:
+            state.conn.record_decision(now, dip)
+
+    def _drop_decision_index(self, state: _ConnState) -> None:
+        if state.current_dip is None:
+            return
+        bucket = self._conns_on.get((state.vip, state.current_dip))
+        if bucket is not None:
+            bucket.discard(state.conn.key)
+
+    def _break_connections_on(self, vip: VirtualIP, dip: DirectIP) -> None:
+        """The server behind ``dip`` is going down: connections currently
+        mapped to it break regardless of what the load balancer does."""
+        for key in self._conns_on.get((vip, dip), set()):
+            state = self._states.get(key)
+            if state is not None and not state.dead:
+                state.conn.broken_by_removal = True
+
+    # ------------------------------------------------------------------
+    # Learning-filter timeout polling
+    # ------------------------------------------------------------------
+
+    def _arm_poll(self) -> None:
+        deadline = self.learning.next_deadline()
+        if deadline is None:
+            return
+        if self._poll_handle is not None and not self._poll_handle.cancelled:
+            return
+
+        def fire() -> None:
+            self._poll_handle = None
+            batch = self.learning.poll(self.queue.now)
+            if batch is not None:
+                self._cpu.submit_batch(batch)
+            self._arm_poll()
+
+        self._poll_handle = self.queue.schedule(deadline, fire, PRIO_INTERNAL)
+
+    def _cancel_poll(self) -> None:
+        if self._poll_handle is not None:
+            self._poll_handle.cancel()
+            self._poll_handle = None
+
+    # ------------------------------------------------------------------
+    # Simulation wiring and reporting
+    # ------------------------------------------------------------------
+
+    def bind(self, queue: EventQueue) -> None:
+        super().bind(queue)
+        self._cpu = SwitchCpu(
+            queue,
+            insertion_rate_per_s=self.config.insertion_rate_per_s,
+            on_installed=self._on_installed,
+        )
+
+    def apply_update_now(self, event: UpdateEvent) -> None:
+        """Convenience for library users driving the switch directly."""
+        self.apply_update(event)
+
+    @property
+    def cpu(self) -> SwitchCpu:
+        return self._cpu
+
+    def pending_connections(self) -> int:
+        return sum(len(keys) for keys in self._pending_by_vip.values())
+
+    def sram_bytes(self, ipv6: Optional[bool] = None) -> int:
+        """Total SRAM the SilkRoad tables occupy on this switch."""
+        if ipv6 is None:
+            ipv6 = any(vip.v6 for vip in self.vip_table.vips())
+        dip_bytes = 18 if ipv6 else 6
+        return (
+            self.conn_table.sram_bytes
+            + self.dip_pools.sram_bytes(dip_bytes=dip_bytes)
+            + self.vip_table.sram_bytes(ipv6=ipv6)
+            + self.transit.size_bytes
+            + self.meters.sram_bytes
+        )
+
+    def report(self) -> Dict[str, float]:
+        return {
+            "conn_table_entries": float(len(self.conn_table)),
+            "conn_table_load": self.conn_table.load_factor,
+            "conn_table_fp_lookups": float(self.conn_table.false_positive_lookups),
+            "fp_syn_redirects": float(self.fp_syn_redirects),
+            "transit_fp_adopted": float(self.transit_fp_adopted),
+            "transit_fp_corrected": float(self.transit_fp_corrected),
+            "transit_false_positives": float(self.transit.false_positives),
+            "table_full_events": float(self.table_full_events),
+            "overflow_pinned": float(self.overflow_pinned),
+            "version_exhaustion_events": float(self.version_exhaustion_events),
+            "updates_requested": float(self.coordinator.updates_requested),
+            "updates_completed": float(self.coordinator.updates_completed),
+            "cpu_backlog": float(self._cpu.backlog if hasattr(self, "_cpu") else 0),
+            "sram_bytes": float(self.sram_bytes()),
+        }

@@ -1,0 +1,96 @@
+"""Aggregated statistics helpers for SilkRoad experiments.
+
+Convenience reducers over :class:`~repro.netsim.simulator.SimulationReport`
+objects and switch counters, shared by the experiment modules and the
+examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from ..netsim.flows import Connection
+from ..netsim.simulator import SimulationReport
+
+
+@dataclass(frozen=True)
+class PccSummary:
+    """PCC outcome of one run, in the units the paper's figures use."""
+
+    system: str
+    updates_per_min: float
+    measured_connections: int
+    violations: int
+    horizon_s: float
+
+    @property
+    def violation_fraction(self) -> float:
+        if self.measured_connections == 0:
+            return 0.0
+        return self.violations / self.measured_connections
+
+    @property
+    def violation_percent(self) -> float:
+        return 100.0 * self.violation_fraction
+
+    @property
+    def violations_per_minute(self) -> float:
+        if self.horizon_s <= 0:
+            return 0.0
+        return self.violations / (self.horizon_s / 60.0)
+
+
+def summarize(
+    report: SimulationReport, updates_per_min: float = 0.0
+) -> PccSummary:
+    """Condense a simulation report into the paper's PCC metric."""
+    return PccSummary(
+        system=report.name,
+        updates_per_min=updates_per_min,
+        measured_connections=report.measured_connections,
+        violations=report.pcc_violations,
+        horizon_s=report.horizon_s,
+    )
+
+
+def violations_by_minute(connections: Sequence[Connection]) -> Dict[int, int]:
+    """Count PCC-violated connections per minute of their violation.
+
+    The minute is that of the first decision change.
+    """
+    buckets: Dict[int, int] = {}
+    for conn in connections:
+        if not conn.pcc_violated:
+            continue
+        # The violation happens at the first decision differing from the
+        # initial one.
+        first_dip = None
+        when = None
+        for t, dip in conn.decisions:
+            if dip is None:
+                continue
+            if first_dip is None:
+                first_dip = dip
+            elif dip != first_dip:
+                when = t
+                break
+        if when is None:
+            continue
+        buckets[int(when // 60)] = buckets.get(int(when // 60), 0) + 1
+    return buckets
+
+
+def active_connection_peak(
+    connections: Sequence[Connection], horizon_s: float, step_s: float = 60.0
+) -> int:
+    """Peak simultaneous connection count sampled every ``step_s``."""
+    if step_s <= 0:
+        raise ValueError("step must be positive")
+    peak = 0
+    t = 0.0
+    while t <= horizon_s:
+        active = sum(1 for c in connections if c.active_at(t))
+        peak = max(peak, active)
+        t += step_s
+    return peak

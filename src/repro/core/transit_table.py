@@ -1,0 +1,82 @@
+"""TransitTable: the pending-connection Bloom filter (§4.3).
+
+During a 3-step PCC update the TransitTable remembers which connections must
+keep using the *old* DIP-pool version.  Its lifecycle per update:
+
+* **Step 1 (write-only)** between t_req and t_exec: every new connection of
+  a VIP under update is inserted.
+* **Step 2 (read-only)** between t_exec and t_finish: packets that miss
+  ConnTable query the filter — hit means old version, miss means new.
+* **Step 3**: cleared.
+
+Several VIPs may be mid-update simultaneously; they share the physical
+filter (it is one register array), so this wrapper reference-counts the
+in-flight updates and only truly clears when the last one finishes — an
+implementation detail the paper leaves to the control plane.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..asicsim.registers import BloomFilter, BloomQuery
+
+
+class TransitTable:
+    """The shared pending-connection filter of one switch."""
+
+    def __init__(self, size_bytes: int = 256, num_hashes: int = 4, seed: int = 0xB100F):
+        self._filter = BloomFilter(size_bytes, num_hashes=num_hashes, seed=seed)
+        self._active_updates = 0
+        self.clears = 0
+
+    # -- update lifecycle ------------------------------------------------
+
+    def update_started(self) -> None:
+        """An update entered step 1; the filter is in use."""
+        self._active_updates += 1
+
+    def update_finished(self) -> None:
+        """An update reached step 3; clear once no update needs the filter."""
+        if self._active_updates <= 0:
+            raise RuntimeError("update_finished without matching update_started")
+        self._active_updates -= 1
+        if self._active_updates == 0:
+            self._filter.clear()
+            self.clears += 1
+
+    @property
+    def active_updates(self) -> int:
+        return self._active_updates
+
+    # -- data plane --------------------------------------------------------
+
+    def mark(self, key: bytes) -> None:
+        """Step 1: remember a pending connection (one-cycle transactional
+        write in hardware)."""
+        self._filter.insert(key)
+
+    def check(self, key: bytes) -> BloomQuery:
+        """Step 2: should this ConnTable-missing packet use the old version?"""
+        return self._filter.query(key)
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        return self._filter.size_bytes
+
+    @property
+    def false_positives(self) -> int:
+        return self._filter.false_positives
+
+    @property
+    def population(self) -> int:
+        return self._filter.population
+
+    @property
+    def fill_ratio(self) -> float:
+        return self._filter.fill_ratio
+
+    def expected_false_positive_rate(self, population: Optional[int] = None) -> float:
+        return self._filter.expected_false_positive_rate(population)

@@ -1,0 +1,149 @@
+"""Whole-switch invariant verification.
+
+Deep consistency checks across a :class:`~repro.core.silkroad.SilkRoadSwitch`'s
+tables and bookkeeping — the kind of checker the paper's control-plane
+software would run in debug builds.  Used by the test suite after
+simulations, and callable by library users after driving a switch
+directly.
+
+Checked invariants:
+
+1. ConnTable's internal cuckoo structures are self-consistent and no
+   resident connection's data-plane lookup is shadowed.
+2. Every installed (non-overflow) live connection is resident in ConnTable
+   with its pinned version; every pending connection is absent.
+3. DIPPoolTable refcounts equal the number of live connections pinned to
+   each (VIP, version).
+4. Every live connection's pinned version maps to an existing pool, and
+   its recorded forwarding decision equals that pool's selection.
+5. The pending index contains exactly the un-installed live connections.
+6. No VIP is left mid-transition when its coordinator is idle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .pcc_update import Phase
+from .silkroad import SilkRoadSwitch
+
+
+class InvariantViolation(AssertionError):
+    """Raised when a switch's internal state is inconsistent."""
+
+
+def verify_switch(switch: SilkRoadSwitch) -> None:
+    """Run every cross-table invariant; raises on the first failure."""
+    switch.conn_table.check_invariants()
+    _check_conn_residency(switch)
+    _check_refcounts(switch)
+    _check_decisions(switch)
+    _check_pending_index(switch)
+    _check_transitions(switch)
+
+
+def _live_states(switch: SilkRoadSwitch):
+    return {
+        key: state
+        for key, state in switch._states.items()
+        if not state.dead
+    }
+
+
+def _check_conn_residency(switch: SilkRoadSwitch) -> None:
+    overflowed = switch.table_full_events > 0
+    for key, state in _live_states(switch).items():
+        resident = key in switch.conn_table
+        if state.installed and not resident and not overflowed:
+            raise InvariantViolation(
+                f"installed connection missing from ConnTable: {key!r}"
+            )
+        if resident:
+            stored = switch.conn_table.get_exact(key)
+            if stored != state.version:
+                raise InvariantViolation(
+                    f"ConnTable version {stored} != pinned {state.version}"
+                )
+        if not state.installed and resident:
+            raise InvariantViolation(
+                f"pending connection already resident: {key!r}"
+            )
+
+
+def _check_refcounts(switch: SilkRoadSwitch) -> None:
+    expected: Dict[Tuple[object, int], int] = {}
+    for state in switch._states.values():
+        # Dead-but-installed connections hold their version until the
+        # idle-timeout expiry removes the entry.
+        if state.dead and not state.installed:
+            continue
+        expected[(state.vip, state.version)] = (
+            expected.get((state.vip, state.version), 0) + 1
+        )
+    for vip in switch.vip_table.vips():
+        for version in switch.dip_pools.live_versions(vip):
+            actual = switch.dip_pools.refcount(vip, version)
+            want = expected.get((vip, version), 0)
+            if actual != want:
+                raise InvariantViolation(
+                    f"refcount mismatch for {vip} v{version}: "
+                    f"table says {actual}, states say {want}"
+                )
+
+
+def _check_decisions(switch: SilkRoadSwitch) -> None:
+    for key, state in _live_states(switch).items():
+        if state.current_dip is None:
+            raise InvariantViolation(f"live connection without a decision: {key!r}")
+        if state.conn.broken_by_removal:
+            # Version reuse may have substituted this connection's slot
+            # (its DIP went down); its stale decision is expected.
+            continue
+        pool = switch.dip_pools.pool(state.vip, state.version)
+        # Protected/pending conns may momentarily point at a different
+        # version's choice; installed ones must match their pinned pool.
+        if state.installed and not state.adopted_old_via_fp:
+            expected = switch.dip_pools.select(state.vip, state.version, key)
+            if state.current_dip != expected:
+                raise InvariantViolation(
+                    f"decision {state.current_dip} != pinned pool choice "
+                    f"{expected} for {key!r}"
+                )
+        if state.current_dip not in pool and state.installed:
+            raise InvariantViolation(
+                f"decision {state.current_dip} not in pinned pool for {key!r}"
+            )
+
+
+def _check_pending_index(switch: SilkRoadSwitch) -> None:
+    indexed = {
+        key
+        for keys in switch._pending_by_vip.values()
+        for key in keys
+    }
+    live_pending = {
+        key
+        for key, state in _live_states(switch).items()
+        if not state.installed
+    }
+    missing = live_pending - indexed
+    if missing:
+        raise InvariantViolation(f"pending connections missing from index: {len(missing)}")
+    stale = {
+        key
+        for key in indexed
+        if key not in switch._states or switch._states[key].dead
+        or switch._states[key].installed
+    }
+    if stale:
+        raise InvariantViolation(f"stale keys in pending index: {len(stale)}")
+
+
+def _check_transitions(switch: SilkRoadSwitch) -> None:
+    for vip in switch.vip_table.vips():
+        entry = switch.vip_table.lookup(vip)
+        phase = switch.coordinator.phase(vip)
+        if entry.in_transition and phase is Phase.IDLE:
+            raise InvariantViolation(f"{vip} stuck mid-transition")
+        if phase is Phase.STEP2 and not entry.in_transition:
+            raise InvariantViolation(f"{vip} in step 2 without dual versions")

@@ -1,0 +1,21 @@
+"""Network-wide deployment: VIP-to-layer assignment and failure handling."""
+
+from .assignment import AssignmentResult, VipDemand, assign_vips
+from .failover import FabricSilkRoad
+from .failures import (
+    BfdProber,
+    expected_breakage_after_failover,
+    health_check_bandwidth_bps,
+    switch_failure_breakage,
+)
+
+__all__ = [
+    "AssignmentResult",
+    "BfdProber",
+    "FabricSilkRoad",
+    "VipDemand",
+    "assign_vips",
+    "expected_breakage_after_failover",
+    "health_check_bandwidth_bps",
+    "switch_failure_breakage",
+]

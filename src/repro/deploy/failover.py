@@ -1,0 +1,173 @@
+"""Network-wide SilkRoad with switch failover (§5.3 deployment + §7).
+
+Every switch of the deployment announces every VIP and keeps its *own*
+ConnTable; the fabric ECMP-splits flows across the alive switches (with
+resilient hashing, so only a failed switch's flows move).  When a switch
+dies:
+
+* its connections re-hash to surviving switches, which share the same
+  latest VIPTable — so connections that were using the *latest* pool
+  version map identically and keep PCC;
+* connections pinned to an *older* version lose their ConnTable state with
+  the switch and re-hash under the current pool — they may break, exactly
+  like losing an SLB would (§7, "Handle switch failures").
+
+:class:`FabricSilkRoad` implements the flow-level
+:class:`~repro.netsim.simulator.LoadBalancer` interface so the failure
+scenario replays under the standard harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..baselines.ecmp import ResilientHashTable
+from ..core.config import SilkRoadConfig
+from ..core.silkroad import SilkRoadSwitch
+from ..netsim.events import EventQueue
+from ..netsim.flows import Connection
+from ..netsim.packet import DirectIP
+from ..netsim.simulator import LoadBalancer, PRIO_INTERNAL
+from ..netsim.updates import UpdateEvent
+
+
+@dataclass(frozen=True)
+class _SwitchId:
+    """A hashable stand-in so the resilient table can ECMP over switches."""
+
+    index: int
+
+    # ResilientHashTable hashes str(member); give it a stable name.
+    def __str__(self) -> str:
+        return f"switch-{self.index}"
+
+
+class FabricSilkRoad(LoadBalancer):
+    """A layer of SilkRoad switches behind fabric ECMP."""
+
+    def __init__(
+        self,
+        num_switches: int = 4,
+        config: SilkRoadConfig = SilkRoadConfig(),
+        name: str = "fabric-silkroad",
+        ecmp_slots: int = 256,
+    ) -> None:
+        if num_switches <= 0:
+            raise ValueError("need at least one switch")
+        self.name = name
+        self.switches: List[SilkRoadSwitch] = [
+            SilkRoadSwitch(config, name=f"{name}-{i}") for i in range(num_switches)
+        ]
+        self._ids = [_SwitchId(i) for i in range(num_switches)]
+        self._ecmp = ResilientHashTable(self._ids, num_slots=ecmp_slots)
+        self._alive: Set[int] = set(range(num_switches))
+        self._owner: Dict[bytes, int] = {}  # conn key -> switch index
+        self._conns: Dict[bytes, Connection] = {}
+        self._scheduled_failures: List = []  # (index, time) before bind
+        self.failovers = 0
+        self.failed_over_connections = 0
+
+    # ------------------------------------------------------------------
+
+    def announce_vip(self, vip, dips) -> None:
+        for switch in self.switches:
+            switch.announce_vip(vip, dips)
+
+    def bind(self, queue: EventQueue) -> None:
+        super().bind(queue)
+        for switch in self.switches:
+            switch.bind(queue)
+        for index, at in self._scheduled_failures:
+            queue.schedule(at, lambda i=index: self.fail_switch(i), PRIO_INTERNAL)
+        self._scheduled_failures.clear()
+
+    # ------------------------------------------------------------------
+    # LoadBalancer interface
+    # ------------------------------------------------------------------
+
+    def _pick(self, key: bytes) -> int:
+        return self._ecmp.lookup(key).index
+
+    def on_connection_arrival(self, conn: Connection) -> None:
+        index = self._pick(conn.key)
+        self._owner[conn.key] = index
+        self._conns[conn.key] = conn
+        self.switches[index].on_connection_arrival(conn)
+
+    def on_connection_end(self, conn: Connection) -> None:
+        index = self._owner.pop(conn.key, None)
+        self._conns.pop(conn.key, None)
+        if index is not None:
+            self.switches[index].on_connection_end(conn)
+
+    def apply_update(self, event: UpdateEvent) -> None:
+        # The operator pushes the update to every switch; each runs its own
+        # 3-step protocol against its own pending connections.
+        for index in sorted(self._alive):
+            self.switches[index].apply_update(event)
+
+    def finalize(self) -> None:
+        for switch in self.switches:
+            switch.finalize()
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+
+    def fail_switch(self, index: int) -> int:
+        """Kill a switch now; its flows re-ECMP to the survivors.
+
+        Returns the number of connections failed over.
+        """
+        if index not in self._alive:
+            raise ValueError(f"switch {index} is not alive")
+        if len(self._alive) == 1:
+            raise ValueError("cannot fail the last switch")
+        self._alive.discard(index)
+        self._ecmp.remove(self._ids[index])
+        self.failovers += 1
+        moved = 0
+        now = self.queue.now
+        for key, owner in list(self._owner.items()):
+            if owner != index:
+                continue
+            conn = self._conns[key]
+            if not conn.active_at(now):
+                continue
+            new_index = self._pick(key)
+            self._owner[key] = new_index
+            # The surviving switch sees the flow as new traffic: ConnTable
+            # miss, VIPTable decides with the *current* version.  Replaying
+            # it through the arrival path models exactly that (including
+            # learning and re-installation).
+            self.switches[new_index].on_connection_arrival(conn)
+            moved += 1
+        self.failed_over_connections += moved
+        return moved
+
+    def schedule_failure(self, index: int, at: float) -> None:
+        """Arrange for ``fail_switch(index)`` at simulation time ``at``.
+
+        Usable before the fabric is bound to the simulation queue (the
+        failure is then scheduled at bind time).
+        """
+        if hasattr(self, "queue"):
+            self.queue.schedule(at, lambda: self.fail_switch(index), PRIO_INTERNAL)
+        else:
+            self._scheduled_failures.append((index, at))
+
+    # ------------------------------------------------------------------
+
+    def alive_switches(self) -> List[int]:
+        return sorted(self._alive)
+
+    def report(self) -> Dict[str, float]:
+        report: Dict[str, float] = {
+            "failovers": float(self.failovers),
+            "failed_over_connections": float(self.failed_over_connections),
+            "alive_switches": float(len(self._alive)),
+        }
+        for switch in self.switches:
+            report[f"{switch.name}_conn_entries"] = float(len(switch.conn_table))
+        return report

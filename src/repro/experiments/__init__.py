@@ -1,0 +1,60 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every module exposes ``run(...)`` returning structured results and
+``main()`` returning the printable table with the paper's anchor values;
+``runner.run_all()`` regenerates the whole evaluation.
+"""
+
+from . import (  # noqa: F401
+    common,
+    digest_fp,
+    economics,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig8,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    hybrid,
+    insertion_cost,
+    latency,
+    meter_accuracy,
+    multi_digest,
+    switch_failure,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "common",
+    "digest_fp",
+    "economics",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig8",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "hybrid",
+    "insertion_cost",
+    "latency",
+    "meter_accuracy",
+    "multi_digest",
+    "switch_failure",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,147 @@
+"""Shared experiment scaffolding.
+
+The paper's PCC experiments (§3.2, §6.2) replay a one-hour PoP trace with
+149 VIPs and 2.77 M new connections per minute per ToR.  Replaying that in
+pure Python would take hours, so every experiment takes a ``scale`` knob:
+``scale=1.0`` is a laptop-sized default (tens of thousands of connections
+over a couple of minutes) and the knob multiplies both VIP count and
+arrival rate towards the paper's operating point.  The reproduction target
+is the *shape* of each figure — who wins, by what rough factor, where the
+crossovers sit — not Facebook's absolute counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core import SilkRoadConfig, SilkRoadSwitch
+from ..netsim import (
+    ArrivalGenerator,
+    Cluster,
+    Connection,
+    FlowSimulator,
+    SimulationReport,
+    UpdateEvent,
+    UpdateGenerator,
+    make_cluster,
+    spare_pool,
+    uniform_vip_workloads,
+)
+from ..netsim.flows import DurationModel, HADOOP
+
+#: Baseline laptop-scale workload knobs (scale = 1.0).
+BASE_VIPS = 10
+BASE_DIPS_PER_VIP = 16
+BASE_NEW_CONNS_PER_MIN = 30_000.0
+BASE_HORIZON_S = 120.0
+BASE_WARMUP_S = 20.0
+
+
+@dataclass
+class PccWorkload:
+    """One generated workload, replayable against several systems."""
+
+    cluster: Cluster
+    connections: List[Connection]
+    updates: List[UpdateEvent]
+    horizon_s: float
+    updates_per_min: float
+
+    def replay(
+        self, lb_factory: Callable[[], object]
+    ) -> Tuple[SimulationReport, List[Connection], object]:
+        """Run a fresh LB instance over a *fresh copy* of the workload.
+
+        Connections are stateful (decision logs), so each replay clones
+        them; update events are immutable and shared.  Returns the report,
+        the replayed connections, and the LB instance (for its counters).
+        """
+        conns = [
+            Connection(
+                conn_id=c.conn_id,
+                five_tuple=c.five_tuple,
+                vip=c.vip,
+                start=c.start,
+                duration=c.duration,
+                rate_bps=c.rate_bps,
+            )
+            for c in self.connections
+        ]
+        lb = lb_factory()
+        for service in self.cluster.services:
+            lb.announce_vip(service.vip, service.dips)
+        report = FlowSimulator(lb).run(conns, self.updates, horizon_s=self.horizon_s)
+        return report, conns, lb
+
+
+def build_workload(
+    updates_per_min: float,
+    scale: float = 1.0,
+    seed: int = 7,
+    horizon_s: float = BASE_HORIZON_S,
+    warmup_s: float = BASE_WARMUP_S,
+    duration_model: DurationModel = HADOOP,
+    arrival_scale: float = 1.0,
+    num_vips: Optional[int] = None,
+) -> PccWorkload:
+    """Generate the PoP-style workload used by Figures 5, 16, 17, 18."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    vips = num_vips if num_vips is not None else max(int(BASE_VIPS * scale), 2)
+    cluster = make_cluster(
+        name="pop-trace",
+        num_vips=vips,
+        dips_per_vip=BASE_DIPS_PER_VIP,
+        duration_model=duration_model,
+    )
+    generator = ArrivalGenerator(seed=seed)
+    connections = generator.generate(
+        uniform_vip_workloads(
+            cluster.vips,
+            BASE_NEW_CONNS_PER_MIN * scale * arrival_scale,
+            duration_model=duration_model,
+        ),
+        horizon_s=horizon_s,
+        warmup_s=warmup_s,
+    )
+    update_gen = UpdateGenerator(seed=seed + 1)
+    updates = update_gen.poisson_updates(
+        cluster.pools(),
+        updates_per_min=updates_per_min,
+        horizon_s=horizon_s,
+        spare_dips=spare_pool(cluster),
+    )
+    return PccWorkload(
+        cluster=cluster,
+        connections=connections,
+        updates=updates,
+        horizon_s=horizon_s,
+        updates_per_min=updates_per_min,
+    )
+
+
+def silkroad_factory(
+    use_transit_table: bool = True,
+    transit_table_bytes: int = 256,
+    learning_timeout_s: float = 1e-3,
+    insertion_rate_per_s: float = 200_000.0,
+    conn_table_capacity: int = 300_000,
+    name: Optional[str] = None,
+) -> Callable[[], SilkRoadSwitch]:
+    """Factory for the SilkRoad variants the figures compare."""
+
+    if name is None:
+        name = "silkroad" if use_transit_table else "silkroad-no-transittable"
+
+    def make() -> SilkRoadSwitch:
+        config = SilkRoadConfig(
+            conn_table_capacity=conn_table_capacity,
+            use_transit_table=use_transit_table,
+            transit_table_bytes=transit_table_bytes,
+            learning_filter_timeout_s=learning_timeout_s,
+            insertion_rate_per_s=insertion_rate_per_s,
+        )
+        return SilkRoadSwitch(config, name=name)
+
+    return make

@@ -1,0 +1,48 @@
+"""§6.1 economics: power and cost of SLBs vs one switching ASIC.
+
+The paper's arithmetic: matching a 6.4 Tbps ASIC's ~10 Gpps with 12 Mpps
+SLB machines takes ~833 machines, so the ASIC uses about 1/500 the power
+and 1/250 the capital cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis import format_table
+from ..baselines import (
+    ASIC_COST_USD,
+    ASIC_WATTS,
+    CostComparison,
+    cost_of_equal_throughput,
+)
+
+
+def run() -> CostComparison:
+    return cost_of_equal_throughput()
+
+
+def summary(comparison: CostComparison) -> Dict[str, float]:
+    return {
+        "slb_machines": comparison.slb_count,
+        "power_ratio": comparison.power_ratio,
+        "cost_ratio": comparison.cost_ratio,
+    }
+
+
+def main() -> str:
+    comparison = run()
+    rows = [
+        ("SLB machines to match one ASIC", f"{comparison.slb_count:.0f}"),
+        ("SLB power (kW)", f"{comparison.slb_watts / 1e3:.0f}"),
+        ("ASIC power (W)", f"{ASIC_WATTS:.0f}"),
+        ("power ratio (paper ~500x)", f"{comparison.power_ratio:.0f}x"),
+        ("SLB capital cost (M USD)", f"{comparison.slb_cost_usd / 1e6:.2f}"),
+        ("ASIC capital cost (USD)", f"{ASIC_COST_USD:.0f}"),
+        ("cost ratio (paper ~250x)", f"{comparison.cost_ratio:.0f}x"),
+    ]
+    return format_table(("metric", "value"), rows, title="§6.1 economics")
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,72 @@
+"""Figure 13: how many SLBs one SilkRoad replaces, across clusters.
+
+For every cluster: SLB machines needed for its peak traffic (12 Mpps or
+10 Gb/s per machine, whichever binds) versus SilkRoad switches needed for
+its peak connection state (10 M connections per switch).
+
+Paper anchors: PoPs need 2-3x more SLBs than SilkRoads; the median
+Frontend replaces 11 SLBs per SilkRoad; Backends replace 3 in the median
+cluster and 277 in the peak (volume-centric persistent connections).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..analysis import Cdf, format_table
+from ..baselines import silkroads_required, slbs_required
+from ..netsim.cluster import ClusterType
+from ..traces import ClusterProfile, FleetSynthesizer
+
+
+def replacement_ratio(profile: ClusterProfile) -> float:
+    """#SLBs / #SilkRoads for one cluster.
+
+    SilkRoads are sized by the connection state one deployed switch holds
+    (the per-ToR p99 snapshot of Figure 6, 10 M connections per switch);
+    SLBs by the cluster's peak packet and bit rates.
+    """
+    slbs = slbs_required(profile.peak_pps, profile.traffic_gbps)
+    silkroads = silkroads_required(profile.active_conns_per_tor_p99)
+    return slbs / silkroads
+
+
+@dataclass
+class Fig13Result:
+    ratios: Dict[ClusterType, List[float]]
+
+    def cdf(self, kind: ClusterType) -> Cdf:
+        return Cdf.of(self.ratios[kind])
+
+
+def run(seed: int = 13) -> Fig13Result:
+    profiles = FleetSynthesizer(seed=seed).synthesize()
+    ratios: Dict[ClusterType, List[float]] = {k: [] for k in ClusterType}
+    for profile in profiles:
+        ratios[profile.kind].append(replacement_ratio(profile))
+    return Fig13Result(ratios=ratios)
+
+
+def main(seed: int = 13) -> str:
+    result = run(seed=seed)
+    rows = []
+    for kind in ClusterType:
+        cdf = result.cdf(kind)
+        rows.append(
+            (kind.value, f"{cdf.median:.1f}", f"{cdf.quantile(1.0):.0f}")
+        )
+    table = format_table(
+        ("cluster type", "median #SLB per SilkRoad", "peak"),
+        rows,
+        title="Figure 13: SLBs replaced by one SilkRoad, across clusters",
+    )
+    anchors = (
+        "paper anchors: PoPs 2-3; Frontends 11 median; Backends 3 median, "
+        "277 peak"
+    )
+    return table + "\n" + anchors
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,58 @@
+"""Figure 3: root causes of DIP additions and removals.
+
+Synthesizes a month of service-management logs across the Backend clusters
+of the fleet and recovers the per-cause shares.
+
+Paper anchor: 82.7 % of changes are VIP service upgrades; every other
+cause is individually small (testing, failure, preemption, provisioning,
+removal).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..analysis import format_table
+from ..netsim.cluster import ClusterType
+from ..netsim.updates import ROOT_CAUSE_SHARES, RootCause
+from ..traces import FleetSynthesizer, cause_shares, synthesize_log
+
+
+def run(seed: int = 3, changes_per_cluster: int = 5_000) -> Dict[RootCause, float]:
+    """Aggregate root-cause shares over the synthesized fleet's Backends."""
+    synth = FleetSynthesizer(seed=seed)
+    profiles = [p for p in synth.synthesize() if p.kind is ClusterType.BACKEND]
+    rng = np.random.default_rng(seed)
+    counts: Dict[RootCause, float] = {cause: 0.0 for cause in RootCause}
+    total = 0
+    for profile in profiles:
+        log = synthesize_log(rng, changes_per_cluster, kind=profile.kind)
+        for cause, share in cause_shares(log).items():
+            counts[cause] += share * len(log)
+        total += len(log)
+    if total == 0:
+        return {}
+    return {cause: count / total for cause, count in counts.items() if count > 0}
+
+
+def main(seed: int = 3) -> str:
+    measured = run(seed=seed)
+    rows = [
+        (
+            cause.value,
+            100.0 * ROOT_CAUSE_SHARES[cause],
+            100.0 * measured.get(cause, 0.0),
+        )
+        for cause in RootCause
+    ]
+    return format_table(
+        ("root cause", "paper %", "measured %"),
+        rows,
+        title="Figure 3: root causes of DIP additions/removals",
+    )
+
+
+if __name__ == "__main__":
+    print(main())

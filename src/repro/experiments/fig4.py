@@ -1,0 +1,54 @@
+"""Figure 4: distribution of DIP downtime by root cause.
+
+Samples the per-cause downtime models and reports each cause's CDF summary.
+
+Paper anchors: upgrade downtime is 3 minutes at the median but 100 minutes
+at the 99th percentile; provisioning causes no downtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..analysis import Cdf, format_table
+from ..netsim.updates import DOWNTIME_BY_CAUSE, RootCause
+
+
+def run(seed: int = 4, samples: int = 20_000) -> Dict[RootCause, Optional[Cdf]]:
+    rng = np.random.default_rng(seed)
+    out: Dict[RootCause, Optional[Cdf]] = {}
+    for cause, model in DOWNTIME_BY_CAUSE.items():
+        if model is None:
+            out[cause] = None
+            continue
+        out[cause] = Cdf.of(model.sample(rng, size=samples))
+    return out
+
+
+def main(seed: int = 4) -> str:
+    cdfs = run(seed=seed)
+    rows = []
+    for cause, cdf in cdfs.items():
+        if cdf is None:
+            rows.append((cause.value, "-", "-", "no downtime"))
+            continue
+        rows.append(
+            (
+                cause.value,
+                f"{cdf.median / 60.0:.1f}",
+                f"{cdf.p99 / 60.0:.0f}",
+                "",
+            )
+        )
+    table = format_table(
+        ("root cause", "median (min)", "p99 (min)", "note"),
+        rows,
+        title="Figure 4: DIP downtime duration by root cause",
+    )
+    return table + "\npaper anchor: upgrades -> 3 min median, 100 min p99"
+
+
+if __name__ == "__main__":
+    print(main())

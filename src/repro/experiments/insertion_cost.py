@@ -1,0 +1,99 @@
+"""§5.2: ConnTable insertion cost as the table fills.
+
+The paper measures the switch CPU as the insertion bottleneck — hash
+computations dominate, the cuckoo BFS stays cheap — and projects 200 K
+insertions/second.  This experiment measures our model's analogue: the
+number of cuckoo *moves* per insertion (the BFS work the CPU performs and
+the PCI-E writes it issues) as a function of table occupancy, confirming
+the "complex search but rarely needed" characterization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..asicsim.cuckoo import CuckooTable, TableFull
+from ..netsim.packet import TupleFactory, VirtualIP
+
+DEFAULT_BANDS = ((0.0, 0.5), (0.5, 0.75), (0.75, 0.85), (0.85, 0.95))
+
+
+@dataclass(frozen=True)
+class InsertionBand:
+    load_low: float
+    load_high: float
+    insertions: int
+    total_moves: int
+    failures: int
+
+    @property
+    def moves_per_insert(self) -> float:
+        if self.insertions == 0:
+            return 0.0
+        return self.total_moves / self.insertions
+
+
+def run(
+    capacity: int = 40_000,
+    bands: Sequence = DEFAULT_BANDS,
+    seed: int = 0x1A5E27,
+) -> List[InsertionBand]:
+    table = CuckooTable.for_capacity(capacity, target_load=0.95, seed=seed)
+    factory = TupleFactory()
+    vip = VirtualIP.parse("20.0.0.1:80")
+    out: List[InsertionBand] = []
+    for low, high in bands:
+        target = int(table.capacity * high)
+        insertions = 0
+        moves = 0
+        failures = 0
+        while len(table) < target:
+            key = factory.next_for(vip).key_bytes()
+            try:
+                result = table.insert(key, 1)
+                insertions += 1
+                moves += result.moves
+            except TableFull:
+                failures += 1
+                if failures > 1000:
+                    break
+        out.append(
+            InsertionBand(
+                load_low=low,
+                load_high=high,
+                insertions=insertions,
+                total_moves=moves,
+                failures=failures,
+            )
+        )
+    return out
+
+
+def main(seed: int = 0x1A5E27) -> str:
+    from ..analysis import format_table
+
+    bands = run(seed=seed)
+    rows = [
+        (
+            f"{b.load_low:.0%}-{b.load_high:.0%}",
+            b.insertions,
+            f"{b.moves_per_insert:.4f}",
+            b.failures,
+        )
+        for b in bands
+    ]
+    table = format_table(
+        ("occupancy band", "insertions", "cuckoo moves/insert", "failures"),
+        rows,
+        title="§5.2 insertion cost vs ConnTable occupancy",
+    )
+    return table + (
+        "\npaper anchor: hash computation dominates CPU time; the cuckoo "
+        "search is 'relatively small' — moves/insert should stay well "
+        "below 1 even at high loads"
+    )
+
+
+if __name__ == "__main__":
+    print(main())

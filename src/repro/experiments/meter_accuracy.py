@@ -1,0 +1,109 @@
+"""§5.2: per-VIP meter (rate limiter) marking accuracy.
+
+Generates constant-rate traffic into RFC 4115 two-rate three-color meters
+at various committed/excess thresholds and burst sizes and measures how
+closely the marked-GREEN (and GREEN+YELLOW) throughput tracks the
+configured rates.
+
+Paper anchor: generating 10 Gb/s at a VIP across threshold/burst settings,
+the observed marking error averages below 1 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..analysis import format_table
+from ..asicsim.meters import Color, MeterConfig, TrTcmMeter
+
+LINE_RATE_BPS = 10e9
+PACKET_BYTES = 1500
+DURATION_S = 2.0
+
+
+@dataclass
+class MeterPoint:
+    cir_gbps: float
+    eir_gbps: float
+    burst_kb: int
+    green_error_pct: float
+    yellow_error_pct: float
+
+    @property
+    def avg_error_pct(self) -> float:
+        return (self.green_error_pct + self.yellow_error_pct) / 2.0
+
+
+def _drive(meter: TrTcmMeter, rate_bps: float, duration_s: float) -> None:
+    interval = PACKET_BYTES * 8 / rate_bps
+    t = 0.0
+    while t < duration_s:
+        meter.mark(PACKET_BYTES, t)
+        t += interval
+
+
+def run(
+    settings: Sequence[Tuple[float, float, int]] = (
+        (2.0, 3.0, 64),
+        (4.0, 4.0, 128),
+        (6.0, 2.0, 256),
+        (8.0, 1.0, 512),
+    ),
+) -> List[MeterPoint]:
+    """Each setting: (CIR Gbps, EIR Gbps, burst KB)."""
+    points: List[MeterPoint] = []
+    for cir_gbps, eir_gbps, burst_kb in settings:
+        meter = TrTcmMeter(
+            MeterConfig(
+                cir_bps=cir_gbps * 1e9,
+                eir_bps=eir_gbps * 1e9,
+                cbs_bytes=burst_kb * 1024,
+                ebs_bytes=burst_kb * 1024,
+            )
+        )
+        _drive(meter, LINE_RATE_BPS, DURATION_S)
+        green_bps = meter.marked_bytes[Color.GREEN] * 8 / DURATION_S
+        yellow_bps = meter.marked_bytes[Color.YELLOW] * 8 / DURATION_S
+        green_err = abs(green_bps - cir_gbps * 1e9) / (cir_gbps * 1e9) * 100.0
+        yellow_err = abs(yellow_bps - eir_gbps * 1e9) / (eir_gbps * 1e9) * 100.0
+        points.append(
+            MeterPoint(
+                cir_gbps=cir_gbps,
+                eir_gbps=eir_gbps,
+                burst_kb=burst_kb,
+                green_error_pct=green_err,
+                yellow_error_pct=yellow_err,
+            )
+        )
+    return points
+
+
+def average_error(points: List[MeterPoint]) -> float:
+    if not points:
+        return 0.0
+    return sum(p.avg_error_pct for p in points) / len(points)
+
+
+def main() -> str:
+    points = run()
+    rows = [
+        (
+            p.cir_gbps,
+            p.eir_gbps,
+            p.burst_kb,
+            f"{p.green_error_pct:.3f}",
+            f"{p.yellow_error_pct:.3f}",
+        )
+        for p in points
+    ]
+    table = format_table(
+        ("CIR Gbps", "EIR Gbps", "burst KB", "green err %", "yellow err %"),
+        rows,
+        title="Meter marking accuracy at 10 Gb/s offered load (§5.2)",
+    )
+    return table + f"\naverage error: {average_error(points):.3f}% (paper: <1%)"
+
+
+if __name__ == "__main__":
+    print(main())

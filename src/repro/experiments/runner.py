@@ -1,0 +1,89 @@
+"""Run every paper experiment and print its table/series.
+
+``python -m repro.experiments.runner`` regenerates the whole evaluation at
+laptop scale (see EXPERIMENTS.md for the paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+from . import (
+    digest_fp,
+    economics,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig8,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    hybrid,
+    insertion_cost,
+    latency,
+    meter_accuracy,
+    multi_digest,
+    switch_failure,
+    table1,
+    table2,
+)
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "table1": table1.main,
+    "fig2": fig2.main,
+    "fig3": fig3.main,
+    "fig4": fig4.main,
+    "fig5": fig5.main,
+    "fig6": fig6.main,
+    "fig8": fig8.main,
+    "table2": table2.main,
+    "fig12": fig12.main,
+    "fig13": fig13.main,
+    "fig14": fig14.main,
+    "fig15": fig15.main,
+    "fig16": fig16.main,
+    "fig17": fig17.main,
+    "fig18": fig18.main,
+    "latency": latency.main,
+    "hybrid": hybrid.main,
+    "switch_failure": switch_failure.main,
+    "multi_digest": multi_digest.main,
+    "insertion_cost": insertion_cost.main,
+    "digest_fp": digest_fp.main,
+    "meter_accuracy": meter_accuracy.main,
+    "economics": economics.main,
+}
+
+
+def run_all(names=None, stream=None) -> str:
+    """Run the chosen experiments; optionally stream each section to
+    ``stream`` as it completes (the CLI does, so long runs show progress)."""
+    chosen = list(EXPERIMENTS if names is None else names)
+    sections = []
+    for name in chosen:
+        start = time.time()
+        body = EXPERIMENTS[name]()
+        elapsed = time.time() - start
+        section = f"==== {name} ({elapsed:.1f}s) ====\n{body}"
+        sections.append(section)
+        if stream is not None:
+            print(section, end="\n\n", file=stream, flush=True)
+    return "\n\n".join(sections)
+
+
+def main() -> None:
+    import sys
+
+    names = sys.argv[1:] or None
+    run_all(names, stream=sys.stdout)
+
+
+if __name__ == "__main__":
+    main()

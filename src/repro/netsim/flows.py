@@ -1,0 +1,145 @@
+"""Connections (flows) and their duration/size models.
+
+The paper's evaluation simulates two workload families from Roy et al.,
+"Inside the Social Network's (Datacenter) Network" (SIGCOMM'15):
+
+* **Hadoop-style** traffic with a *median flow duration of 10 seconds* —
+  used as the conservative default for the PCC experiments, and
+* **cache-style** traffic with a *median flow duration of 4.5 minutes* —
+  used to show PCC violations grow with long-lived flows.
+
+Flow durations in data centers are heavy-tailed, so both are modelled as
+lognormal distributions parameterized by their median (the paper's quoted
+statistic) and a shape parameter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .packet import DirectIP, FiveTuple, VirtualIP
+
+
+@dataclass(frozen=True)
+class DurationModel:
+    """Lognormal flow-duration model specified by its median.
+
+    ``sigma`` is the lognormal shape; 1.5 gives the heavy tail observed in
+    datacenter measurements (p99/median of roughly 30x).
+    """
+
+    median_s: float
+    sigma: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.median_s <= 0:
+            raise ValueError("median must be positive")
+        if self.sigma <= 0:
+            raise ValueError("sigma must be positive")
+
+    @property
+    def mu(self) -> float:
+        return math.log(self.median_s)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Draw flow durations (seconds)."""
+        return rng.lognormal(mean=self.mu, sigma=self.sigma, size=size)
+
+    def mean(self) -> float:
+        """Analytic mean of the lognormal."""
+        return math.exp(self.mu + self.sigma**2 / 2.0)
+
+    def quantile(self, q: float) -> float:
+        """Analytic quantile (e.g. ``quantile(0.99)``)."""
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must be in (0, 1)")
+        # Inverse normal CDF via erfinv.
+        from scipy.special import erfinv  # local import; scipy is available
+
+        z = math.sqrt(2.0) * erfinv(2.0 * q - 1.0)
+        return math.exp(self.mu + self.sigma * z)
+
+
+#: Hadoop traffic: median flow duration 10 s (§3.2, §6.2 default).
+HADOOP = DurationModel(median_s=10.0)
+
+#: Cache traffic: median flow duration 4.5 min (§3.2).
+CACHE = DurationModel(median_s=270.0)
+
+
+@dataclass(eq=False)  # identity equality: connections are stateful objects
+class Connection:
+    """One L4 connection as the flow-level simulator tracks it.
+
+    ``decisions`` records every (time, DIP) forwarding decision made for the
+    connection's packets; per-connection consistency holds iff all decided
+    DIPs are identical.  The paper's conservative assumption — packets
+    arrive continuously throughout the flow's lifetime — means any decision
+    change within ``[start, end)`` is a PCC violation.
+    """
+
+    conn_id: int
+    five_tuple: FiveTuple
+    vip: VirtualIP
+    start: float
+    duration: float
+    rate_bps: float = 0.0
+    decisions: List[Tuple[float, Optional[DirectIP]]] = field(default_factory=list)
+    #: Set when the connection's own DIP was taken down while it was active.
+    #: Such connections are broken by the operational change itself, not by
+    #: the load balancer, so PCC metrics exclude them (the paper counts
+    #: connections the *load balancer* re-hashed to a different live DIP).
+    broken_by_removal: bool = False
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    @property
+    def key(self) -> bytes:
+        return self.five_tuple.key_bytes()
+
+    def active_at(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+    def record_decision(self, t: float, dip: Optional[DirectIP]) -> None:
+        """Record a forwarding decision for packets from time ``t`` on."""
+        if self.decisions and self.decisions[-1][1] == dip:
+            return
+        self.decisions.append((t, dip))
+
+    def distinct_dips(self) -> List[DirectIP]:
+        """DIPs this connection's packets were sent to, in order."""
+        seen: List[DirectIP] = []
+        for _t, dip in self.decisions:
+            if dip is not None and (not seen or seen[-1] != dip):
+                seen.append(dip)
+        return seen
+
+    @property
+    def pcc_violated(self) -> bool:
+        """True if the load balancer sent this connection's packets to more
+        than one DIP (excluding connections whose own DIP was removed)."""
+        if self.broken_by_removal:
+            return False
+        distinct = set(dip for _t, dip in self.decisions if dip is not None)
+        return len(distinct) > 1
+
+    @property
+    def remapped(self) -> bool:
+        """True if the decision ever changed, for any reason (includes
+        connections whose DIP was removed)."""
+        distinct = set(dip for _t, dip in self.decisions if dip is not None)
+        return len(distinct) > 1
+
+    @property
+    def ever_dropped(self) -> bool:
+        """True if some packets had no DIP (blackholed)."""
+        return any(dip is None for _t, dip in self.decisions)
+
+    def bytes_total(self) -> float:
+        return self.rate_bps * self.duration / 8.0

@@ -1,0 +1,178 @@
+"""Addresses, 5-tuples, VIPs, and DIPs.
+
+The vocabulary of L4 load balancing (§2.1 of the paper):
+
+* A **VIP** (virtual IP) is the service address clients connect to —
+  an ``ip:port`` pair plus protocol, e.g. ``20.0.0.1:80/tcp``.
+* A **DIP** (direct IP) is one backend server's address, e.g.
+  ``10.0.0.2:20``.  A VIP maps to a *DIP pool*.
+* A connection is identified by its **5-tuple**
+  ``(src ip, src port, dst ip, dst port, protocol)``.
+
+Addresses are stored as integers with an IPv6 flag; ``key_bytes`` produces
+the canonical byte string the ASIC's hash units consume (13 bytes for IPv4,
+37 bytes for IPv6 — the widths the paper's memory arithmetic uses).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+TCP = 6
+UDP = 17
+
+#: Match key sizes the paper quotes (bytes).
+IPV4_KEY_BYTES = 13
+IPV6_KEY_BYTES = 37
+
+
+def _format_ip(ip: int, v6: bool) -> str:
+    if v6:
+        return str(ipaddress.IPv6Address(ip))
+    return str(ipaddress.IPv4Address(ip))
+
+
+def parse_ip(text: str) -> Tuple[int, bool]:
+    """Parse a dotted/colon address into ``(int, is_v6)``."""
+    addr = ipaddress.ip_address(text)
+    return int(addr), addr.version == 6
+
+
+@dataclass(frozen=True)
+class VirtualIP:
+    """A load-balanced service address (VIP)."""
+
+    ip: int
+    port: int
+    proto: int = TCP
+    v6: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 0xFFFF:
+            raise ValueError("port out of range")
+
+    @classmethod
+    def parse(cls, text: str, proto: int = TCP) -> "VirtualIP":
+        """Parse ``"20.0.0.1:80"`` or ``"[2001:db8::1]:80"``."""
+        host, _, port = text.rpartition(":")
+        host = host.strip("[]")
+        ip, v6 = parse_ip(host)
+        return cls(ip=ip, port=int(port), proto=proto, v6=v6)
+
+    def __str__(self) -> str:
+        host = _format_ip(self.ip, self.v6)
+        if self.v6:
+            return f"[{host}]:{self.port}"
+        return f"{host}:{self.port}"
+
+
+@dataclass(frozen=True)
+class DirectIP:
+    """One backend server address (DIP)."""
+
+    ip: int
+    port: int
+    v6: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 0xFFFF:
+            raise ValueError("port out of range")
+
+    @classmethod
+    def parse(cls, text: str) -> "DirectIP":
+        host, _, port = text.rpartition(":")
+        host = host.strip("[]")
+        ip, v6 = parse_ip(host)
+        return cls(ip=ip, port=int(port), v6=v6)
+
+    def __str__(self) -> str:
+        host = _format_ip(self.ip, self.v6)
+        if self.v6:
+            return f"[{host}]:{self.port}"
+        return f"{host}:{self.port}"
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """A connection identifier."""
+
+    src_ip: int
+    src_port: int
+    dst_ip: int
+    dst_port: int
+    proto: int = TCP
+    v6: bool = False
+
+    def key_bytes(self) -> bytes:
+        """Canonical match-key byte string (13 B IPv4 / 37 B IPv6)."""
+        if self.v6:
+            return struct.pack(
+                ">16s16sHHB",
+                self.src_ip.to_bytes(16, "big"),
+                self.dst_ip.to_bytes(16, "big"),
+                self.src_port,
+                self.dst_port,
+                self.proto,
+            )
+        return struct.pack(
+            ">IIHHB",
+            self.src_ip,
+            self.dst_ip,
+            self.src_port,
+            self.dst_port,
+            self.proto,
+        )
+
+    @property
+    def key_bits(self) -> int:
+        return len(self.key_bytes()) * 8
+
+    def vip(self) -> VirtualIP:
+        """The destination service address of this connection."""
+        return VirtualIP(ip=self.dst_ip, port=self.dst_port, proto=self.proto, v6=self.v6)
+
+    def __str__(self) -> str:
+        src = _format_ip(self.src_ip, self.v6)
+        dst = _format_ip(self.dst_ip, self.v6)
+        return f"{src}:{self.src_port}->{dst}:{self.dst_port}/{self.proto}"
+
+
+def five_tuple_for(vip: VirtualIP, src_ip: int, src_port: int) -> FiveTuple:
+    """Build the 5-tuple of a client connection to a VIP."""
+    return FiveTuple(
+        src_ip=src_ip,
+        src_port=src_port,
+        dst_ip=vip.ip,
+        dst_port=vip.port,
+        proto=vip.proto,
+        v6=vip.v6,
+    )
+
+
+class TupleFactory:
+    """Deterministic generator of unique client 5-tuples towards VIPs.
+
+    Enumerates (src ip, src port) pairs from a private client range so no
+    two generated connections collide, which keeps ground truth simple for
+    false-positive accounting.
+    """
+
+    def __init__(self, base_ip: int = 0x0A80_0000, v6: bool = False) -> None:
+        self._base_ip = base_ip
+        self._counter = 0
+        self._v6 = v6
+
+    def next_for(self, vip: VirtualIP) -> FiveTuple:
+        # 64511 usable ephemeral ports per client IP.
+        ip_offset, port_offset = divmod(self._counter, 64511)
+        self._counter += 1
+        return five_tuple_for(
+            vip, src_ip=self._base_ip + ip_offset, src_port=1024 + port_offset
+        )
+
+    def stream(self, vip: VirtualIP) -> Iterator[FiveTuple]:
+        while True:
+            yield self.next_for(vip)

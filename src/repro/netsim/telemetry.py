@@ -1,0 +1,141 @@
+"""Time-series telemetry for simulations.
+
+Operators judge a load balancer by its time series — ConnTable occupancy,
+CPU backlog, pending connections, update latency — not just end-of-run
+totals.  :class:`Sampler` attaches named probes (zero-argument callables)
+to the simulation's event queue and samples them on a fixed period,
+producing :class:`Series` objects with simple summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .events import EventQueue
+from .simulator import PRIO_INTERNAL
+
+Probe = Callable[[], float]
+
+
+@dataclass
+class Series:
+    """One sampled time series."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def append(self, t: float, value: float) -> None:
+        self.points.append((t, value))
+
+    @property
+    def times(self) -> List[float]:
+        return [t for t, _v in self.points]
+
+    @property
+    def values(self) -> List[float]:
+        return [v for _t, v in self.points]
+
+    @property
+    def last(self) -> Optional[float]:
+        return self.points[-1][1] if self.points else None
+
+    def max(self) -> float:
+        if not self.points:
+            raise ValueError(f"series {self.name!r} is empty")
+        return max(self.values)
+
+    def min(self) -> float:
+        if not self.points:
+            raise ValueError(f"series {self.name!r} is empty")
+        return min(self.values)
+
+    def mean(self) -> float:
+        if not self.points:
+            raise ValueError(f"series {self.name!r} is empty")
+        return sum(self.values) / len(self.points)
+
+    def time_average(self) -> float:
+        """Integral average (step-wise, sample-and-hold)."""
+        if len(self.points) < 2:
+            return self.mean()
+        total = 0.0
+        span = self.points[-1][0] - self.points[0][0]
+        if span <= 0:
+            return self.mean()
+        for (t0, v0), (t1, _v1) in zip(self.points, self.points[1:]):
+            total += v0 * (t1 - t0)
+        return total / span
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class Sampler:
+    """Samples registered probes every ``period_s`` of simulation time."""
+
+    def __init__(self, queue: EventQueue, period_s: float = 1.0) -> None:
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.queue = queue
+        self.period_s = period_s
+        self._probes: Dict[str, Probe] = {}
+        self.series: Dict[str, Series] = {}
+        self._running = False
+
+    def probe(self, name: str, fn: Probe) -> None:
+        """Register a probe; its series appears under ``name``."""
+        if name in self._probes:
+            raise ValueError(f"probe already registered: {name}")
+        self._probes[name] = fn
+        self.series[name] = Series(name=name)
+
+    def start(self) -> None:
+        if self._running:
+            return
+        if not self._probes:
+            raise RuntimeError("no probes registered")
+        self._running = True
+        self._schedule()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule(self) -> None:
+        if not self._running:
+            return
+
+        def fire() -> None:
+            self.sample_now()
+            self._schedule()
+
+        self.queue.schedule_in(self.period_s, fire, PRIO_INTERNAL)
+
+    def sample_now(self) -> None:
+        """Take one sample of every probe at the current simulation time."""
+        now = self.queue.now
+        for name, fn in self._probes.items():
+            self.series[name].append(now, float(fn()))
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-series min/mean/max/last for quick reporting."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, series in self.series.items():
+            if not series.points:
+                continue
+            out[name] = {
+                "min": series.min(),
+                "mean": series.mean(),
+                "max": series.max(),
+                "last": series.last if series.last is not None else 0.0,
+            }
+        return out
+
+
+def watch_switch(sampler: Sampler, switch, prefix: str = "") -> None:
+    """Register the standard probes for a SilkRoad switch."""
+    sampler.probe(f"{prefix}conn_table_entries", lambda: float(len(switch.conn_table)))
+    sampler.probe(f"{prefix}conn_table_load", lambda: switch.conn_table.load_factor)
+    sampler.probe(f"{prefix}pending_connections", lambda: float(switch.pending_connections()))
+    sampler.probe(f"{prefix}cpu_backlog", lambda: float(switch.cpu.backlog))
+    sampler.probe(f"{prefix}sram_bytes", lambda: float(switch.sram_bytes()))

@@ -1,0 +1,127 @@
+"""Three-layer data-center topology with ECMP (Fig 11, §5.3).
+
+SilkRoad's network-wide deployment assigns each VIP to a *layer* (ToR,
+aggregation, or core); traffic for the VIP ECMP-splits across the switches
+of that layer, so the per-switch connection-state load is the VIP's total
+divided by the layer width.  This module models just enough of the fabric
+for that assignment problem: switch inventories per layer, ECMP splitting,
+and per-switch budget accounting used by :mod:`repro.deploy.assignment`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..asicsim.hashing import HashUnit
+from .packet import FiveTuple, VirtualIP
+
+
+class Layer(enum.Enum):
+    TOR = "tor"
+    AGG = "agg"
+    CORE = "core"
+
+
+@dataclass(frozen=True)
+class Switch:
+    """One switch in the fabric."""
+
+    name: str
+    layer: Layer
+    sram_budget_bytes: int = 50_000_000  # 50 MB class ASIC (Table 1)
+    capacity_gbps: float = 6400.0  # 6.4 Tbps class ASIC
+
+
+@dataclass
+class Fabric:
+    """A leaf-spine/three-layer fabric, with ECMP across each layer."""
+
+    tors: List[Switch]
+    aggs: List[Switch]
+    cores: List[Switch]
+    _ecmp: HashUnit = field(default_factory=lambda: HashUnit(seed=0xEC3F))
+
+    @classmethod
+    def build(
+        cls,
+        num_tors: int = 16,
+        num_aggs: int = 4,
+        num_cores: int = 2,
+        tor_sram_bytes: int = 50_000_000,
+        agg_sram_bytes: int = 50_000_000,
+        core_sram_bytes: int = 100_000_000,
+    ) -> "Fabric":
+        if min(num_tors, num_aggs, num_cores) <= 0:
+            raise ValueError("every layer needs at least one switch")
+        return cls(
+            tors=[
+                Switch(f"tor-{i}", Layer.TOR, tor_sram_bytes) for i in range(num_tors)
+            ],
+            aggs=[
+                Switch(f"agg-{i}", Layer.AGG, agg_sram_bytes) for i in range(num_aggs)
+            ],
+            cores=[
+                Switch(f"core-{i}", Layer.CORE, core_sram_bytes)
+                for i in range(num_cores)
+            ],
+        )
+
+    def layer_switches(self, layer: Layer) -> List[Switch]:
+        if layer is Layer.TOR:
+            return self.tors
+        if layer is Layer.AGG:
+            return self.aggs
+        return self.cores
+
+    def layer_width(self, layer: Layer) -> int:
+        return len(self.layer_switches(layer))
+
+    def all_switches(self) -> List[Switch]:
+        return self.tors + self.aggs + self.cores
+
+    def ecmp_pick(self, layer: Layer, flow: FiveTuple) -> Switch:
+        """ECMP-select the switch of a layer that handles a flow.
+
+        Models the fabric hashing inbound/intra-DC traffic for a VIP across
+        the switches of its assigned layer.
+        """
+        switches = self.layer_switches(layer)
+        index = self._ecmp.index(flow.key_bytes(), len(switches))
+        return switches[index]
+
+    def ecmp_share(self, layer: Layer) -> float:
+        """Fraction of a VIP's traffic each switch of the layer receives."""
+        return 1.0 / self.layer_width(layer)
+
+
+@dataclass
+class VipPlacement:
+    """Network-wide assignment of VIPs to layers."""
+
+    fabric: Fabric
+    assignment: Dict[VirtualIP, Layer] = field(default_factory=dict)
+
+    def assign(self, vip: VirtualIP, layer: Layer) -> None:
+        self.assignment[vip] = layer
+
+    def layer_of(self, vip: VirtualIP) -> Layer:
+        return self.assignment.get(vip, Layer.TOR)
+
+    def switch_for(self, flow: FiveTuple) -> Switch:
+        """The switch that load-balances a given flow."""
+        vip = flow.vip()
+        return self.fabric.ecmp_pick(self.layer_of(vip), flow)
+
+    def per_switch_connections(
+        self, conns_per_vip: Dict[VirtualIP, float]
+    ) -> Dict[str, float]:
+        """Expected connection-state load per switch under ECMP splitting."""
+        load: Dict[str, float] = {s.name: 0.0 for s in self.fabric.all_switches()}
+        for vip, count in conns_per_vip.items():
+            layer = self.layer_of(vip)
+            share = count / self.fabric.layer_width(layer)
+            for switch in self.fabric.layer_switches(layer):
+                load[switch.name] += share
+        return load

@@ -1,0 +1,105 @@
+"""Minimal libpcap (classic ``.pcap``) reader/writer.
+
+Lets the P4 pipeline consume and produce standard capture files: generate
+test traffic with :func:`~repro.p4.parser.build_packet`, save it, replay a
+capture through :class:`~repro.p4.silkroad.SilkRoadP4`, and inspect the
+rewritten packets in any pcap tool.  Classic format only (magic
+``0xA1B2C3D4``, microsecond timestamps, Ethernet link type) — ubiquitous
+and enough for the reproduction's needs.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterable, List, Tuple, Union
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+LINKTYPE_ETHERNET = 1
+
+#: (timestamp seconds, frame bytes)
+TimedFrame = Tuple[float, bytes]
+
+PathOrFile = Union[str, Path, BinaryIO]
+
+
+class PcapError(ValueError):
+    """Raised on malformed capture files."""
+
+
+def _open_for(target: PathOrFile, mode: str):
+    if isinstance(target, (str, Path)):
+        return open(target, mode), True
+    return target, False
+
+
+def write_pcap(target: PathOrFile, frames: Iterable[TimedFrame]) -> int:
+    """Write ``(timestamp, frame)`` pairs; returns the frame count."""
+    handle, owned = _open_for(target, "wb")
+    try:
+        handle.write(
+            struct.pack(
+                "<IHHiIII",
+                PCAP_MAGIC,
+                2,  # version major
+                4,  # version minor
+                0,  # thiszone
+                0,  # sigfigs
+                65_535,  # snaplen
+                LINKTYPE_ETHERNET,
+            )
+        )
+        count = 0
+        for ts, frame in frames:
+            seconds = int(ts)
+            micros = int(round((ts - seconds) * 1e6))
+            if micros >= 1_000_000:
+                seconds += 1
+                micros -= 1_000_000
+            handle.write(
+                struct.pack("<IIII", seconds, micros, len(frame), len(frame))
+            )
+            handle.write(frame)
+            count += 1
+        return count
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_pcap(source: PathOrFile) -> List[TimedFrame]:
+    """Read every frame of a classic pcap file."""
+    handle, owned = _open_for(source, "rb")
+    try:
+        header = handle.read(24)
+        if len(header) < 24:
+            raise PcapError("truncated pcap global header")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic == PCAP_MAGIC:
+            endian = "<"
+        elif magic == PCAP_MAGIC_SWAPPED:
+            endian = ">"
+        else:
+            raise PcapError(f"bad pcap magic: {magic:#x}")
+        linktype = struct.unpack(endian + "IHHiIII", header)[6]
+        if linktype != LINKTYPE_ETHERNET:
+            raise PcapError(f"unsupported link type {linktype}")
+        frames: List[TimedFrame] = []
+        while True:
+            record = handle.read(16)
+            if not record:
+                break
+            if len(record) < 16:
+                raise PcapError("truncated pcap record header")
+            seconds, micros, incl_len, _orig_len = struct.unpack(
+                endian + "IIII", record
+            )
+            data = handle.read(incl_len)
+            if len(data) < incl_len:
+                raise PcapError("truncated pcap record body")
+            frames.append((seconds + micros / 1e6, data))
+        return frames
+    finally:
+        if owned:
+            handle.close()

@@ -1,0 +1,188 @@
+"""Trace import/export: CSV round-trips for fleet profiles and update logs.
+
+The synthetic fleet is a stand-in for proprietary production data; an
+operator reproducing the paper's analysis on *their own* fleet needs a
+way in.  These functions round-trip:
+
+* cluster-fleet profiles (the per-cluster statistics behind Figures 2, 6,
+  8, 12, 13, 14), and
+* DIP-pool update event streams (the §3 operational logs).
+
+CSV is used so the files are editable and diffable; columns match the
+attribute names of :class:`~repro.traces.workload.ClusterProfile` and
+:class:`~repro.netsim.updates.UpdateEvent`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Sequence, TextIO, Union
+
+from ..netsim.cluster import ClusterType
+from ..netsim.packet import DirectIP, VirtualIP
+from ..netsim.updates import RootCause, UpdateEvent, UpdateKind
+from .workload import ClusterProfile
+
+PathOrFile = Union[str, Path, TextIO]
+
+FLEET_COLUMNS = (
+    "name",
+    "kind",
+    "num_tors",
+    "num_vips",
+    "dips_per_vip",
+    "active_conns_per_tor_p99",
+    "active_conns_per_tor_median",
+    "new_conns_per_vip_per_min",
+    "updates_per_min_p99",
+    "updates_per_min_median",
+    "traffic_gbps",
+    "avg_packet_bytes",
+    "ipv6",
+)
+
+UPDATE_COLUMNS = ("time_s", "vip", "kind", "dip", "cause")
+
+
+class TraceFormatError(ValueError):
+    """Raised on malformed trace files."""
+
+
+def _open_for(target: PathOrFile, mode: str):
+    if isinstance(target, (str, Path)):
+        return open(target, mode, newline=""), True
+    return target, False
+
+
+# ----------------------------------------------------------------------
+# Fleet profiles
+# ----------------------------------------------------------------------
+
+
+def dump_fleet(profiles: Sequence[ClusterProfile], target: PathOrFile) -> None:
+    """Write fleet profiles as CSV."""
+    handle, owned = _open_for(target, "w")
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(FLEET_COLUMNS)
+        for p in profiles:
+            writer.writerow(
+                [
+                    p.name,
+                    p.kind.value,
+                    p.num_tors,
+                    p.num_vips,
+                    p.dips_per_vip,
+                    repr(p.active_conns_per_tor_p99),
+                    repr(p.active_conns_per_tor_median),
+                    repr(p.new_conns_per_vip_per_min),
+                    repr(p.updates_per_min_p99),
+                    repr(p.updates_per_min_median),
+                    repr(p.traffic_gbps),
+                    repr(p.avg_packet_bytes),
+                    int(p.ipv6),
+                ]
+            )
+    finally:
+        if owned:
+            handle.close()
+
+
+def load_fleet(source: PathOrFile) -> List[ClusterProfile]:
+    """Read fleet profiles from CSV (as written by :func:`dump_fleet`,
+    or hand-built from an operator's own measurements)."""
+    handle, owned = _open_for(source, "r")
+    try:
+        reader = csv.DictReader(handle)
+        missing = set(FLEET_COLUMNS) - set(reader.fieldnames or ())
+        if missing:
+            raise TraceFormatError(f"fleet CSV missing columns: {sorted(missing)}")
+        profiles = []
+        for line_no, row in enumerate(reader, start=2):
+            try:
+                profiles.append(
+                    ClusterProfile(
+                        name=row["name"],
+                        kind=ClusterType(row["kind"]),
+                        num_tors=int(row["num_tors"]),
+                        num_vips=int(row["num_vips"]),
+                        dips_per_vip=int(row["dips_per_vip"]),
+                        active_conns_per_tor_p99=float(row["active_conns_per_tor_p99"]),
+                        active_conns_per_tor_median=float(
+                            row["active_conns_per_tor_median"]
+                        ),
+                        new_conns_per_vip_per_min=float(
+                            row["new_conns_per_vip_per_min"]
+                        ),
+                        updates_per_min_p99=float(row["updates_per_min_p99"]),
+                        updates_per_min_median=float(row["updates_per_min_median"]),
+                        traffic_gbps=float(row["traffic_gbps"]),
+                        avg_packet_bytes=float(row["avg_packet_bytes"]),
+                        ipv6=row["ipv6"] in ("1", "True", "true"),
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise TraceFormatError(f"bad fleet row at line {line_no}: {exc}") from exc
+        return profiles
+    finally:
+        if owned:
+            handle.close()
+
+
+# ----------------------------------------------------------------------
+# Update streams
+# ----------------------------------------------------------------------
+
+
+def dump_updates(events: Sequence[UpdateEvent], target: PathOrFile) -> None:
+    """Write a DIP-pool update stream as CSV."""
+    handle, owned = _open_for(target, "w")
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(UPDATE_COLUMNS)
+        for event in events:
+            writer.writerow(
+                [
+                    repr(event.time),
+                    str(event.vip),
+                    event.kind.value,
+                    str(event.dip),
+                    event.cause.value,
+                ]
+            )
+    finally:
+        if owned:
+            handle.close()
+
+
+def load_updates(source: PathOrFile) -> List[UpdateEvent]:
+    """Read a DIP-pool update stream from CSV."""
+    handle, owned = _open_for(source, "r")
+    try:
+        reader = csv.DictReader(handle)
+        missing = set(UPDATE_COLUMNS) - set(reader.fieldnames or ())
+        if missing:
+            raise TraceFormatError(f"update CSV missing columns: {sorted(missing)}")
+        events = []
+        for line_no, row in enumerate(reader, start=2):
+            try:
+                events.append(
+                    UpdateEvent(
+                        time=float(row["time_s"]),
+                        vip=VirtualIP.parse(row["vip"]),
+                        kind=UpdateKind(row["kind"]),
+                        dip=DirectIP.parse(row["dip"]),
+                        cause=RootCause(row["cause"]),
+                    )
+                )
+            except (KeyError, ValueError) as exc:
+                raise TraceFormatError(
+                    f"bad update row at line {line_no}: {exc}"
+                ) from exc
+        events.sort(key=lambda e: e.time)
+        return events
+    finally:
+        if owned:
+            handle.close()

@@ -1,0 +1,101 @@
+"""Tests for the hash-unit model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asicsim.hashing import HashUnit, hash_family, mix64
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(42) == mix64(42)
+
+    def test_seed_changes_output(self):
+        assert mix64(42, seed=1) != mix64(42, seed=2)
+
+    def test_output_is_64_bit(self):
+        for value in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= mix64(value) < 2**64
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_avalanche_on_increment(self, x):
+        # Adjacent inputs should differ in many bits (weak avalanche check).
+        a = mix64(x)
+        b = mix64((x + 1) & (2**64 - 1))
+        assert bin(a ^ b).count("1") >= 8
+
+
+class TestHashUnit:
+    def test_deterministic_bytes(self):
+        unit = HashUnit(seed=7)
+        assert unit.hash_bytes(b"abc") == unit.hash_bytes(b"abc")
+
+    def test_different_keys_differ(self):
+        unit = HashUnit(seed=7)
+        assert unit.hash_bytes(b"abc") != unit.hash_bytes(b"abd")
+
+    def test_index_in_range(self):
+        unit = HashUnit(seed=7)
+        for i in range(200):
+            assert 0 <= unit.index(str(i).encode(), 37) < 37
+
+    def test_index_rejects_nonpositive_size(self):
+        unit = HashUnit(seed=7)
+        with pytest.raises(ValueError):
+            unit.index(b"x", 0)
+
+    def test_digest_width(self):
+        unit = HashUnit(seed=7)
+        for bits in (1, 8, 16, 24, 64):
+            assert 0 <= unit.digest(b"key", bits) < (1 << bits)
+
+    def test_digest_rejects_bad_width(self):
+        unit = HashUnit(seed=7)
+        with pytest.raises(ValueError):
+            unit.digest(b"key", 0)
+        with pytest.raises(ValueError):
+            unit.digest(b"key", 65)
+
+    def test_index_distribution_roughly_uniform(self):
+        unit = HashUnit(seed=3)
+        size = 16
+        counts = [0] * size
+        n = 8000
+        for i in range(n):
+            counts[unit.index(i.to_bytes(8, "big"), size)] += 1
+        expected = n / size
+        for c in counts:
+            assert 0.7 * expected < c < 1.3 * expected
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=50)
+    def test_hash_int_vs_bytes_consistency(self, data):
+        unit = HashUnit(seed=11)
+        # Just determinism and range; int/bytes paths are independent hashes.
+        assert unit.hash_bytes(data) == unit.hash_bytes(data)
+        assert 0 <= unit.hash_bytes(data) < 2**64
+
+
+class TestHashFamily:
+    def test_count(self):
+        assert len(hash_family(5)) == 5
+        assert hash_family(0) == []
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            hash_family(-1)
+
+    def test_members_are_independent(self):
+        units = hash_family(4)
+        seeds = {u.seed for u in units}
+        assert len(seeds) == 4
+        values = {u.hash_bytes(b"same-key") for u in units}
+        assert len(values) == 4
+
+    def test_reproducible(self):
+        a = hash_family(3, base_seed=9)
+        b = hash_family(3, base_seed=9)
+        assert [u.seed for u in a] == [u.seed for u in b]

@@ -1,0 +1,100 @@
+"""Tests for the learning filter (connection learning, §4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asicsim.learning_filter import LearningFilter
+
+
+class TestOfferAndDedup:
+    def test_offer_accumulates(self):
+        lf = LearningFilter(capacity=10, timeout=1e-3)
+        assert lf.offer(b"a", 0.0) is None
+        assert lf.offer(b"b", 0.0) is None
+        assert lf.occupancy == 2
+
+    def test_duplicates_merged(self):
+        lf = LearningFilter(capacity=10, timeout=1e-3)
+        lf.offer(b"a", 0.0)
+        lf.offer(b"a", 0.0001)  # second packet of the same connection
+        assert lf.occupancy == 1
+        assert lf.deduplicated == 1
+
+    def test_flush_on_full(self):
+        lf = LearningFilter(capacity=3, timeout=10.0)
+        assert lf.offer(b"a", 0.0) is None
+        assert lf.offer(b"b", 0.0) is None
+        batch = lf.offer(b"c", 0.0)
+        assert batch is not None
+        assert batch.reason == "full"
+        assert len(batch) == 3
+        assert lf.occupancy == 0
+        assert lf.flushes_full == 1
+
+    def test_first_seen_preserved(self):
+        lf = LearningFilter(capacity=2, timeout=10.0)
+        lf.offer(b"a", 1.0)
+        batch = lf.offer(b"b", 2.0)
+        times = {e.key: e.first_seen for e in batch.events}
+        assert times[b"a"] == 1.0
+        assert times[b"b"] == 2.0
+
+
+class TestTimeout:
+    def test_poll_before_deadline_returns_none(self):
+        lf = LearningFilter(capacity=10, timeout=1e-3)
+        lf.offer(b"a", 0.0)
+        assert lf.poll(0.0005) is None
+
+    def test_poll_at_deadline_flushes(self):
+        lf = LearningFilter(capacity=10, timeout=1e-3)
+        lf.offer(b"a", 0.0)
+        deadline = lf.next_deadline()
+        batch = lf.poll(deadline)
+        assert batch is not None
+        assert batch.reason == "timeout"
+        assert lf.flushes_timeout == 1
+
+    def test_deadline_float_consistency(self):
+        # poll() fired exactly at next_deadline() must flush, even for
+        # awkward float values (regression: now - oldest >= timeout can
+        # round differently than oldest + timeout).
+        for oldest in (35.123456789, 0.1, 1e6 + 0.987654321):
+            lf = LearningFilter(capacity=10, timeout=1e-3)
+            lf.offer(b"a", oldest)
+            assert lf.poll(lf.next_deadline()) is not None
+
+    def test_no_deadline_when_empty(self):
+        lf = LearningFilter()
+        assert lf.next_deadline() is None
+        assert lf.poll(100.0) is None
+
+    def test_deadline_tracks_oldest_event(self):
+        lf = LearningFilter(capacity=10, timeout=1.0)
+        lf.offer(b"a", 5.0)
+        lf.offer(b"b", 5.9)
+        assert lf.next_deadline() == pytest.approx(6.0)
+
+
+class TestForceFlush:
+    def test_flush_drains(self):
+        lf = LearningFilter()
+        lf.offer(b"a", 0.0)
+        batch = lf.flush(1.0)
+        assert batch is not None and len(batch) == 1
+        assert lf.flush(2.0) is None
+
+    def test_contains(self):
+        lf = LearningFilter()
+        lf.offer(b"a", 0.0)
+        assert b"a" in lf
+        assert b"b" not in lf
+
+
+class TestValidation:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            LearningFilter(capacity=0)
+        with pytest.raises(ValueError):
+            LearningFilter(timeout=0.0)

@@ -1,0 +1,98 @@
+"""Tests for RFC 4115 two-rate three-color meters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asicsim.meters import Color, MeterBank, MeterConfig, TrTcmMeter
+
+
+def config(cir=1e6, eir=1e6, cbs=1500, ebs=1500) -> MeterConfig:
+    return MeterConfig(cir_bps=cir, eir_bps=eir, cbs_bytes=cbs, ebs_bytes=ebs)
+
+
+class TestMeterConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeterConfig(cir_bps=-1, eir_bps=0, cbs_bytes=1, ebs_bytes=0)
+        with pytest.raises(ValueError):
+            MeterConfig(cir_bps=1, eir_bps=1, cbs_bytes=0, ebs_bytes=0)
+
+
+class TestTrTcmMeter:
+    def test_conformant_packet_is_green(self):
+        meter = TrTcmMeter(config())
+        assert meter.mark(1000, 0.0) is Color.GREEN
+
+    def test_burst_overflow_goes_yellow_then_red(self):
+        meter = TrTcmMeter(config(cir=8000, eir=8000, cbs=1000, ebs=1000))
+        assert meter.mark(1000, 0.0) is Color.GREEN  # drains committed
+        assert meter.mark(1000, 0.0) is Color.YELLOW  # drains excess
+        assert meter.mark(1000, 0.0) is Color.RED  # nothing left
+
+    def test_tokens_refill_over_time(self):
+        meter = TrTcmMeter(config(cir=8000, eir=0, cbs=1000, ebs=0))
+        assert meter.mark(1000, 0.0) is Color.GREEN
+        assert meter.mark(1000, 0.0) is Color.RED
+        # 1 second at 8000 b/s = 1000 bytes refilled.
+        assert meter.mark(1000, 1.0) is Color.GREEN
+
+    def test_time_must_not_go_backwards(self):
+        meter = TrTcmMeter(config())
+        meter.mark(100, 1.0)
+        with pytest.raises(ValueError):
+            meter.mark(100, 0.5)
+
+    def test_rejects_nonpositive_packets(self):
+        meter = TrTcmMeter(config())
+        with pytest.raises(ValueError):
+            meter.mark(0, 0.0)
+
+    def test_long_run_green_rate_tracks_cir(self):
+        # Offer 2x CIR; green throughput must converge to CIR within ~1%.
+        cir = 1e6
+        meter = TrTcmMeter(config(cir=cir, eir=0, cbs=3000, ebs=0))
+        pkt = 500
+        interval = pkt * 8 / (2 * cir)  # 2x line rate
+        t = 0.0
+        for _ in range(4000):
+            meter.mark(pkt, t)
+            t += interval
+        green_bps = meter.marked_bytes[Color.GREEN] * 8 / t
+        assert green_bps == pytest.approx(cir, rel=0.02)
+
+    def test_counters(self):
+        meter = TrTcmMeter(config(cir=8000, eir=8000, cbs=1000, ebs=1000))
+        meter.mark(1000, 0.0)
+        meter.mark(1000, 0.0)
+        meter.mark(1000, 0.0)
+        assert meter.marked[Color.GREEN] == 1
+        assert meter.marked[Color.YELLOW] == 1
+        assert meter.marked[Color.RED] == 1
+
+
+class TestMeterBank:
+    def test_unmetered_vip_passes_green(self):
+        bank = MeterBank()
+        assert bank.mark("vip-x", 1000, 0.0) is Color.GREEN
+
+    def test_install_and_mark(self):
+        bank = MeterBank()
+        bank.install("vip-1", config(cir=8000, eir=0, cbs=1000, ebs=0))
+        assert bank.mark("vip-1", 1000, 0.0) is Color.GREEN
+        assert bank.mark("vip-1", 1000, 0.0) is Color.RED
+
+    def test_sram_accounting_paper_scale(self):
+        # 40K meters ~ 1% of a 64 MB ASIC (§5.2).
+        bank = MeterBank()
+        for i in range(1000):
+            bank.install(f"vip-{i}", config())
+        per_meter = bank.sram_bytes / len(bank)
+        assert 40_000 * per_meter <= 0.015 * 64e6
+
+    def test_remove(self):
+        bank = MeterBank()
+        bank.install("vip-1", config())
+        bank.remove("vip-1")
+        assert "vip-1" not in bank
+        bank.remove("vip-1")  # idempotent

@@ -1,0 +1,148 @@
+"""Tests for transactional register arrays and Bloom filters."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asicsim.registers import BloomFilter, CountingBloomFilter, RegisterArray
+
+
+class TestRegisterArray:
+    def test_read_write(self):
+        arr = RegisterArray(8, width=4)
+        arr.write(3, 15)
+        assert arr.read(3) == 15
+
+    def test_width_enforced(self):
+        arr = RegisterArray(8, width=4)
+        with pytest.raises(ValueError):
+            arr.write(0, 16)
+        with pytest.raises(ValueError):
+            arr.write(0, -1)
+
+    def test_read_modify_write_saturates(self):
+        arr = RegisterArray(4, width=2)
+        assert arr.read_modify_write(0, +5) == 3  # saturate at 2^2-1
+        assert arr.read_modify_write(0, -10) == 0  # floor at 0
+
+    def test_transactional_visibility(self):
+        # An update is visible to the immediately following read.
+        arr = RegisterArray(2, width=8)
+        arr.read_modify_write(1, +1)
+        assert arr.read(1) == 1
+
+    def test_clear(self):
+        arr = RegisterArray(4)
+        arr.write(2, 1)
+        arr.clear()
+        assert arr.read(2) == 0
+
+    def test_size_accounting(self):
+        arr = RegisterArray(64, width=1)
+        assert arr.bits == 64
+        assert arr.bytes == 8
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            RegisterArray(0)
+        with pytest.raises(ValueError):
+            RegisterArray(4, width=0)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(size_bytes=64, num_hashes=4)
+        keys = [f"key-{i}".encode() for i in range(40)]
+        for k in keys:
+            bf.insert(k)
+        for k in keys:
+            assert bf.query(k).positive
+            assert not bf.query(k).false_positive
+
+    def test_empty_filter_all_negative(self):
+        bf = BloomFilter(size_bytes=64)
+        assert not bf.query(b"anything").positive
+
+    def test_false_positives_flagged(self):
+        bf = BloomFilter(size_bytes=8, num_hashes=2)  # tiny: saturates
+        for i in range(60):
+            bf.insert(f"member-{i}".encode())
+        fp_seen = 0
+        for i in range(200):
+            q = bf.query(f"outsider-{i}".encode())
+            if q.positive:
+                assert q.false_positive
+                fp_seen += 1
+        assert fp_seen > 0
+        assert bf.false_positives == fp_seen
+
+    def test_clear_resets(self):
+        bf = BloomFilter(size_bytes=64)
+        bf.insert(b"x")
+        bf.clear()
+        assert not bf.query(b"x").positive
+        assert bf.population == 0
+        assert bf.fill_ratio == 0.0
+
+    def test_fill_ratio_grows(self):
+        bf = BloomFilter(size_bytes=32, num_hashes=4)
+        before = bf.fill_ratio
+        bf.insert(b"a")
+        assert bf.fill_ratio > before
+
+    def test_expected_fp_rate_monotone_in_population(self):
+        bf = BloomFilter(size_bytes=256, num_hashes=4)
+        assert bf.expected_false_positive_rate(0) == 0.0
+        assert (
+            bf.expected_false_positive_rate(10)
+            < bf.expected_false_positive_rate(100)
+            < bf.expected_false_positive_rate(1000)
+        )
+
+    def test_paper_sizing_256b_low_fp(self):
+        # 256 B = 2048 bits comfortably holds the tens of pending
+        # connections of one update window with negligible FP rate.
+        bf = BloomFilter(size_bytes=256, num_hashes=4)
+        assert bf.expected_false_positive_rate(50) < 1e-4
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            BloomFilter(size_bytes=0)
+        with pytest.raises(ValueError):
+            BloomFilter(size_bytes=8, num_hashes=0)
+
+    @given(st.sets(st.binary(min_size=4, max_size=12), max_size=60))
+    @settings(max_examples=25)
+    def test_membership_superset_property(self, members):
+        bf = BloomFilter(size_bytes=128, num_hashes=3)
+        for m in members:
+            bf.insert(m)
+        # Every inserted member must be reported present.
+        assert all(bf.query(m).positive for m in members)
+
+
+class TestCountingBloomFilter:
+    def test_remove_supported(self):
+        cbf = CountingBloomFilter(size_bytes=128, num_hashes=3)
+        cbf.insert(b"x")
+        assert cbf.query(b"x").positive
+        cbf.remove(b"x")
+        assert not cbf.query(b"x").positive
+
+    def test_remove_unknown_raises(self):
+        cbf = CountingBloomFilter(size_bytes=128)
+        with pytest.raises(KeyError):
+            cbf.remove(b"never-inserted")
+
+    def test_overlapping_members_survive_removal(self):
+        cbf = CountingBloomFilter(size_bytes=64, num_hashes=2)
+        cbf.insert(b"a")
+        cbf.insert(b"b")
+        cbf.remove(b"a")
+        assert cbf.query(b"b").positive
+
+    def test_counter_width_validated(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(size_bytes=64, counter_bits=1)

@@ -1,0 +1,93 @@
+"""Tests for ConnTable and the Figure 14 memory arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SilkRoadConfig
+from repro.core.conn_table import (
+    ConnTable,
+    conn_table_bytes,
+    digest_only_layout,
+    digest_version_layout,
+    memory_saving,
+    naive_layout,
+)
+
+
+@pytest.fixture
+def table() -> ConnTable:
+    return ConnTable(SilkRoadConfig(conn_table_capacity=5000))
+
+
+class TestConnTable:
+    def test_insert_lookup_delete(self, table, keys):
+        (key,) = keys(1)
+        table.insert(key, 3)
+        result = table.lookup(key)
+        assert result.hit and result.value == 3
+        assert table.get_exact(key) == 3
+        table.delete(key)
+        assert key not in table
+
+    def test_capacity_honors_config(self):
+        cfg = SilkRoadConfig(conn_table_capacity=10_000, conn_table_target_load=0.5)
+        table = ConnTable(cfg)
+        assert table.capacity >= 20_000
+
+    def test_sram_accounting_28bit_entries(self, table):
+        # 4 entries per word -> 3.5 bytes per slot.
+        assert table.sram_bytes == table.capacity // 4 * 14
+
+    def test_bulk_load(self, keys):
+        table = ConnTable(SilkRoadConfig(conn_table_capacity=3000))
+        for i, key in enumerate(keys(2500)):
+            table.insert(key, i % 64)
+        assert len(table) == 2500
+        table.check_invariants()
+
+    def test_relocate_colliding_entry_noop_when_clean(self, table, keys):
+        (key,) = keys(1)
+        assert table.relocate_colliding_entry(key)  # nothing to resolve
+
+
+class TestFig14Arithmetic:
+    def test_paper_ipv6_entry_sizes(self):
+        # 37-byte key + 18-byte action ~ 55 bytes/entry before packing.
+        layout = naive_layout(ipv6=True)
+        assert layout.key_bits == 296
+        assert layout.action_bits == 144
+
+    def test_naive_10m_ipv6_exceeds_asic_sram(self):
+        # The paper's motivating arithmetic: ~550 MB for 10 M connections.
+        size = conn_table_bytes(10_000_000, naive_layout(ipv6=True))
+        assert size > 500e6
+
+    def test_silkroad_10m_fits(self):
+        size = conn_table_bytes(10_000_000, digest_version_layout())
+        assert size < 40e6  # 35 MB: fits 50-100 MB ASICs
+
+    def test_digest_version_layout_is_28_bits(self):
+        assert digest_version_layout().entry_bits == 28
+
+    def test_saving_ordering(self):
+        # digest+version saves more than digest-only, which saves more
+        # than nothing.
+        both = memory_saving(1_000_000, ipv6=True)
+        digest = memory_saving(1_000_000, ipv6=True, use_version=False)
+        none = memory_saving(1_000_000, ipv6=True, use_digest=False, use_version=False)
+        assert both > digest > none == 0.0
+
+    def test_paper_anchor_ipv6_savings(self):
+        # Backends (IPv6): digest+version should approach ~90 %+ before
+        # pool overhead; >40 % in all configurations.
+        assert memory_saving(1_000_000, ipv6=True) > 0.85
+        assert memory_saving(1_000_000, ipv6=False) > 0.40
+
+    def test_pool_overhead_charged(self):
+        free = memory_saving(100_000, ipv6=True)
+        charged = memory_saving(100_000, ipv6=True, dip_pool_bytes=10_000_000)
+        assert charged < free
+
+    def test_saving_never_negative(self):
+        assert memory_saving(100, ipv6=False, dip_pool_bytes=10**9) == 0.0

@@ -1,0 +1,90 @@
+"""Tests for the switch-CPU insertion model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asicsim.learning_filter import LearnBatch, LearnEvent
+from repro.core.control_plane import SwitchCpu
+from repro.netsim.events import EventQueue
+
+
+def batch(keys, at=0.0) -> LearnBatch:
+    return LearnBatch(
+        events=[LearnEvent(key=k, metadata=(), first_seen=at) for k in keys],
+        flushed_at=at,
+        reason="timeout",
+    )
+
+
+class TestSwitchCpu:
+    def test_entries_complete_at_rate(self):
+        queue = EventQueue()
+        done = []
+        cpu = SwitchCpu(queue, insertion_rate_per_s=1000.0, on_installed=lambda k, m: done.append((k, queue.now)))
+        queue.schedule(0.0, lambda: cpu.submit_batch(batch([b"a", b"b", b"c"])))
+        queue.run()
+        assert [k for k, _ in done] == [b"a", b"b", b"c"]
+        times = [t for _, t in done]
+        assert times[0] == pytest.approx(0.001)
+        assert times[1] == pytest.approx(0.002)
+        assert times[2] == pytest.approx(0.003)
+
+    def test_fifo_across_batches(self):
+        queue = EventQueue()
+        done = []
+        cpu = SwitchCpu(queue, 1000.0, lambda k, m: done.append(k))
+        queue.schedule(0.0, lambda: cpu.submit_batch(batch([b"a", b"b"])))
+        queue.schedule(0.0005, lambda: cpu.submit_batch(batch([b"c"])))
+        queue.run()
+        assert done == [b"a", b"b", b"c"]
+
+    def test_backlog_tracked(self):
+        queue = EventQueue()
+        cpu = SwitchCpu(queue, 1000.0, lambda k, m: None)
+        queue.schedule(0.0, lambda: cpu.submit_batch(batch([b"a", b"b"])))
+        queue.run_until(0.0015)
+        assert cpu.submitted == 2
+        assert cpu.completed == 1
+        assert cpu.backlog == 1
+
+    def test_submit_one_with_delay(self):
+        queue = EventQueue()
+        done = []
+        cpu = SwitchCpu(queue, 1000.0, lambda k, m: done.append((k, m, queue.now)))
+        queue.schedule(0.0, lambda: cpu.submit_one(b"fp-key", ("fp",), extra_delay_s=0.002))
+        queue.run()
+        key, meta, t = done[0]
+        assert key == b"fp-key"
+        assert meta == ("fp",)
+        assert t == pytest.approx(0.003)
+
+    def test_idle_cpu_starts_immediately(self):
+        queue = EventQueue()
+        done = []
+        cpu = SwitchCpu(queue, 1000.0, lambda k, m: done.append(queue.now))
+        queue.schedule(5.0, lambda: cpu.submit_batch(batch([b"a"])))
+        queue.run()
+        assert done[0] == pytest.approx(5.001)
+
+    def test_negative_clock_supported(self):
+        # Warm-up replay runs the CPU at negative simulation times.
+        queue = EventQueue()
+        queue.now = -10.0
+        done = []
+        cpu = SwitchCpu(queue, 1000.0, lambda k, m: done.append(queue.now))
+        queue.schedule(-10.0, lambda: cpu.submit_batch(batch([b"a"])))
+        queue.run()
+        assert done[0] == pytest.approx(-9.999)
+
+    def test_queueing_delay(self):
+        queue = EventQueue()
+        cpu = SwitchCpu(queue, 10.0, lambda k, m: None)
+        assert cpu.queueing_delay() == 0.0
+        queue.schedule(0.0, lambda: cpu.submit_batch(batch([b"a", b"b"])))
+        queue.run_until(0.0)
+        assert cpu.queueing_delay() == pytest.approx(0.2)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            SwitchCpu(EventQueue(), 0.0, lambda k, m: None)

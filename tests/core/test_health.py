@@ -1,0 +1,139 @@
+"""Tests for the DIP health monitor (§7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SilkRoadConfig, SilkRoadSwitch
+from repro.core.health import HealthMonitor
+from repro.netsim import make_cluster
+
+
+@pytest.fixture
+def switch_with_cluster():
+    cluster = make_cluster(num_vips=2, dips_per_vip=4)
+    switch = SilkRoadSwitch(SilkRoadConfig(conn_table_capacity=1000))
+    for service in cluster.services:
+        switch.announce_vip(service.vip, service.dips)
+    return cluster, switch
+
+
+class FaultInjector:
+    """Oracle that lets tests take DIPs down and up."""
+
+    def __init__(self):
+        self.down = set()
+
+    def __call__(self, dip, _now):
+        return dip not in self.down
+
+
+class TestMonitoring:
+    def test_watch_all_covers_every_dip(self, switch_with_cluster):
+        cluster, switch = switch_with_cluster
+        monitor = HealthMonitor(switch)
+        monitor.watch_all()
+        assert monitor.monitored_dips == 2 * 4
+
+    def test_bandwidth_matches_paper_arithmetic(self, switch_with_cluster):
+        _cluster, switch = switch_with_cluster
+        monitor = HealthMonitor(switch, interval_s=10.0, probe_bytes=100)
+        monitor._dips = {i: None for i in range(10_000)}  # type: ignore[assignment]
+        assert monitor.bandwidth_bps() == pytest.approx(800_000.0)
+
+    def test_detection_time(self, switch_with_cluster):
+        _cluster, switch = switch_with_cluster
+        monitor = HealthMonitor(switch, interval_s=5.0, detect_multiplier=3)
+        assert monitor.detection_time_s() == 15.0
+
+    def test_validation(self, switch_with_cluster):
+        _cluster, switch = switch_with_cluster
+        with pytest.raises(ValueError):
+            HealthMonitor(switch, interval_s=0.0)
+        with pytest.raises(ValueError):
+            HealthMonitor(switch, recovery_checks=0)
+
+
+class TestFailureDetection:
+    def test_failed_dip_removed_from_pool(self, switch_with_cluster):
+        cluster, switch = switch_with_cluster
+        vip = cluster.vips[0]
+        victim = cluster.services[0].dips[0]
+        oracle = FaultInjector()
+        monitor = HealthMonitor(switch, oracle=oracle, interval_s=1.0, detect_multiplier=2)
+        monitor.watch_all()
+        monitor.start()
+        oracle.down.add(victim)
+        switch.queue.run_until(10.0)
+        assert monitor.failures_detected >= 1
+        pools = switch.dip_pools
+        current = pools.pool(vip, pools.current_version(vip))
+        assert victim not in current
+
+    def test_healthy_dips_untouched(self, switch_with_cluster):
+        cluster, switch = switch_with_cluster
+        monitor = HealthMonitor(switch, interval_s=1.0)
+        monitor.watch_all()
+        monitor.start()
+        switch.queue.run_until(10.0)
+        assert monitor.failures_detected == 0
+        vip = cluster.vips[0]
+        pools = switch.dip_pools
+        assert len(pools.pool(vip, pools.current_version(vip))) == 4
+
+    def test_recovered_dip_readded(self, switch_with_cluster):
+        cluster, switch = switch_with_cluster
+        vip = cluster.vips[0]
+        victim = cluster.services[0].dips[0]
+        oracle = FaultInjector()
+        monitor = HealthMonitor(
+            switch, oracle=oracle, interval_s=1.0, detect_multiplier=2,
+            recovery_checks=2,
+        )
+        monitor.watch_all()
+        monitor.start()
+        oracle.down.add(victim)
+        switch.queue.run_until(6.0)
+        oracle.down.discard(victim)
+        switch.queue.run_until(20.0)
+        assert monitor.recoveries >= 1
+        pools = switch.dip_pools
+        assert victim in pools.pool(vip, pools.current_version(vip))
+
+    def test_removal_goes_through_pcc_update(self, switch_with_cluster):
+        cluster, switch = switch_with_cluster
+        victim = cluster.services[0].dips[0]
+        oracle = FaultInjector()
+        monitor = HealthMonitor(switch, oracle=oracle, interval_s=1.0, detect_multiplier=1)
+        monitor.watch_all()
+        monitor.start()
+        oracle.down.add(victim)
+        switch.queue.run_until(5.0)
+        # The failure was applied as a normal update (full 3-step path).
+        assert switch.coordinator.updates_requested >= 1
+        assert switch.coordinator.updates_completed == switch.coordinator.updates_requested
+
+    def test_last_dip_never_removed(self):
+        cluster = make_cluster(num_vips=1, dips_per_vip=1)
+        switch = SilkRoadSwitch(SilkRoadConfig(conn_table_capacity=100))
+        switch.announce_vip(cluster.vips[0], cluster.services[0].dips)
+        oracle = FaultInjector()
+        oracle.down.add(cluster.services[0].dips[0])
+        monitor = HealthMonitor(switch, oracle=oracle, interval_s=1.0, detect_multiplier=1)
+        monitor.watch_all()
+        monitor.start()
+        switch.queue.run_until(5.0)
+        pools = switch.dip_pools
+        vip = cluster.vips[0]
+        assert len(pools.pool(vip, pools.current_version(vip))) == 1
+
+    def test_stop_halts_probing(self, switch_with_cluster):
+        _cluster, switch = switch_with_cluster
+        monitor = HealthMonitor(switch, interval_s=1.0)
+        monitor.watch_all()
+        monitor.start()
+        switch.queue.run_until(3.0)
+        sent = monitor.probes_sent
+        monitor.stop()
+        switch.queue.run_until(10.0)
+        assert monitor.probes_sent <= sent + monitor.monitored_dips

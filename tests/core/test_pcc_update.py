@@ -1,0 +1,135 @@
+"""Tests for the 3-step PCC update coordinator."""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+import pytest
+
+from repro.core.pcc_update import Phase, UpdateCoordinator
+from repro.netsim.packet import DirectIP, VirtualIP
+from repro.netsim.updates import UpdateEvent, UpdateKind
+
+VIP = VirtualIP.parse("20.0.0.1:80")
+DIP = DirectIP.parse("10.0.0.9:80")
+
+
+class Harness:
+    """Wires a coordinator to inspectable fake callbacks."""
+
+    def __init__(self, pending: Set[bytes] = frozenset()):
+        self.pending = set(pending)
+        self.executed: List[UpdateEvent] = []
+        self.finished: List[VirtualIP] = []
+        self.marked: List[bytes] = []
+        self.started: List[VirtualIP] = []
+        self.clock = 0.0
+        self.coord = UpdateCoordinator(
+            pending_keys=lambda vip: set(self.pending),
+            execute=self.executed.append,
+            finish=self.finished.append,
+            mark=self.marked.append,
+            now=lambda: self.clock,
+            start=self.started.append,
+        )
+
+    def request(self, time=0.0):
+        self.clock = time
+        self.coord.request(UpdateEvent(time, VIP, UpdateKind.REMOVE, DIP))
+
+
+class TestImmediateExecution:
+    def test_no_pending_executes_and_finishes_synchronously(self):
+        h = Harness()
+        h.request()
+        assert len(h.executed) == 1
+        assert h.finished == [VIP]
+        assert h.coord.phase(VIP) is Phase.IDLE
+        assert h.coord.updates_completed == 1
+        assert h.started == [VIP]
+
+
+class TestThreeSteps:
+    def test_step1_waits_for_pre_request_pending(self):
+        h = Harness(pending={b"old-1", b"old-2"})
+        h.request()
+        assert h.coord.phase(VIP) is Phase.STEP1
+        assert not h.executed
+        h.clock = 0.01
+        h.coord.on_installed(VIP, b"old-1")
+        assert h.coord.phase(VIP) is Phase.STEP1
+        h.coord.on_installed(VIP, b"old-2")
+        assert h.executed  # t_exec reached
+        assert h.coord.phase(VIP) is Phase.IDLE  # nothing marked -> finished
+
+    def test_step1_arrivals_marked_and_block_finish(self):
+        h = Harness(pending={b"old"})
+        h.request()
+        assert h.coord.note_new_pending(VIP, b"new-1")  # marked in step 1
+        assert h.marked == [b"new-1"]
+        h.coord.on_installed(VIP, b"old")
+        # Executed, but the marked connection still pends -> step 2.
+        assert h.executed
+        assert h.coord.phase(VIP) is Phase.STEP2
+        h.coord.on_installed(VIP, b"new-1")
+        assert h.coord.phase(VIP) is Phase.IDLE
+        assert h.finished == [VIP]
+
+    def test_step2_arrivals_not_marked(self):
+        h = Harness(pending={b"old"})
+        h.request()
+        h.coord.note_new_pending(VIP, b"s1")
+        h.coord.on_installed(VIP, b"old")
+        assert h.coord.phase(VIP) is Phase.STEP2
+        assert not h.coord.note_new_pending(VIP, b"s2")
+        assert h.marked == [b"s1"]
+
+    def test_aborted_pending_unblocks(self):
+        h = Harness(pending={b"old"})
+        h.request()
+        h.coord.on_pending_aborted(VIP, b"old")  # conn died pre-install
+        assert h.executed
+        assert h.coord.phase(VIP) is Phase.IDLE
+
+    def test_aborted_marked_unblocks_finish(self):
+        h = Harness(pending={b"old"})
+        h.request()
+        h.coord.note_new_pending(VIP, b"m")
+        h.coord.on_installed(VIP, b"old")
+        assert h.coord.phase(VIP) is Phase.STEP2
+        h.coord.on_pending_aborted(VIP, b"m")
+        assert h.coord.phase(VIP) is Phase.IDLE
+
+    def test_timings_recorded(self):
+        h = Harness(pending={b"old"})
+        h.request(time=1.0)
+        h.clock = 1.5
+        h.coord.on_installed(VIP, b"old")
+        timing = h.coord.timings[0]
+        assert timing.t_req == 1.0
+        assert timing.t_exec == 1.5
+        assert timing.t_finish == 1.5
+        assert timing.step1_s == pytest.approx(0.5)
+        assert timing.step2_s == 0.0
+
+
+class TestQueueing:
+    def test_updates_serialize_per_vip(self):
+        h = Harness(pending={b"old"})
+        h.request()
+        h.coord.request(UpdateEvent(0.1, VIP, UpdateKind.ADD, DIP))
+        assert h.coord.queue_depth(VIP) == 1
+        assert len(h.executed) == 0
+        h.pending.clear()  # nothing pending when the queued one begins
+        h.coord.on_installed(VIP, b"old")
+        # First update executes+finishes; the queued one then runs through.
+        assert len(h.executed) == 2
+        assert h.coord.updates_completed == 2
+        assert len(h.started) == 2
+
+    def test_unrelated_vip_ignored_by_notifications(self):
+        h = Harness(pending={b"old"})
+        other = VirtualIP.parse("20.0.0.2:80")
+        h.request()
+        h.coord.on_installed(other, b"old")  # different VIP: no effect
+        assert h.coord.phase(VIP) is Phase.STEP1

@@ -1,0 +1,216 @@
+"""Integration tests for the SilkRoad switch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SilkRoadConfig, SilkRoadSwitch
+from repro.netsim import (
+    ArrivalGenerator,
+    FlowSimulator,
+    UpdateEvent,
+    UpdateGenerator,
+    UpdateKind,
+    VipWorkload,
+    make_cluster,
+    spare_pool,
+    uniform_vip_workloads,
+)
+from repro.netsim.packet import DirectIP
+
+
+def small_config(**overrides) -> SilkRoadConfig:
+    defaults = dict(
+        conn_table_capacity=20_000,
+        insertion_rate_per_s=50_000.0,
+        learning_filter_timeout_s=1e-3,
+    )
+    defaults.update(overrides)
+    return SilkRoadConfig(**defaults)
+
+
+def run_switch(config, updates_per_min=10.0, conns_per_min=6000.0, horizon=90.0,
+               seed=42, num_vips=4, name="sr"):
+    cluster = make_cluster(num_vips=num_vips, dips_per_vip=8)
+    switch = SilkRoadSwitch(config, name=name)
+    for svc in cluster.services:
+        switch.announce_vip(svc.vip, svc.dips)
+    conns = ArrivalGenerator(seed=seed).generate(
+        uniform_vip_workloads(cluster.vips, conns_per_min),
+        horizon_s=horizon,
+        warmup_s=15.0,
+    )
+    updates = UpdateGenerator(seed=seed + 1).poisson_updates(
+        cluster.pools(), updates_per_min=updates_per_min, horizon_s=horizon,
+        spare_dips=spare_pool(cluster),
+    )
+    report = FlowSimulator(switch).run(conns, updates, horizon_s=horizon)
+    return report, switch, conns
+
+
+class TestVipProvisioning:
+    def test_announce_and_withdraw(self, vip, dips):
+        switch = SilkRoadSwitch(small_config())
+        switch.announce_vip(vip, dips)
+        assert vip in switch.vip_table
+        switch.withdraw_vip(vip)
+        assert vip not in switch.vip_table
+
+    def test_withdraw_refused_with_active_connections(self, vip, dips, tuples):
+        from repro.netsim.flows import Connection
+
+        switch = SilkRoadSwitch(small_config())
+        switch.announce_vip(vip, dips)
+        conn = Connection(
+            conn_id=1, five_tuple=tuples.next_for(vip), vip=vip,
+            start=0.0, duration=100.0,
+        )
+        switch.on_connection_arrival(conn)
+        with pytest.raises(ValueError, match="still active"):
+            switch.withdraw_vip(vip)
+        switch.on_connection_end(conn)
+        switch.queue.run_until(switch.queue.now + 10.0)
+        switch.withdraw_vip(vip)  # drained: now allowed
+        assert vip not in switch.vip_table
+
+    def test_unknown_vip_traffic_raises(self, vip, tuples):
+        from repro.netsim.flows import Connection
+
+        switch = SilkRoadSwitch(small_config())
+        ft = tuples.next_for(vip)
+        conn = Connection(conn_id=1, five_tuple=ft, vip=vip, start=0.0, duration=1.0)
+        with pytest.raises(KeyError):
+            switch.on_connection_arrival(conn)
+
+
+class TestPccGuarantee:
+    def test_zero_violations_with_transit_table(self):
+        report, switch, _ = run_switch(small_config(), updates_per_min=40.0)
+        assert report.pcc_violations == 0
+        assert switch.coordinator.updates_completed == switch.coordinator.updates_requested
+        assert switch.coordinator.updates_requested > 0
+
+    def test_no_transit_table_can_violate(self):
+        # Slow insertions + fast updates: pending connections re-hash.
+        config = small_config(
+            use_transit_table=False,
+            insertion_rate_per_s=2_000.0,
+            learning_filter_timeout_s=5e-3,
+        )
+        report, _, _ = run_switch(
+            config, updates_per_min=60.0, conns_per_min=20_000.0, num_vips=2
+        )
+        assert report.pcc_violations > 0
+
+    def test_transit_beats_no_transit_on_same_workload(self):
+        kwargs = dict(updates_per_min=60.0, conns_per_min=15_000.0, num_vips=2)
+        with_tt, _, _ = run_switch(
+            small_config(insertion_rate_per_s=2_000.0, learning_filter_timeout_s=5e-3),
+            **kwargs,
+        )
+        without_tt, _, _ = run_switch(
+            small_config(
+                use_transit_table=False,
+                insertion_rate_per_s=2_000.0,
+                learning_filter_timeout_s=5e-3,
+            ),
+            **kwargs,
+        )
+        assert with_tt.pcc_violations <= without_tt.pcc_violations
+
+    def test_updates_eventually_complete(self):
+        report, switch, _ = run_switch(small_config(), updates_per_min=20.0)
+        assert switch.coordinator.updates_completed == switch.coordinator.updates_requested
+
+
+class TestDataPathDetails:
+    def test_connections_installed_into_conn_table(self):
+        report, switch, conns = run_switch(small_config(), updates_per_min=0.0)
+        # Long-lived connections should be resident at horizon end.
+        assert len(switch.conn_table) > 0
+        assert switch.cpu.completed > 0
+
+    def test_decisions_point_to_pool_members(self):
+        report, switch, conns = run_switch(small_config(), updates_per_min=5.0)
+        for conn in conns[:500]:
+            for _t, dip in conn.decisions:
+                assert dip is None or isinstance(dip, DirectIP)
+                assert dip is not None  # never blackholed
+
+    def test_expired_connections_leave_table(self):
+        config = small_config(idle_timeout_s=0.5)
+        cluster = make_cluster(num_vips=2, dips_per_vip=4)
+        switch = SilkRoadSwitch(config)
+        for svc in cluster.services:
+            switch.announce_vip(svc.vip, svc.dips)
+        from repro.netsim.flows import DurationModel
+
+        short = DurationModel(median_s=1.0, sigma=0.1)
+        conns = ArrivalGenerator(seed=1).generate(
+            uniform_vip_workloads(cluster.vips, 600.0, duration_model=short),
+            horizon_s=30.0,
+        )
+        sim = FlowSimulator(switch)
+        sim.run(conns, horizon_s=30.0)
+        # Drain the expiry events past the last end + idle timeout.
+        sim.queue.run_until(60.0)
+        assert len(switch.conn_table) == 0
+
+    def test_version_refcounts_balanced_after_expiry(self):
+        config = small_config(idle_timeout_s=0.1)
+        cluster = make_cluster(num_vips=1, dips_per_vip=4)
+        switch = SilkRoadSwitch(config)
+        vip = cluster.vips[0]
+        switch.announce_vip(vip, cluster.services[0].dips)
+        from repro.netsim.flows import DurationModel
+
+        conns = ArrivalGenerator(seed=2).generate(
+            uniform_vip_workloads(
+                cluster.vips, 1200.0, duration_model=DurationModel(1.0, 0.1)
+            ),
+            horizon_s=20.0,
+        )
+        sim = FlowSimulator(switch)
+        sim.run(conns, horizon_s=20.0)
+        sim.queue.run_until(40.0)
+        current = switch.dip_pools.current_version(vip)
+        assert switch.dip_pools.refcount(vip, current) == 0
+
+    def test_report_keys(self):
+        report, switch, _ = run_switch(small_config())
+        for key in (
+            "conn_table_entries",
+            "fp_syn_redirects",
+            "transit_false_positives",
+            "updates_completed",
+            "sram_bytes",
+        ):
+            assert key in report.extra
+
+
+class TestRemovalBreakage:
+    def test_connections_on_removed_dip_marked(self):
+        cluster = make_cluster(num_vips=1, dips_per_vip=4)
+        vip = cluster.vips[0]
+        switch = SilkRoadSwitch(small_config())
+        switch.announce_vip(vip, cluster.services[0].dips)
+        conns = ArrivalGenerator(seed=3).generate(
+            uniform_vip_workloads([vip], 3000.0), horizon_s=30.0
+        )
+        # Remove one DIP mid-run.
+        victim = cluster.services[0].dips[0]
+        update = UpdateEvent(15.0, vip, UpdateKind.REMOVE, victim)
+        report = FlowSimulator(switch).run(conns, [update], horizon_s=30.0)
+        broken = [c for c in conns if c.broken_by_removal]
+        assert broken  # some connections were on that DIP
+        # Their remaps are not counted as LB-caused PCC violations.
+        assert report.pcc_violations == 0
+
+
+class TestTableOverflow:
+    def test_overflow_counted_not_crashed(self):
+        config = small_config(conn_table_capacity=200)
+        report, switch, _ = run_switch(
+            config, updates_per_min=0.0, conns_per_min=20_000.0, horizon=30.0
+        )
+        assert switch.table_full_events > 0

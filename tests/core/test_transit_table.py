@@ -1,0 +1,71 @@
+"""Tests for the TransitTable wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transit_table import TransitTable
+
+
+class TestLifecycle:
+    def test_mark_and_check(self):
+        tt = TransitTable(size_bytes=256)
+        tt.update_started()
+        tt.mark(b"pending-conn")
+        assert tt.check(b"pending-conn").positive
+        assert not tt.check(b"other").positive
+
+    def test_clear_on_last_update_finish(self):
+        tt = TransitTable(size_bytes=256)
+        tt.update_started()
+        tt.mark(b"x")
+        tt.update_finished()
+        assert not tt.check(b"x").positive
+        assert tt.clears == 1
+
+    def test_shared_across_concurrent_updates(self):
+        tt = TransitTable(size_bytes=256)
+        tt.update_started()  # VIP A
+        tt.update_started()  # VIP B
+        tt.mark(b"conn-of-a")
+        tt.update_finished()  # A finishes; B still needs the filter
+        assert tt.check(b"conn-of-a").positive
+        assert tt.clears == 0
+        tt.update_finished()
+        assert tt.clears == 1
+        assert not tt.check(b"conn-of-a").positive
+
+    def test_unbalanced_finish_raises(self):
+        tt = TransitTable()
+        with pytest.raises(RuntimeError):
+            tt.update_finished()
+
+    def test_active_updates_tracked(self):
+        tt = TransitTable()
+        assert tt.active_updates == 0
+        tt.update_started()
+        assert tt.active_updates == 1
+
+
+class TestFalsePositives:
+    def test_tiny_filter_false_positives_flagged(self):
+        tt = TransitTable(size_bytes=8, num_hashes=2)
+        tt.update_started()
+        for i in range(50):
+            tt.mark(f"member-{i}".encode())
+        hits = [tt.check(f"outsider-{i}".encode()) for i in range(100)]
+        fps = [q for q in hits if q.positive]
+        assert fps and all(q.false_positive for q in fps)
+        assert tt.false_positives == len(fps)
+
+    def test_paper_256b_filter_is_enough(self):
+        # §6.2: 256 B protects the tens of pending connections per update.
+        tt = TransitTable(size_bytes=256)
+        assert tt.expected_false_positive_rate(60) < 1e-3
+
+    def test_population_and_fill(self):
+        tt = TransitTable(size_bytes=64)
+        tt.update_started()
+        tt.mark(b"a")
+        assert tt.population == 1
+        assert tt.fill_ratio > 0.0

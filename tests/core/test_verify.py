@@ -1,0 +1,101 @@
+"""Tests for the whole-switch invariant verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SilkRoadConfig, SilkRoadSwitch
+from repro.core.verify import InvariantViolation, verify_switch
+from repro.netsim import (
+    ArrivalGenerator,
+    FlowSimulator,
+    UpdateGenerator,
+    make_cluster,
+    spare_pool,
+    uniform_vip_workloads,
+)
+
+
+def run_busy_switch(seed=31, updates_per_min=30.0, horizon=60.0):
+    cluster = make_cluster(num_vips=3, dips_per_vip=6)
+    switch = SilkRoadSwitch(
+        SilkRoadConfig(conn_table_capacity=30_000, insertion_rate_per_s=20_000.0)
+    )
+    for service in cluster.services:
+        switch.announce_vip(service.vip, service.dips)
+    conns = ArrivalGenerator(seed=seed).generate(
+        uniform_vip_workloads(cluster.vips, 6_000.0), horizon_s=horizon, warmup_s=10.0
+    )
+    updates = UpdateGenerator(seed=seed + 1).poisson_updates(
+        cluster.pools(), updates_per_min=updates_per_min, horizon_s=horizon,
+        spare_dips=spare_pool(cluster),
+    )
+    sim = FlowSimulator(switch)
+    sim.run(conns, updates, horizon_s=horizon)
+    return switch, sim
+
+
+class TestVerifyCleanStates:
+    def test_freshly_provisioned_switch(self):
+        cluster = make_cluster(num_vips=2, dips_per_vip=4)
+        switch = SilkRoadSwitch(SilkRoadConfig(conn_table_capacity=1000))
+        for service in cluster.services:
+            switch.announce_vip(service.vip, service.dips)
+        verify_switch(switch)
+
+    def test_after_busy_simulation(self):
+        switch, _sim = run_busy_switch()
+        verify_switch(switch)
+
+    def test_after_drain(self):
+        switch, sim = run_busy_switch(horizon=40.0)
+        sim.queue.run_until(4000.0)  # all connections end and expire
+        verify_switch(switch)
+
+    def test_mid_simulation_snapshots(self):
+        cluster = make_cluster(num_vips=2, dips_per_vip=4)
+        switch = SilkRoadSwitch(SilkRoadConfig(conn_table_capacity=10_000))
+        for service in cluster.services:
+            switch.announce_vip(service.vip, service.dips)
+        conns = ArrivalGenerator(seed=5).generate(
+            uniform_vip_workloads(cluster.vips, 3_000.0), horizon_s=30.0
+        )
+        updates = UpdateGenerator(seed=6).poisson_updates(
+            cluster.pools(), updates_per_min=20.0, horizon_s=30.0,
+            spare_dips=spare_pool(cluster),
+        )
+        sim = FlowSimulator(switch)
+        switch.bind(sim.queue)
+        for conn in conns:
+            sim.queue.schedule(conn.start, lambda c=conn: switch.on_connection_arrival(c), 2)
+            sim.queue.schedule(conn.end, lambda c=conn: switch.on_connection_end(c), 3)
+        for event in updates:
+            sim.queue.schedule(event.time, lambda e=event: switch.apply_update(e), 0)
+        for checkpoint in (5.0, 10.0, 20.0, 30.0):
+            sim.queue.run_until(checkpoint)
+            verify_switch(switch)
+
+
+class TestVerifyCatchesCorruption:
+    def test_detects_refcount_drift(self):
+        switch, _sim = run_busy_switch(horizon=30.0)
+        vip = switch.vip_table.vips()[0]
+        version = switch.dip_pools.current_version(vip)
+        switch.dip_pools.acquire(vip, version)  # phantom reference
+        with pytest.raises(InvariantViolation):
+            verify_switch(switch)
+
+    def test_detects_version_mismatch(self):
+        switch, _sim = run_busy_switch(horizon=30.0, updates_per_min=0.0)
+        key = next(iter(switch.conn_table._table.keys()))
+        state = switch._states[key]
+        switch.conn_table._table.update(key, (state.version + 1) % 64)
+        with pytest.raises(InvariantViolation):
+            verify_switch(switch)
+
+    def test_detects_stale_pending_index(self):
+        switch, _sim = run_busy_switch(horizon=30.0, updates_per_min=0.0)
+        vip = switch.vip_table.vips()[0]
+        switch._pending_by_vip.setdefault(vip, set()).add(b"ghost-key")
+        with pytest.raises(InvariantViolation):
+            verify_switch(switch)

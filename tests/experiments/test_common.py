@@ -1,0 +1,72 @@
+"""Tests for the shared experiment scaffolding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import SoftwareLoadBalancer
+from repro.experiments.common import build_workload, silkroad_factory
+
+
+class TestBuildWorkload:
+    def test_deterministic_for_seed(self):
+        a = build_workload(updates_per_min=5.0, seed=3, horizon_s=60.0)
+        b = build_workload(updates_per_min=5.0, seed=3, horizon_s=60.0)
+        assert len(a.connections) == len(b.connections)
+        assert [c.start for c in a.connections[:50]] == [
+            c.start for c in b.connections[:50]
+        ]
+        assert len(a.updates) == len(b.updates)
+
+    def test_scale_changes_size(self):
+        small = build_workload(updates_per_min=5.0, seed=3, scale=0.2, horizon_s=60.0)
+        large = build_workload(updates_per_min=5.0, seed=3, scale=1.0, horizon_s=60.0)
+        assert len(large.connections) > len(small.connections)
+        assert len(large.cluster.services) > len(small.cluster.services)
+
+    def test_arrival_scale_only_changes_rate(self):
+        base = build_workload(updates_per_min=5.0, seed=3, horizon_s=60.0)
+        boosted = build_workload(
+            updates_per_min=5.0, seed=3, horizon_s=60.0, arrival_scale=2.0
+        )
+        assert len(boosted.connections) > 1.6 * len(base.connections)
+        assert len(boosted.cluster.services) == len(base.cluster.services)
+
+    def test_num_vips_override(self):
+        workload = build_workload(updates_per_min=1.0, seed=1, num_vips=3, horizon_s=30.0)
+        assert len(workload.cluster.services) == 3
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            build_workload(updates_per_min=1.0, scale=0.0)
+
+
+class TestReplay:
+    def test_replay_does_not_mutate_source(self):
+        workload = build_workload(updates_per_min=10.0, seed=4, scale=0.2, horizon_s=60.0)
+        workload.replay(lambda: SoftwareLoadBalancer())
+        # The stored connections carry no decisions: each replay clones.
+        assert all(not c.decisions for c in workload.connections)
+
+    def test_replays_are_independent(self):
+        workload = build_workload(updates_per_min=10.0, seed=4, scale=0.2, horizon_s=60.0)
+        r1, conns1, _ = workload.replay(lambda: SoftwareLoadBalancer())
+        r2, conns2, _ = workload.replay(lambda: SoftwareLoadBalancer())
+        assert r1.measured_connections == r2.measured_connections
+        assert conns1 is not conns2
+
+    def test_silkroad_factory_names(self):
+        assert silkroad_factory()().name == "silkroad"
+        assert (
+            silkroad_factory(use_transit_table=False)().name
+            == "silkroad-no-transittable"
+        )
+        assert silkroad_factory(name="custom")().name == "custom"
+
+    def test_silkroad_factory_config_applied(self):
+        switch = silkroad_factory(
+            transit_table_bytes=64, learning_timeout_s=2e-3, conn_table_capacity=1234
+        )()
+        assert switch.config.transit_table_bytes == 64
+        assert switch.config.learning_filter_timeout_s == 2e-3
+        assert switch.config.conn_table_capacity == 1234

@@ -1,0 +1,94 @@
+"""Micro-scale smoke tests for the flow-simulation figures (5, 16, 17, 18).
+
+The full laptop-scale runs live in benchmarks/; these verify the harness
+plumbing (sweeps, system wiring, result shapes) in seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig5, fig16, fig17, fig18
+
+
+class TestFig5Harness:
+    def test_points_cover_grid(self):
+        points = fig5.run(rates=(5.0,), scale=0.1, horizon_s=120.0, seed=1)
+        assert len(points) == 3  # one per policy
+        assert {p.policy for p in points} == set(fig5.POLICIES)
+        for p in points:
+            assert 0.0 <= p.slb_traffic_fraction <= 1.0
+            assert 0.0 <= p.violation_fraction <= 1.0
+
+    def test_pcc_policy_never_violates(self):
+        points = fig5.run(rates=(20.0,), scale=0.1, horizon_s=120.0, seed=2)
+        safe = next(p for p in points if p.policy == "Migrate-PCC")
+        assert safe.violation_fraction == 0.0
+
+    def test_cache_traffic_breaks_more_than_hadoop(self):
+        """§3.2: long flows mean many more old connections at migrate-back."""
+        kwargs = dict(rates=(30.0,), scale=0.05, horizon_s=300.0, seed=6)
+        hadoop = fig5.run(**kwargs)
+        from repro.netsim.flows import CACHE
+
+        cache = fig5.run(duration_model=CACHE, **kwargs)
+        h = next(p for p in hadoop if p.policy == "Migrate-1min")
+        c = next(p for p in cache if p.policy == "Migrate-1min")
+        assert c.violation_fraction > h.violation_fraction
+
+
+class TestFig16Harness:
+    def test_grid_and_silkroad_zero(self):
+        points = fig16.run(
+            rates=(10.0,),
+            scale=0.1,
+            horizon_s=60.0,
+            seed=3,
+            systems=fig16.default_systems(
+                insertion_rate_per_s=5_000.0, duet_period_s=20.0
+            ),
+        )
+        assert len(points) == 3
+        by = {p.system: p for p in points}
+        assert by["silkroad"].violations == 0
+        assert by["duet"].measured_connections > 0
+
+    def test_custom_system_subset(self):
+        points = fig16.run(
+            rates=(5.0,),
+            scale=0.1,
+            horizon_s=30.0,
+            seed=4,
+            systems={"silkroad": fig16.default_systems()["silkroad"]},
+        )
+        assert [p.system for p in points] == ["silkroad"]
+
+
+class TestFig17Harness:
+    def test_arrival_scales_swept(self):
+        points = fig17.run(
+            arrival_scales=(0.5, 1.0),
+            scale=0.1,
+            horizon_s=30.0,
+            seed=5,
+            systems={"silkroad": fig16.default_systems()["silkroad"]},
+        )
+        assert [p.arrival_scale for p in points] == [0.5, 1.0]
+        assert all(p.violations == 0 for p in points)
+
+
+class TestFig18Harness:
+    def test_grid_shape(self):
+        points = fig18.run(
+            sizes=(8, 256),
+            timeouts=(1e-3,),
+            scale=0.2,
+            horizon_s=20.0,
+            warmup_s=2.0,
+            arrival_scale=2.0,
+        )
+        assert len(points) == 2
+        assert {p.transit_bytes for p in points} == {8, 256}
+        for p in points:
+            assert p.violations >= 0
+            assert p.transit_fp_adopted >= 0

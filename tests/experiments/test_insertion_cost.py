@@ -1,0 +1,37 @@
+"""Tests for the insertion-cost experiment (§5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import insertion_cost
+
+
+@pytest.fixture(scope="module")
+def bands():
+    return insertion_cost.run(capacity=10_000)
+
+
+class TestInsertionCost:
+    def test_bands_cover_requested_loads(self, bands):
+        assert [b.load_high for b in bands] == [0.5, 0.75, 0.85, 0.95]
+
+    def test_moves_grow_with_occupancy(self, bands):
+        per_insert = [b.moves_per_insert for b in bands]
+        assert per_insert == sorted(per_insert)
+
+    def test_cheap_at_low_load(self, bands):
+        assert bands[0].moves_per_insert < 0.01
+
+    def test_still_sublinear_near_full(self, bands):
+        # The paper's "relatively small" cuckoo-search cost.
+        assert bands[-1].moves_per_insert < 1.0
+
+    def test_few_failures_below_95pct(self, bands):
+        total_insertions = sum(b.insertions for b in bands)
+        total_failures = sum(b.failures for b in bands)
+        assert total_failures < 0.01 * total_insertions
+
+    def test_main_renders(self):
+        out = insertion_cost.main()
+        assert "occupancy band" in out

@@ -1,0 +1,111 @@
+"""End-to-end integration tests: the paper's headline claims at small scale.
+
+These run the full stack (workload generation -> flow simulator -> each
+load-balancing system) and assert the qualitative results of §6:
+
+1. SilkRoad ensures PCC under frequent DIP-pool updates.
+2. SilkRoad-without-TransitTable breaks a few connections; Duet breaks
+   orders of magnitude more (old connections re-hash at migrate-back).
+3. An SLB tier also ensures PCC — SilkRoad's point is matching that
+   guarantee *in the ASIC*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import DuetLoadBalancer, MigrationPolicy, SoftwareLoadBalancer
+from repro.core import SilkRoadConfig, SilkRoadSwitch
+from repro.experiments.common import build_workload, silkroad_factory
+from repro.netsim import traffic_fraction_at
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # Small but busy: 2 VIPs, high per-VIP churn, slow CPU insertions.
+    return build_workload(
+        updates_per_min=40.0,
+        scale=0.3,
+        seed=99,
+        horizon_s=120.0,
+        arrival_scale=1.0,
+        num_vips=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def results(workload):
+    systems = {
+        "silkroad": silkroad_factory(
+            insertion_rate_per_s=3_000.0, learning_timeout_s=5e-3,
+            conn_table_capacity=100_000,
+        ),
+        "silkroad-no-tt": silkroad_factory(
+            use_transit_table=False,
+            insertion_rate_per_s=3_000.0,
+            learning_timeout_s=5e-3,
+            conn_table_capacity=100_000,
+        ),
+        "duet": lambda: DuetLoadBalancer(
+            policy=MigrationPolicy.PERIODIC, migrate_period_s=30.0
+        ),
+        "slb": lambda: SoftwareLoadBalancer(),
+    }
+    out = {}
+    for name, factory in systems.items():
+        report, conns, lb = workload.replay(factory)
+        out[name] = (report, conns, lb)
+    return out
+
+
+class TestHeadlineClaims:
+    def test_silkroad_ensures_pcc(self, results):
+        report, _, lb = results["silkroad"]
+        assert report.pcc_violations == 0
+
+    def test_silkroad_completes_all_updates(self, results):
+        _, _, lb = results["silkroad"]
+        assert lb.coordinator.updates_requested > 10
+        assert lb.coordinator.updates_completed == lb.coordinator.updates_requested
+
+    def test_no_transittable_breaks_some(self, results):
+        report, _, _ = results["silkroad-no-tt"]
+        assert report.pcc_violations > 0
+
+    def test_duet_breaks_more_than_silkroad_no_tt(self, results):
+        duet_report, _, _ = results["duet"]
+        no_tt_report, _, _ = results["silkroad-no-tt"]
+        assert duet_report.pcc_violations > no_tt_report.pcc_violations
+
+    def test_slb_ensures_pcc_too(self, results):
+        report, _, _ = results["slb"]
+        assert report.pcc_violations == 0
+
+    def test_duet_detours_traffic_through_slbs(self, results, workload):
+        _, conns, lb = results["duet"]
+        fraction = traffic_fraction_at(conns, lb.slb_intervals(), workload.horizon_s)
+        assert fraction > 0.3  # frequent updates keep VIPs at the SLB tier
+
+    def test_silkroad_fits_sram_budget(self, results):
+        _, _, lb = results["silkroad"]
+        # A laptop-scale instance is far below a 50 MB ASIC; the full-scale
+        # arithmetic is covered by fig12 tests.
+        assert lb.sram_bytes() < 50e6
+
+
+class TestSilkRoadInternals:
+    def test_meters_isolate_vips(self):
+        from repro.asicsim.meters import Color, MeterConfig
+
+        switch = SilkRoadSwitch(SilkRoadConfig(conn_table_capacity=1000))
+        meter = switch.meters.install(
+            "vip-ddos",
+            MeterConfig(cir_bps=8e3, eir_bps=0.0, cbs_bytes=1000, ebs_bytes=0),
+        )
+        assert switch.meters.mark("vip-ddos", 1000, 0.0) is Color.GREEN
+        assert switch.meters.mark("vip-ddos", 1000, 0.0) is Color.RED
+        assert switch.meters.mark("vip-quiet", 1000, 0.0) is Color.GREEN
+
+    def test_conn_table_invariants_after_run(self, results):
+        _, _, lb = results["silkroad"]
+        lb.conn_table.check_invariants()

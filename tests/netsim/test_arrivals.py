@@ -1,0 +1,93 @@
+"""Tests for connection arrival generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netsim.arrivals import ArrivalGenerator, VipWorkload, uniform_vip_workloads
+from repro.netsim.cluster import make_cluster
+from repro.netsim.flows import CACHE
+
+
+class TestVipWorkload:
+    def test_rate_conversion(self, vip):
+        w = VipWorkload(vip=vip, new_conns_per_min=600.0)
+        assert w.arrivals_per_second() == pytest.approx(10.0)
+
+
+class TestArrivalGenerator:
+    def test_count_matches_rate(self, vip):
+        gen = ArrivalGenerator(seed=1)
+        conns = gen.generate(
+            [VipWorkload(vip=vip, new_conns_per_min=600.0)], horizon_s=300.0
+        )
+        expected = 600.0 / 60.0 * 300.0
+        assert expected * 0.8 < len(conns) < expected * 1.2
+
+    def test_sorted_by_start(self, vip):
+        gen = ArrivalGenerator(seed=2)
+        conns = gen.generate(
+            [VipWorkload(vip=vip, new_conns_per_min=1000.0)], horizon_s=60.0
+        )
+        starts = [c.start for c in conns]
+        assert starts == sorted(starts)
+
+    def test_warmup_produces_negative_starts(self, vip):
+        gen = ArrivalGenerator(seed=3)
+        conns = gen.generate(
+            [VipWorkload(vip=vip, new_conns_per_min=2000.0)],
+            horizon_s=60.0,
+            warmup_s=30.0,
+        )
+        assert any(c.start < 0 for c in conns)
+        assert all(c.start >= -30.0 for c in conns)
+        assert all(c.start < 60.0 for c in conns)
+
+    def test_unique_five_tuples(self, vip):
+        gen = ArrivalGenerator(seed=4)
+        conns = gen.generate(
+            [VipWorkload(vip=vip, new_conns_per_min=5000.0)], horizon_s=60.0
+        )
+        keys = {c.key for c in conns}
+        assert len(keys) == len(conns)
+
+    def test_conn_ids_unique_across_calls(self, vip):
+        gen = ArrivalGenerator(seed=5)
+        a = gen.generate([VipWorkload(vip=vip, new_conns_per_min=500.0)], horizon_s=30.0)
+        b = gen.generate([VipWorkload(vip=vip, new_conns_per_min=500.0)], horizon_s=30.0)
+        ids = [c.conn_id for c in a + b]
+        assert len(set(ids)) == len(ids)
+
+    def test_reproducible_with_seed(self, vip):
+        a = ArrivalGenerator(seed=6).generate(
+            [VipWorkload(vip=vip, new_conns_per_min=500.0)], horizon_s=30.0
+        )
+        b = ArrivalGenerator(seed=6).generate(
+            [VipWorkload(vip=vip, new_conns_per_min=500.0)], horizon_s=30.0
+        )
+        assert [c.start for c in a] == [c.start for c in b]
+
+    def test_duration_model_respected(self, vip):
+        gen = ArrivalGenerator(seed=7)
+        conns = gen.generate(
+            [VipWorkload(vip=vip, new_conns_per_min=10_000.0, duration_model=CACHE)],
+            horizon_s=60.0,
+        )
+        assert np.median([c.duration for c in conns]) == pytest.approx(270.0, rel=0.2)
+
+    def test_rejects_bad_horizon(self, vip):
+        gen = ArrivalGenerator(seed=8)
+        with pytest.raises(ValueError):
+            gen.generate([VipWorkload(vip=vip, new_conns_per_min=1.0)], horizon_s=0.0)
+
+
+class TestUniformWorkloads:
+    def test_split_evenly(self):
+        cluster = make_cluster(num_vips=10)
+        workloads = uniform_vip_workloads(cluster.vips, 1000.0)
+        assert len(workloads) == 10
+        assert all(w.new_conns_per_min == pytest.approx(100.0) for w in workloads)
+
+    def test_empty_vips(self):
+        assert uniform_vip_workloads([], 1000.0) == []

@@ -1,0 +1,119 @@
+"""Tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.events import EventQueue
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(3.0, lambda: fired.append("c"))
+        q.schedule(1.0, lambda: fired.append("a"))
+        q.schedule(2.0, lambda: fired.append("b"))
+        q.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: fired.append("arrival"), priority=2)
+        q.schedule(1.0, lambda: fired.append("update"), priority=0)
+        q.run()
+        assert fired == ["update", "arrival"]
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: fired.append(1))
+        q.schedule(1.0, lambda: fired.append(2))
+        q.run()
+        assert fired == [1, 2]
+
+    def test_clock_advances(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(5.0, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [5.0]
+        assert q.now == 5.0
+
+    def test_scheduling_in_past_rejected(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: q.schedule(0.5, lambda: None))
+        with pytest.raises(ValueError):
+            q.run()
+
+    def test_schedule_in(self):
+        q = EventQueue()
+        fired = []
+        q.schedule_in(2.0, lambda: fired.append(q.now))
+        q.run()
+        assert fired == [2.0]
+        with pytest.raises(ValueError):
+            q.schedule_in(-1.0, lambda: None)
+
+    def test_negative_start_clock(self):
+        # Warm-up replay rewinds the clock below zero.
+        q = EventQueue()
+        q.now = -10.0
+        fired = []
+        q.schedule(-5.0, lambda: fired.append(q.now))
+        q.schedule(1.0, lambda: fired.append(q.now))
+        q.run_until(0.0)
+        assert fired == [-5.0]
+        assert q.now == 0.0
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: fired.append(1))
+        q.schedule(10.0, lambda: fired.append(10))
+        q.run_until(5.0)
+        assert fired == [1]
+        assert q.now == 5.0
+        assert len(q) == 1  # the 10.0 event still queued
+
+    def test_events_scheduled_during_run_fire(self):
+        q = EventQueue()
+        fired = []
+
+        def chain():
+            fired.append(q.now)
+            if q.now < 3.0:
+                q.schedule(q.now + 1.0, chain)
+
+        q.schedule(1.0, chain)
+        q.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        fired = []
+        handle = q.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        q.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        h1 = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert len(q) == 1
+        assert not q.empty
+
+    def test_run_with_max_events(self):
+        q = EventQueue()
+        for t in range(5):
+            q.schedule(float(t + 1), lambda: None)
+        assert q.run(max_events=3) == 3
+        assert len(q) == 2

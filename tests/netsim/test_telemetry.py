@@ -1,0 +1,101 @@
+"""Tests for the telemetry sampler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.events import EventQueue
+from repro.netsim.telemetry import Sampler, Series, watch_switch
+
+
+class TestSeries:
+    def test_statistics(self):
+        series = Series(name="x")
+        for t, v in [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0)]:
+            series.append(t, v)
+        assert series.min() == 1.0
+        assert series.max() == 3.0
+        assert series.mean() == pytest.approx(2.0)
+        assert series.last == 2.0
+        assert len(series) == 3
+
+    def test_time_average_sample_and_hold(self):
+        series = Series(name="x")
+        series.append(0.0, 10.0)
+        series.append(1.0, 0.0)
+        series.append(3.0, 0.0)
+        # 10 for 1s, then 0 for 2s -> 10/3.
+        assert series.time_average() == pytest.approx(10.0 / 3.0)
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            Series(name="x").max()
+
+
+class TestSampler:
+    def test_periodic_sampling(self):
+        queue = EventQueue()
+        counter = {"v": 0.0}
+        sampler = Sampler(queue, period_s=1.0)
+        sampler.probe("count", lambda: counter["v"])
+        sampler.start()
+
+        def bump():
+            counter["v"] += 1.0
+            if queue.now < 4.5:
+                queue.schedule_in(1.0, bump)
+
+        queue.schedule(0.5, bump)
+        queue.run_until(5.0)
+        series = sampler.series["count"]
+        assert len(series) == 5  # t = 1..5
+        assert series.values == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_stop(self):
+        queue = EventQueue()
+        sampler = Sampler(queue, period_s=1.0)
+        sampler.probe("one", lambda: 1.0)
+        sampler.start()
+        queue.run_until(3.0)
+        sampler.stop()
+        queue.run_until(10.0)
+        assert len(sampler.series["one"]) <= 4
+
+    def test_duplicate_probe_rejected(self):
+        sampler = Sampler(EventQueue())
+        sampler.probe("x", lambda: 0.0)
+        with pytest.raises(ValueError):
+            sampler.probe("x", lambda: 1.0)
+
+    def test_start_without_probes_rejected(self):
+        with pytest.raises(RuntimeError):
+            Sampler(EventQueue()).start()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Sampler(EventQueue(), period_s=0.0)
+
+    def test_summary(self):
+        queue = EventQueue()
+        sampler = Sampler(queue, period_s=1.0)
+        sampler.probe("x", lambda: queue.now)
+        sampler.start()
+        queue.run_until(3.0)
+        summary = sampler.summary()
+        assert summary["x"]["min"] == 1.0
+        assert summary["x"]["max"] == 3.0
+
+
+class TestWatchSwitch:
+    def test_standard_probes(self):
+        from repro.core import SilkRoadConfig, SilkRoadSwitch
+        from repro.netsim import make_cluster
+
+        cluster = make_cluster(num_vips=1, dips_per_vip=2)
+        switch = SilkRoadSwitch(SilkRoadConfig(conn_table_capacity=100))
+        switch.announce_vip(cluster.vips[0], cluster.services[0].dips)
+        sampler = Sampler(switch.queue, period_s=1.0)
+        watch_switch(sampler, switch)
+        sampler.sample_now()
+        assert sampler.series["conn_table_entries"].last == 0.0
+        assert sampler.series["sram_bytes"].last > 0.0

@@ -1,0 +1,67 @@
+"""Tests for the fabric/topology model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.packet import VirtualIP, five_tuple_for
+from repro.netsim.topology import Fabric, Layer, VipPlacement
+
+
+@pytest.fixture
+def fabric() -> Fabric:
+    return Fabric.build(num_tors=8, num_aggs=4, num_cores=2)
+
+
+class TestFabric:
+    def test_layer_widths(self, fabric):
+        assert fabric.layer_width(Layer.TOR) == 8
+        assert fabric.layer_width(Layer.AGG) == 4
+        assert fabric.layer_width(Layer.CORE) == 2
+        assert len(fabric.all_switches()) == 14
+
+    def test_build_validation(self):
+        with pytest.raises(ValueError):
+            Fabric.build(num_tors=0)
+
+    def test_ecmp_is_deterministic(self, fabric, vip):
+        flow = five_tuple_for(vip, src_ip=1, src_port=1024)
+        a = fabric.ecmp_pick(Layer.TOR, flow)
+        b = fabric.ecmp_pick(Layer.TOR, flow)
+        assert a == b
+
+    def test_ecmp_spreads_flows(self, fabric, vip):
+        hits = set()
+        for i in range(200):
+            flow = five_tuple_for(vip, src_ip=i, src_port=1024)
+            hits.add(fabric.ecmp_pick(Layer.TOR, flow).name)
+        assert len(hits) == 8  # all ToRs get some flows
+
+    def test_ecmp_share(self, fabric):
+        assert fabric.ecmp_share(Layer.CORE) == pytest.approx(0.5)
+
+
+class TestVipPlacement:
+    def test_default_layer_is_tor(self, fabric, vip):
+        placement = VipPlacement(fabric=fabric)
+        assert placement.layer_of(vip) is Layer.TOR
+
+    def test_assignment(self, fabric, vip):
+        placement = VipPlacement(fabric=fabric)
+        placement.assign(vip, Layer.CORE)
+        assert placement.layer_of(vip) is Layer.CORE
+        flow = five_tuple_for(vip, src_ip=1, src_port=1024)
+        assert placement.switch_for(flow).layer is Layer.CORE
+
+    def test_per_switch_connections_split(self, fabric):
+        vip_a = VirtualIP.parse("20.0.0.1:80")
+        vip_b = VirtualIP.parse("20.0.0.2:80")
+        placement = VipPlacement(fabric=fabric)
+        placement.assign(vip_a, Layer.CORE)
+        placement.assign(vip_b, Layer.TOR)
+        load = placement.per_switch_connections({vip_a: 1000.0, vip_b: 800.0})
+        assert load["core-0"] == pytest.approx(500.0)
+        assert load["core-1"] == pytest.approx(500.0)
+        assert load["tor-0"] == pytest.approx(100.0)
+        total = sum(load.values())
+        assert total == pytest.approx(1800.0)

@@ -1,0 +1,97 @@
+"""Tests for the packet parser/builder."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.packet import FiveTuple, TCP as PROTO_TCP, UDP as PROTO_UDP
+from repro.p4.parser import ParseError, build_packet, is_tcp_syn, parse_packet
+
+
+def tcp_tuple(v6=False) -> FiveTuple:
+    return FiveTuple(
+        src_ip=(0x2001 << 112) | 5 if v6 else 0x0A000001,
+        src_port=4321,
+        dst_ip=(0x2001 << 112) | 9 if v6 else 0x14000001,
+        dst_port=80,
+        proto=PROTO_TCP,
+        v6=v6,
+    )
+
+
+class TestRoundTrip:
+    def test_ipv4_tcp(self):
+        ft = tcp_tuple()
+        ctx = parse_packet(build_packet(ft, syn=True))
+        assert ctx.is_valid("ipv4") and ctx.is_valid("tcp")
+        assert ctx.get("ipv4.src_addr") == ft.src_ip
+        assert ctx.get("ipv4.dst_addr") == ft.dst_ip
+        assert ctx.get("tcp.src_port") == ft.src_port
+        assert ctx.get("tcp.dst_port") == ft.dst_port
+        assert ctx.five_tuple_bytes() == ft.key_bytes()
+
+    def test_ipv6_tcp(self):
+        ft = tcp_tuple(v6=True)
+        ctx = parse_packet(build_packet(ft))
+        assert ctx.is_valid("ipv6") and ctx.is_valid("tcp")
+        assert ctx.get("ipv6.src_addr") == ft.src_ip
+        assert ctx.five_tuple_bytes() == ft.key_bytes()
+
+    def test_ipv4_udp(self):
+        ft = FiveTuple(src_ip=1, src_port=53, dst_ip=2, dst_port=53, proto=PROTO_UDP)
+        ctx = parse_packet(build_packet(ft))
+        assert ctx.is_valid("udp") and not ctx.is_valid("tcp")
+        assert ctx.five_tuple_bytes() == ft.key_bytes()
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=65535),
+        st.integers(min_value=0, max_value=65535),
+    )
+    @settings(max_examples=60)
+    def test_key_bytes_preserved(self, src, dst, sport, dport):
+        ft = FiveTuple(src_ip=src, src_port=sport, dst_ip=dst, dst_port=dport)
+        assert parse_packet(build_packet(ft)).five_tuple_bytes() == ft.key_bytes()
+
+
+class TestSynDetection:
+    def test_syn(self):
+        ctx = parse_packet(build_packet(tcp_tuple(), syn=True))
+        assert is_tcp_syn(ctx)
+
+    def test_established(self):
+        ctx = parse_packet(build_packet(tcp_tuple(), syn=False))
+        assert not is_tcp_syn(ctx)
+
+    def test_udp_is_never_syn(self):
+        ft = FiveTuple(src_ip=1, src_port=2, dst_ip=3, dst_port=4, proto=PROTO_UDP)
+        assert not is_tcp_syn(parse_packet(build_packet(ft)))
+
+
+class TestErrors:
+    def test_truncated_frame(self):
+        with pytest.raises(ParseError):
+            parse_packet(b"\x00" * 10)
+
+    def test_truncated_ip(self):
+        frame = build_packet(tcp_tuple())[:20]
+        with pytest.raises(ParseError):
+            parse_packet(frame)
+
+    def test_non_ip_passes_through(self):
+        frame = b"\x02" * 12 + (0x0806).to_bytes(2, "big") + b"\x00" * 28  # ARP
+        ctx = parse_packet(frame)
+        assert ctx.is_valid("ethernet")
+        assert not ctx.is_valid("ipv4")
+
+    def test_unsupported_proto_build(self):
+        ft = FiveTuple(src_ip=1, src_port=2, dst_ip=3, dst_port=4, proto=47)
+        with pytest.raises(ParseError):
+            build_packet(ft)
+
+    def test_packet_length_recorded(self):
+        ctx = parse_packet(build_packet(tcp_tuple()))
+        assert ctx.standard["packet_length"] == 14 + 20 + 20

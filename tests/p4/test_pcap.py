@@ -1,0 +1,83 @@
+"""Tests for the pcap reader/writer."""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import pytest
+
+from repro.netsim.packet import FiveTuple
+from repro.p4.parser import build_packet, parse_packet
+from repro.p4.pcap import PcapError, read_pcap, write_pcap
+
+
+def frames(n=5):
+    out = []
+    for i in range(n):
+        ft = FiveTuple(src_ip=i + 1, src_port=1000 + i, dst_ip=99, dst_port=80)
+        out.append((float(i) + 0.25, build_packet(ft, syn=(i == 0))))
+    return out
+
+
+class TestRoundTrip:
+    def test_memory_roundtrip(self):
+        original = frames()
+        buffer = io.BytesIO()
+        assert write_pcap(buffer, original) == len(original)
+        buffer.seek(0)
+        loaded = read_pcap(buffer)
+        assert len(loaded) == len(original)
+        for (ts_a, data_a), (ts_b, data_b) in zip(original, loaded):
+            assert data_a == data_b
+            assert ts_b == pytest.approx(ts_a, abs=1e-6)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "traffic.pcap"
+        original = frames(3)
+        write_pcap(path, original)
+        loaded = read_pcap(path)
+        assert [d for _t, d in loaded] == [d for _t, d in original]
+
+    def test_frames_remain_parseable(self):
+        buffer = io.BytesIO()
+        write_pcap(buffer, frames(4))
+        buffer.seek(0)
+        for _ts, data in read_pcap(buffer):
+            ctx = parse_packet(data)
+            assert ctx.is_valid("ipv4") and ctx.is_valid("tcp")
+
+    def test_empty_capture(self):
+        buffer = io.BytesIO()
+        assert write_pcap(buffer, []) == 0
+        buffer.seek(0)
+        assert read_pcap(buffer) == []
+
+    def test_microsecond_rollover(self):
+        buffer = io.BytesIO()
+        write_pcap(buffer, [(1.9999999, b"\x00" * 14)])
+        buffer.seek(0)
+        (ts, _data), = read_pcap(buffer)
+        assert ts == pytest.approx(2.0, abs=1e-5)
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(PcapError):
+            read_pcap(io.BytesIO(b"\x00" * 24))
+
+    def test_truncated_header(self):
+        with pytest.raises(PcapError):
+            read_pcap(io.BytesIO(b"\x01\x02"))
+
+    def test_truncated_record(self):
+        buffer = io.BytesIO()
+        write_pcap(buffer, frames(1))
+        data = buffer.getvalue()[:-4]  # chop the last frame's tail
+        with pytest.raises(PcapError):
+            read_pcap(io.BytesIO(data))
+
+    def test_unsupported_linktype(self):
+        header = struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 113)
+        with pytest.raises(PcapError):
+            read_pcap(io.BytesIO(header))

@@ -1,0 +1,153 @@
+"""Equivalence tests: the P4 SilkRoad pipeline vs the object model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SilkRoadConfig, SilkRoadSwitch
+from repro.netsim import Connection, TupleFactory, UpdateEvent, UpdateKind, make_cluster
+from repro.p4 import SilkRoadP4, UPDATE_STEP2, build_packet
+
+
+@pytest.fixture
+def switch_and_conns():
+    cluster = make_cluster(num_vips=3, dips_per_vip=6)
+    switch = SilkRoadSwitch(SilkRoadConfig(conn_table_capacity=5000))
+    for service in cluster.services:
+        switch.announce_vip(service.vip, service.dips)
+    factory = TupleFactory()
+    conns = []
+    for i in range(60):
+        vip = cluster.vips[i % 3]
+        conn = Connection(
+            conn_id=i,
+            five_tuple=factory.next_for(vip),
+            vip=vip,
+            start=switch.queue.now,
+            duration=3600.0,
+        )
+        switch.on_connection_arrival(conn)
+        conns.append(conn)
+    switch.queue.run_until(switch.queue.now + 1.0)  # CPU installs entries
+    return cluster, switch, conns, factory
+
+
+class TestMirroredEquivalence:
+    def test_resident_connections_forward_identically(self, switch_and_conns):
+        _cluster, switch, conns, _factory = switch_and_conns
+        p4 = SilkRoadP4()
+        p4.mirror_from(switch)
+        for conn in conns:
+            result = p4.process(build_packet(conn.five_tuple))
+            assert result.forwarded
+            assert result.conn_table_hit
+            assert result.dip == conn.decisions[-1][1]
+
+    def test_new_connection_uses_current_pool(self, switch_and_conns):
+        cluster, switch, _conns, factory = switch_and_conns
+        p4 = SilkRoadP4()
+        p4.mirror_from(switch)
+        vip = cluster.vips[1]
+        ft = factory.next_for(vip)
+        result = p4.process(build_packet(ft, syn=True))
+        expected = switch.dip_pools.select(
+            vip, switch.dip_pools.current_version(vip), ft.key_bytes()
+        )
+        assert result.dip == expected
+        assert result.learned and not result.conn_table_hit
+
+    def test_equivalence_across_an_update(self, switch_and_conns):
+        cluster, switch, conns, factory = switch_and_conns
+        vip = cluster.vips[0]
+        victim = cluster.services[0].dips[0]
+        switch.apply_update(
+            UpdateEvent(switch.queue.now, vip, UpdateKind.REMOVE, victim)
+        )
+        switch.queue.run_until(switch.queue.now + 1.0)
+        p4 = SilkRoadP4()
+        p4.mirror_from(switch)
+        # Old connections still go where the object model pinned them.
+        for conn in conns:
+            result = p4.process(build_packet(conn.five_tuple))
+            assert result.forwarded
+            assert result.dip == conn.decisions[-1][1]
+        # New connections avoid the removed DIP.
+        for _ in range(20):
+            ft = factory.next_for(vip)
+            result = p4.process(build_packet(ft, syn=True))
+            assert result.dip != victim
+
+    def test_unknown_vip_dropped(self, switch_and_conns):
+        _cluster, switch, _conns, _factory = switch_and_conns
+        from repro.netsim.packet import FiveTuple
+
+        p4 = SilkRoadP4()
+        p4.mirror_from(switch)
+        stray = FiveTuple(src_ip=1, src_port=2, dst_ip=0x7F000001, dst_port=99)
+        result = p4.process(build_packet(stray))
+        assert result.dropped and not result.forwarded
+
+
+class TestStep2Behaviour:
+    def test_transit_hit_selects_old_version(self):
+        cluster = make_cluster(num_vips=1, dips_per_vip=4)
+        vip = cluster.vips[0]
+        factory = TupleFactory()
+        pending = factory.next_for(vip)
+
+        p4 = SilkRoadP4()
+        p4.program_vip(vip, version=1, old_version=0, update_state=UPDATE_STEP2)
+        dips = cluster.services[0].dips
+        p4.program_pool(vip, 0, dips)
+        p4.program_pool(vip, 1, dips[1:])
+        p4.transit_mark(pending.key_bytes())
+
+        result = p4.process(build_packet(pending, syn=False))
+        assert result.transit_hit
+        assert result.version == 0  # the old version protects it
+
+        fresh = factory.next_for(vip)
+        result = p4.process(build_packet(fresh, syn=False))
+        assert not result.transit_hit
+        assert result.version == 1
+
+    def test_syn_on_transit_hit_redirected(self):
+        cluster = make_cluster(num_vips=1, dips_per_vip=4)
+        vip = cluster.vips[0]
+        factory = TupleFactory()
+        pending = factory.next_for(vip)
+        p4 = SilkRoadP4()
+        p4.program_vip(vip, version=1, old_version=0, update_state=UPDATE_STEP2)
+        p4.program_pool(vip, 0, cluster.services[0].dips)
+        p4.program_pool(vip, 1, cluster.services[0].dips)
+        p4.transit_mark(pending.key_bytes())
+        result = p4.process(build_packet(pending, syn=True))
+        assert result.redirected_to_cpu  # §4.3's false-positive mitigation
+
+
+class TestLearning:
+    def test_miss_triggers_learn_digest(self):
+        cluster = make_cluster(num_vips=1, dips_per_vip=2)
+        vip = cluster.vips[0]
+        p4 = SilkRoadP4()
+        p4.program_vip(vip, version=0)
+        p4.program_pool(vip, 0, cluster.services[0].dips)
+        ft = TupleFactory().next_for(vip)
+        p4.process(build_packet(ft, syn=True))
+        assert len(p4.learned_digests) == 1
+        _stage, _bucket, _digest, key = p4.learned_digests[0]
+        assert key == ft.key_bytes()
+
+    def test_install_then_hit(self):
+        cluster = make_cluster(num_vips=1, dips_per_vip=2)
+        vip = cluster.vips[0]
+        p4 = SilkRoadP4()
+        p4.program_vip(vip, version=0)
+        p4.program_pool(vip, 0, cluster.services[0].dips)
+        ft = TupleFactory().next_for(vip)
+        p4.install_connection(ft.key_bytes(), stage=0, version=0)
+        result = p4.process(build_packet(ft))
+        assert result.conn_table_hit
+        p4.remove_connection(ft.key_bytes(), stage=0)
+        result = p4.process(build_packet(ft))
+        assert not result.conn_table_hit

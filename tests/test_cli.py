@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiments_args(self):
+        args = build_parser().parse_args(["experiments", "fig2", "table2"])
+        assert args.names == ["fig2", "table2"]
+
+    def test_pcc_defaults(self):
+        args = build_parser().parse_args(["pcc"])
+        assert args.system == "silkroad"
+        assert args.updates_per_min == 10.0
+
+
+class TestCommands:
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig16" in out and "table2" in out
+
+    def test_experiments_unknown_name(self, capsys):
+        assert main(["experiments", "nope"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "table1"]) == 0
+        assert "SRAM" in capsys.readouterr().out
+
+    def test_fleet_csv(self, capsys):
+        assert main(["fleet", "--seed", "3"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out[0].startswith("name,kind,")
+        assert len(out) == 1 + 100  # header + fleet
+
+    def test_forward(self, capsys):
+        assert main(["forward", "--vips", "2", "--dips", "4", "--count", "3"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 3
+        assert all("->" in line for line in out)
+
+    def test_pcc_small_run(self, capsys):
+        code = main(
+            [
+                "pcc", "--system", "slb", "--updates-per-min", "5",
+                "--scale", "0.1", "--horizon", "30",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "broke PCC" in out

@@ -1,0 +1,37 @@
+"""Top-level package surface tests."""
+
+from __future__ import annotations
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_exports(self):
+        assert repro.SilkRoadSwitch is not None
+        assert repro.SilkRoadConfig is not None
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.asicsim
+        import repro.baselines
+        import repro.cli
+        import repro.core
+        import repro.deploy
+        import repro.experiments
+        import repro.netsim
+        import repro.p4
+        import repro.traces
+
+    def test_all_lists_resolve(self):
+        import repro.asicsim as asicsim
+        import repro.baselines as baselines
+        import repro.core as core
+        import repro.netsim as netsim
+        import repro.p4 as p4
+
+        for module in (asicsim, baselines, core, netsim, p4):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"

@@ -1,0 +1,116 @@
+"""Tests for trace import/export."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.netsim.cluster import make_cluster, spare_pool
+from repro.netsim.updates import UpdateGenerator
+from repro.traces import (
+    FleetSynthesizer,
+    TraceFormatError,
+    dump_fleet,
+    dump_updates,
+    load_fleet,
+    load_updates,
+)
+
+
+class TestFleetRoundTrip:
+    def test_roundtrip_preserves_profiles(self):
+        fleet = FleetSynthesizer(seed=5).synthesize()
+        buffer = io.StringIO()
+        dump_fleet(fleet, buffer)
+        buffer.seek(0)
+        loaded = load_fleet(buffer)
+        assert loaded == fleet  # frozen dataclasses compare by value
+
+    def test_file_roundtrip(self, tmp_path):
+        fleet = FleetSynthesizer(seed=6).synthesize({})
+        fleet = FleetSynthesizer(seed=6).synthesize()
+        path = tmp_path / "fleet.csv"
+        dump_fleet(fleet, path)
+        assert load_fleet(path) == fleet
+
+    def test_missing_columns_rejected(self):
+        buffer = io.StringIO("name,kind\npop-0,pop\n")
+        with pytest.raises(TraceFormatError):
+            load_fleet(buffer)
+
+    def test_bad_row_reports_line(self):
+        fleet = FleetSynthesizer(seed=7).synthesize()
+        buffer = io.StringIO()
+        dump_fleet(fleet[:1], buffer)
+        text = buffer.getvalue().replace(",pop,", ",not-a-kind,", 1)
+        assert ",not-a-kind," in text
+        with pytest.raises(TraceFormatError, match="line 2"):
+            load_fleet(io.StringIO(text))
+
+
+class TestUpdateRoundTrip:
+    def make_events(self):
+        cluster = make_cluster(num_vips=3, dips_per_vip=4)
+        return UpdateGenerator(seed=9).poisson_updates(
+            cluster.pools(), updates_per_min=30.0, horizon_s=300.0,
+            spare_dips=spare_pool(cluster),
+        )
+
+    def test_roundtrip(self):
+        events = self.make_events()
+        assert events
+        buffer = io.StringIO()
+        dump_updates(events, buffer)
+        buffer.seek(0)
+        loaded = load_updates(buffer)
+        assert loaded == sorted(events, key=lambda e: e.time)
+
+    def test_roundtrip_v6(self):
+        from repro.netsim.cluster import ClusterType
+
+        cluster = make_cluster(kind=ClusterType.BACKEND, num_vips=2, dips_per_vip=4)
+        events = UpdateGenerator(seed=3).poisson_updates(
+            cluster.pools(), updates_per_min=20.0, horizon_s=300.0
+        )
+        buffer = io.StringIO()
+        dump_updates(events, buffer)
+        buffer.seek(0)
+        loaded = load_updates(buffer)
+        assert loaded == sorted(events, key=lambda e: e.time)
+        assert all(e.vip.v6 and e.dip.v6 for e in loaded)
+
+    def test_loaded_events_sorted(self):
+        events = self.make_events()
+        buffer = io.StringIO()
+        dump_updates(list(reversed(events)), buffer)
+        buffer.seek(0)
+        times = [e.time for e in load_updates(buffer)]
+        assert times == sorted(times)
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(TraceFormatError):
+            load_updates(io.StringIO("time_s,vip\n"))
+
+    def test_replayable_through_simulator(self):
+        """A dumped+loaded stream drives the simulator identically."""
+        from repro.baselines import SoftwareLoadBalancer
+        from repro.netsim import ArrivalGenerator, FlowSimulator, uniform_vip_workloads
+
+        cluster = make_cluster(num_vips=2, dips_per_vip=4)
+        events = UpdateGenerator(seed=4).poisson_updates(
+            cluster.pools(), updates_per_min=10.0, horizon_s=60.0,
+            spare_dips=spare_pool(cluster),
+        )
+        buffer = io.StringIO()
+        dump_updates(events, buffer)
+        buffer.seek(0)
+        loaded = load_updates(buffer)
+        lb = SoftwareLoadBalancer()
+        for service in cluster.services:
+            lb.announce_vip(service.vip, service.dips)
+        conns = ArrivalGenerator(seed=1).generate(
+            uniform_vip_workloads(cluster.vips, 600.0), horizon_s=60.0
+        )
+        report = FlowSimulator(lb).run(conns, loaded, horizon_s=60.0)
+        assert report.pcc_violations == 0

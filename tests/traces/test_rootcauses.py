@@ -1,0 +1,75 @@
+"""Tests for root-cause log synthesis (Figs 3 and 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netsim.cluster import ClusterType
+from repro.netsim.updates import RootCause
+from repro.traces.rootcauses import (
+    cause_mix_for,
+    cause_shares,
+    sample_causes,
+    synthesize_log,
+)
+
+
+class TestCauseMix:
+    def test_backend_mix_is_paper_mix(self):
+        mix = cause_mix_for(ClusterType.BACKEND)
+        assert mix[RootCause.UPGRADE] == pytest.approx(0.827)
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_pop_mix_excludes_backend_only_causes(self):
+        mix = cause_mix_for(ClusterType.POP)
+        assert RootCause.UPGRADE not in mix
+        assert RootCause.TESTING not in mix
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_shares_converge(self, rng):
+        causes = sample_causes(rng, 30_000, ClusterType.BACKEND)
+        share = causes.count(RootCause.UPGRADE) / len(causes)
+        assert share == pytest.approx(0.827, abs=0.02)
+
+    def test_count_validated(self, rng):
+        with pytest.raises(ValueError):
+            sample_causes(rng, -1)
+        assert sample_causes(rng, 0) == []
+
+
+class TestLogSynthesis:
+    def test_log_structure(self, rng):
+        log = synthesize_log(rng, 1000, ClusterType.BACKEND)
+        assert len(log) == 1000
+        times = [c.time_s for c in log]
+        assert times == sorted(times)
+
+    def test_removals_never_add(self, rng):
+        log = synthesize_log(rng, 2000, ClusterType.BACKEND)
+        for change in log:
+            if change.cause is RootCause.REMOVING:
+                assert not change.is_addition
+            if change.cause is RootCause.PROVISIONING:
+                assert change.is_addition
+
+    def test_downtime_presence_by_cause(self, rng):
+        log = synthesize_log(rng, 2000, ClusterType.BACKEND)
+        for change in log:
+            if change.cause in (RootCause.PROVISIONING, RootCause.REMOVING):
+                assert change.downtime_s is None
+            else:
+                assert change.downtime_s is not None and change.downtime_s > 0
+
+    def test_upgrade_downtime_statistics(self, rng):
+        log = synthesize_log(rng, 20_000, ClusterType.BACKEND)
+        downs = [c.downtime_s for c in log if c.cause is RootCause.UPGRADE]
+        assert np.median(downs) == pytest.approx(180.0, rel=0.15)  # 3 min
+
+    def test_cause_shares_roundtrip(self, rng):
+        log = synthesize_log(rng, 10_000, ClusterType.BACKEND)
+        shares = cause_shares(log)
+        assert shares[RootCause.UPGRADE] == pytest.approx(0.827, abs=0.03)
+        assert cause_shares([]) == {}
