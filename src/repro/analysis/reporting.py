@@ -38,6 +38,61 @@ def format_series(
     return "\n".join(lines)
 
 
+def format_metrics(metrics: Dict[str, object], title: str = "metrics") -> str:
+    """Render a metric catalogue (``registry_to_dict()['metrics']``).
+
+    Counters/gauges print their value; histograms print count plus the
+    summary statistics the exporters compute.
+    """
+    rows: List[Tuple[str, str, str]] = []
+    for name in sorted(metrics):
+        payload = metrics[name]
+        if not isinstance(payload, dict):
+            rows.append((name, "?", _fmt(payload)))
+            continue
+        kind = str(payload.get("type", "?"))
+        if kind == "histogram":
+            count = payload.get("count", 0)
+            if count:
+                detail = (
+                    f"count={count} mean={_fmt(payload['mean'])} "
+                    f"p50={_fmt(payload['p50'])} p99={_fmt(payload['p99'])} "
+                    f"max={_fmt(payload['max'])}"
+                )
+            else:
+                detail = "count=0"
+            rows.append((name, kind, detail))
+        else:
+            rows.append((name, kind, _fmt(payload.get("value", 0.0))))
+    return format_table(("metric", "type", "value"), rows, title=title)
+
+
+def format_spans(
+    spans: Sequence[Dict[str, object]], title: str = "trace spans", limit: int = 20
+) -> str:
+    """Render trace-span dicts (``Tracer.to_dicts()``) as a table."""
+    rows: List[Tuple[object, ...]] = []
+    for span in spans[:limit]:
+        marks = span.get("marks", {})
+        marks_text = " ".join(
+            f"{k}={_fmt(v)}" for k, v in sorted(marks.items(), key=lambda kv: kv[1])
+        )
+        attrs = span.get("attrs", {})
+        attrs_text = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        rows.append(
+            (
+                span.get("name", "?"),
+                span.get("start", 0.0),
+                span.get("duration", 0.0),
+                marks_text,
+                attrs_text,
+            )
+        )
+    if len(spans) > limit:
+        title = f"{title} (first {limit} of {len(spans)})"
+    return format_table(("span", "start", "duration_s", "marks", "attrs"), rows, title=title)
+
+
 def format_comparison(
     title: str, paper: Dict[str, float], measured: Dict[str, float], unit: str = ""
 ) -> str:

@@ -34,6 +34,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from ..obs.metrics import Scope
 from .hashing import HashUnit, hash_family
 from .sram import DEFAULT_WORD_BITS, bytes_for_entries
 
@@ -116,6 +117,10 @@ class CuckooTable:
         Load factor above which insertions fail immediately instead of
         running the BFS (saturated-table protection).  Set to 1.0 to
         always search (occupancy ablations do).
+    metrics:
+        Optional :class:`~repro.obs.metrics.Scope`; when given, the table
+        registers always-on instruments (lookups, false positives, insert
+        attempts/failures, cuckoo moves, per-stage occupancy).
     """
 
     def __init__(
@@ -130,6 +135,7 @@ class CuckooTable:
         max_bfs_nodes: int = 4096,
         fast_fail_load: float = 0.98,
         seed: int = 0x51CC_0AD0,
+        metrics: Optional[Scope] = None,
     ) -> None:
         if buckets_per_stage <= 0:
             raise ValueError("buckets_per_stage must be positive")
@@ -174,6 +180,60 @@ class CuckooTable:
         self.total_lookups = 0
         self.failed_inserts = 0
         self.collision_relocations = 0
+        self._wire_metrics(metrics)
+
+    def _wire_metrics(self, metrics: Optional[Scope]) -> None:
+        """Register instruments; hot-path increments are guarded on None."""
+        if metrics is None:
+            self._m_lookups = self._m_lookup_fp = None
+            self._m_insert_attempts = self._m_inserts = None
+            self._m_insert_failures = self._m_moves = None
+            self._m_moves_hist = self._m_relocations = self._m_deletes = None
+            return
+        self._m_lookups = metrics.counter(
+            "lookups_total", "data-plane digest lookups"
+        )
+        self._m_lookup_fp = metrics.counter(
+            "lookup_false_positives_total", "digest matches on a different key"
+        )
+        self._m_insert_attempts = metrics.counter(
+            "insert_attempts_total", "software insertion attempts"
+        )
+        self._m_inserts = metrics.counter(
+            "inserts_total", "successful insertions"
+        )
+        self._m_insert_failures = metrics.counter(
+            "insert_failures_total", "insertions rejected (table full)"
+        )
+        self._m_moves = metrics.counter(
+            "cuckoo_moves_total", "entries moved by the cuckoo BFS"
+        )
+        self._m_moves_hist = metrics.histogram(
+            "cuckoo_moves_per_insert",
+            buckets=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+            help="BFS moves needed per successful insertion",
+        )
+        self._m_relocations = metrics.counter(
+            "collision_relocations_total", "digest-twin relocations before insert"
+        )
+        self._m_deletes = metrics.counter(
+            "deletes_total", "entry removals (connection expiry)"
+        )
+        metrics.gauge("occupancy", "resident entries").set_function(
+            lambda: float(len(self._where))
+        )
+        metrics.gauge("load_factor", "occupancy / capacity").set_function(
+            lambda: self.load_factor
+        )
+        metrics.gauge("capacity", "total slots").set(float(self.capacity))
+        for stage in range(self.stages):
+            metrics.gauge(
+                f"stage{stage}_occupancy", f"resident entries in stage {stage}"
+            ).set_function(
+                lambda s=stage: float(
+                    sum(1 for loc in self._where.values() if loc.stage == s)
+                )
+            )
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -281,6 +341,8 @@ class CuckooTable:
         ground-truth ``false_positive`` flag for measurement.
         """
         self.total_lookups += 1
+        if self._m_lookups is not None:
+            self._m_lookups.value += 1.0
         profile = self._profile(key)
         for stage, (bucket, digest) in enumerate(profile):
             for way, slot in enumerate(self._slots[stage][bucket]):
@@ -288,6 +350,8 @@ class CuckooTable:
                     fp = slot.key != key
                     if fp:
                         self.false_positive_lookups += 1
+                        if self._m_lookup_fp is not None:
+                            self._m_lookup_fp.value += 1.0
                     return LookupResult(
                         hit=True,
                         value=slot.value,
@@ -393,6 +457,8 @@ class CuckooTable:
         """
         if key in self._where:
             raise DuplicateKey(f"key already resident: {key!r}")
+        if self._m_insert_attempts is not None:
+            self._m_insert_attempts.value += 1.0
         # Fast-fail when the table is effectively packed: running the BFS
         # for every arrival at a saturated table would burn the switch CPU
         # (and the simulator) for nothing.
@@ -400,6 +466,8 @@ class CuckooTable:
             self.capacity * self.fast_fail_load
         ):
             self.failed_inserts += 1
+            if self._m_insert_failures is not None:
+                self._m_insert_failures.value += 1.0
             raise TableFull(
                 f"table effectively full ({len(self._where)}/{self.capacity})"
             )
@@ -412,18 +480,23 @@ class CuckooTable:
         for twin in self._digest_twins(key):
             if self.relocate(twin):
                 self.collision_relocations += 1
+                if self._m_relocations is not None:
+                    self._m_relocations.value += 1.0
 
         # Fast path: a free, legal slot in some candidate bucket.
         for stage, (bucket, _digest) in enumerate(profile):
             way = self._free_way(stage, bucket)
             if way is not None and self._placement_legal(key, stage):
                 self._place(key, value, Location(stage, bucket, way))
+                self._note_insert(0)
                 return InsertResult(Location(stage, bucket, way), moves=0)
 
         # BFS over move sequences.
         path = self._bfs_find_path(key)
         if path is None:
             self.failed_inserts += 1
+            if self._m_insert_failures is not None:
+                self._m_insert_failures.value += 1.0
             raise TableFull(
                 f"no slot for key after BFS over {self.max_bfs_nodes} nodes "
                 f"(load {self.load_factor:.3f})"
@@ -434,7 +507,14 @@ class CuckooTable:
         way = self._free_way(final_stage, final_bucket)
         assert way is not None, "BFS path did not free a slot"
         self._place(key, value, Location(final_stage, final_bucket, way))
+        self._note_insert(moves)
         return InsertResult(Location(final_stage, final_bucket, way), moves=moves)
+
+    def _note_insert(self, moves: int) -> None:
+        if self._m_inserts is not None:
+            self._m_inserts.value += 1.0
+            self._m_moves.value += moves
+            self._m_moves_hist.observe(float(moves))
 
     def _digest_twins(self, key: bytes) -> List[bytes]:
         """Resident keys whose stored digest collides with ``key`` in one of
@@ -565,6 +645,8 @@ class CuckooTable:
             raise KeyError(f"key not resident: {key!r}")
         self._slots[loc.stage][loc.bucket][loc.way] = None
         self._unregister(key)
+        if self._m_deletes is not None:
+            self._m_deletes.value += 1.0
 
     def relocate(self, key: bytes) -> bool:
         """Move a resident entry to a different stage.
@@ -630,6 +712,11 @@ class CuckooTable:
         # Every resident key's data-plane lookup must find its own entry.
         # (Preserve the measurement counters: this is a checker, not traffic.)
         saved = (self.total_lookups, self.false_positive_lookups)
+        saved_metrics = (
+            (self._m_lookups.value, self._m_lookup_fp.value)
+            if self._m_lookups is not None
+            else None
+        )
         try:
             for key in self._where:
                 result = self.lookup(key)
@@ -637,3 +724,5 @@ class CuckooTable:
                     raise AssertionError(f"resident key shadowed: {key!r}")
         finally:
             self.total_lookups, self.false_positive_lookups = saved
+            if saved_metrics is not None:
+                self._m_lookups.value, self._m_lookup_fp.value = saved_metrics

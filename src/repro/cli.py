@@ -10,6 +10,8 @@ Commands:
   as CSV.
 * ``forward`` — push a synthetic packet through the P4 SilkRoad pipeline
   and print the forwarding decision.
+* ``telemetry`` — run a small scenario and emit the full metric/trace dump
+  (JSON, JSONL, Prometheus text, or a human-readable table).
 """
 
 from __future__ import annotations
@@ -32,7 +34,90 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    runner.run_all(names, stream=sys.stdout)
+    runner.run_all(names, stream=sys.stdout, telemetry=args.telemetry)
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.reporting import format_metrics, format_spans
+    from .experiments.common import build_workload, silkroad_factory
+    from .netsim import FlowSimulator, Sampler, watch_switch
+    from .netsim.flows import Connection
+    from .obs import iter_jsonl, to_prometheus_text, write_jsonl
+
+    factory = silkroad_factory(
+        use_transit_table=(args.system != "silkroad-no-tt"),
+        insertion_rate_per_s=args.insertion_rate,
+    )
+    workload = build_workload(
+        updates_per_min=args.updates_per_min,
+        scale=args.scale,
+        seed=args.seed,
+        horizon_s=args.horizon,
+    )
+    # Like PccWorkload.replay, but with a Sampler attached to the queue so
+    # the dump carries time series alongside counters and spans.
+    conns = [
+        Connection(
+            conn_id=c.conn_id,
+            five_tuple=c.five_tuple,
+            vip=c.vip,
+            start=c.start,
+            duration=c.duration,
+            rate_bps=c.rate_bps,
+        )
+        for c in workload.connections
+    ]
+    lb = factory()
+    for service in workload.cluster.services:
+        lb.announce_vip(service.vip, service.dips)
+    sim = FlowSimulator(lb)
+    sampler = Sampler(sim.queue, period_s=args.period)
+    watch_switch(sampler, lb)
+    sampler.start()
+    report = sim.run(conns, workload.updates, horizon_s=workload.horizon_s)
+
+    doc = report.telemetry or lb.telemetry_snapshot()
+    doc["scenario"] = {
+        "system": args.system,
+        "updates_per_min": args.updates_per_min,
+        "scale": args.scale,
+        "horizon_s": args.horizon,
+        "seed": args.seed,
+        "insertion_rate_per_s": args.insertion_rate,
+        "sample_period_s": args.period,
+    }
+    doc["report"] = {
+        "total_connections": report.total_connections,
+        "measured_connections": report.measured_connections,
+        "pcc_violations": report.pcc_violations,
+        "violation_fraction": report.violation_fraction,
+    }
+    doc["series"] = sampler.summary()
+
+    out = open(args.out, "w") if args.out else sys.stdout
+    try:
+        if args.format == "json":
+            json.dump(doc, out, indent=2, sort_keys=True, default=str)
+            out.write("\n")
+        elif args.format == "jsonl":
+            records = list(iter_jsonl(lb.metrics, lb.tracer))
+            for key in ("scenario", "report", "series"):
+                records.append({"record": key, **doc[key]})
+            write_jsonl(out, records)
+        elif args.format == "prom":
+            out.write(to_prometheus_text(lb.metrics))
+        else:  # text
+            print(report.summary(), file=out)
+            print(file=out)
+            print(format_metrics(doc["metrics"]), file=out)
+            print(file=out)
+            print(format_spans(doc["spans"]), file=out)
+    finally:
+        if args.out:
+            out.close()
     return 0
 
 
@@ -133,6 +218,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p_exp.add_argument("names", nargs="*", help="experiment names (default: all)")
     p_exp.add_argument("--list", action="store_true", help="list experiment names")
+    p_exp.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="write per-experiment runner metrics to PATH as JSONL",
+    )
     p_exp.set_defaults(fn=_cmd_experiments)
 
     p_pcc = sub.add_parser("pcc", help="run one PCC simulation")
@@ -159,6 +249,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_fwd.add_argument("--pcap-out", help="write the generated frames to a pcap")
     p_fwd.add_argument("--pcap-in", help="replay frames from a pcap instead")
     p_fwd.set_defaults(fn=_cmd_forward)
+
+    p_tel = sub.add_parser(
+        "telemetry", help="run a scenario and dump the metric/trace telemetry"
+    )
+    p_tel.add_argument(
+        "--system", choices=("silkroad", "silkroad-no-tt"), default="silkroad"
+    )
+    p_tel.add_argument("--updates-per-min", type=float, default=20.0)
+    p_tel.add_argument("--scale", type=float, default=0.2)
+    p_tel.add_argument("--horizon", type=float, default=60.0)
+    p_tel.add_argument("--seed", type=int, default=7)
+    p_tel.add_argument("--period", type=float, default=1.0, help="sample period (s)")
+    p_tel.add_argument(
+        "--insertion-rate",
+        type=float,
+        default=50_000.0,
+        help="switch-CPU insertion rate (lower it to see queueing in spans)",
+    )
+    p_tel.add_argument(
+        "--format", choices=("json", "jsonl", "prom", "text"), default="json"
+    )
+    p_tel.add_argument("--out", help="write to a file instead of stdout")
+    p_tel.set_defaults(fn=_cmd_telemetry)
 
     return parser
 

@@ -22,13 +22,19 @@ from typing import Optional
 
 from ..asicsim.cuckoo import CuckooTable, InsertResult, LookupResult, TableFull
 from ..asicsim.sram import DEFAULT_WORD_BITS, bytes_for_entries
+from ..obs.metrics import Scope
 from .config import SilkRoadConfig
 
 
 class ConnTable:
     """The connection table of one SilkRoad switch."""
 
-    def __init__(self, config: SilkRoadConfig, seed: int = 0x51CC_0AD0) -> None:
+    def __init__(
+        self,
+        config: SilkRoadConfig,
+        seed: int = 0x51CC_0AD0,
+        metrics: Optional[Scope] = None,
+    ) -> None:
         self.config = config
         self._table = CuckooTable.for_capacity(
             config.conn_table_capacity,
@@ -40,6 +46,7 @@ class ConnTable:
             overhead_bits=config.overhead_bits,
             word_bits=config.word_bits,
             seed=seed,
+            metrics=metrics,
         )
 
     # -- data plane ----------------------------------------------------

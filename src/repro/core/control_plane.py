@@ -20,6 +20,7 @@ from typing import Callable, Optional, Tuple
 from ..asicsim.learning_filter import LearnBatch, LearnEvent
 from ..netsim.events import EventQueue
 from ..netsim.simulator import PRIO_INTERNAL
+from ..obs.metrics import LATENCY_BUCKETS_S, Scope
 
 #: Callback invoked when the CPU finishes installing one connection:
 #: ``(key, metadata, now)``.
@@ -34,6 +35,7 @@ class SwitchCpu:
         queue: EventQueue,
         insertion_rate_per_s: float,
         on_installed: InstallCallback,
+        metrics: Optional[Scope] = None,
     ) -> None:
         if insertion_rate_per_s <= 0:
             raise ValueError("insertion rate must be positive")
@@ -46,6 +48,33 @@ class SwitchCpu:
         self.submitted = 0
         self.completed = 0
         self.batches = 0
+        if metrics is None:
+            self._m_submitted = self._m_installed = None
+            self._m_batches = self._m_queue_delay = None
+        else:
+            self._m_submitted = metrics.counter(
+                "jobs_submitted_total", "insertion jobs queued on the CPU"
+            )
+            self._m_installed = metrics.counter(
+                "installs_total", "ConnTable installs completed"
+            )
+            self._m_batches = metrics.counter(
+                "batches_total", "learning-filter batches accepted"
+            )
+            self._m_queue_delay = metrics.histogram(
+                "batch_queueing_delay_s",
+                buckets=LATENCY_BUCKETS_S,
+                quantiles=(0.5, 0.99),
+                help="wait before the CPU starts a newly submitted batch",
+            )
+            # Re-registering after a rebind re-points the callbacks at the
+            # new CPU instance; counters are shared and keep accumulating.
+            metrics.gauge("backlog", "entries submitted but not installed").set_function(
+                lambda: float(self.backlog)
+            )
+            metrics.gauge(
+                "queueing_delay_s", "time until a job submitted now would start"
+            ).set_function(self.queueing_delay)
 
     @property
     def per_entry_s(self) -> float:
@@ -64,6 +93,9 @@ class SwitchCpu:
         """Enqueue a learning-filter batch; entries complete sequentially."""
         self.batches += 1
         start = max(self.queue.now, self._busy_until)
+        if self._m_batches is not None:
+            self._m_batches.value += 1.0
+            self._m_queue_delay.observe(max(0.0, start - self.queue.now))
         for event in batch.events:
             start += self.per_entry_s
             self._schedule_install(event.key, event.metadata, start)
@@ -77,9 +109,13 @@ class SwitchCpu:
 
     def _schedule_install(self, key: bytes, metadata: Tuple, when: float) -> None:
         self.submitted += 1
+        if self._m_submitted is not None:
+            self._m_submitted.value += 1.0
 
         def fire() -> None:
             self.completed += 1
+            if self._m_installed is not None:
+                self._m_installed.value += 1.0
             self.on_installed(key, metadata)
 
         self.queue.schedule(when, fire, PRIO_INTERNAL)

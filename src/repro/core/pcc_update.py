@@ -28,6 +28,8 @@ from typing import Callable, Deque, Dict, List, Optional, Set
 
 from ..netsim.packet import VirtualIP
 from ..netsim.updates import UpdateEvent
+from ..obs.metrics import LATENCY_BUCKETS_S, Scope
+from ..obs.tracing import TraceSpan, Tracer
 
 
 class Phase(enum.Enum):
@@ -45,6 +47,7 @@ class _VipUpdate:
     marked: Set[bytes] = field(default_factory=set)
     t_req: float = 0.0
     t_exec: float = 0.0
+    span: Optional[TraceSpan] = None
 
 
 @dataclass
@@ -77,6 +80,12 @@ class UpdateCoordinator:
       (called at ``t_finish``),
     * ``mark(key)`` — write the key into the TransitTable,
     * ``now()`` — simulation clock.
+
+    When a :class:`~repro.obs.tracing.Tracer` is attached, every update
+    produces one ``pcc_update`` span with ``t_req`` / ``t_exec`` /
+    ``t_finish`` marks (the Figure 11 timeline) carrying the pending and
+    marked connection counts at each transition; a metrics scope adds the
+    step-duration histograms.
     """
 
     def __init__(
@@ -87,6 +96,8 @@ class UpdateCoordinator:
         mark: Callable[[bytes], None],
         now: Callable[[], float],
         start: Optional[Callable[[VirtualIP], None]] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[Scope] = None,
     ) -> None:
         self._pending_keys = pending_keys
         self._execute = execute
@@ -94,10 +105,42 @@ class UpdateCoordinator:
         self._mark = mark
         self._now = now
         self._start = start or (lambda vip: None)
+        self._tracer = tracer
         self._vips: Dict[VirtualIP, _VipUpdate] = {}
         self.timings: List[UpdateTimings] = []
         self.updates_requested = 0
         self.updates_completed = 0
+        if metrics is None:
+            self._m_requested = self._m_completed = self._m_queued = None
+            self._m_step1 = self._m_step2 = self._m_total = None
+        else:
+            self._m_requested = metrics.counter(
+                "updates_requested_total", "DIP-pool updates requested"
+            )
+            self._m_completed = metrics.counter(
+                "updates_completed_total", "updates that reached t_finish"
+            )
+            self._m_queued = metrics.counter(
+                "updates_queued_total", "requests queued behind an in-flight update"
+            )
+            self._m_step1 = metrics.histogram(
+                "step1_duration_s",
+                buckets=LATENCY_BUCKETS_S,
+                quantiles=(0.5, 0.99),
+                help="t_exec - t_req: wait for pre-request pending connections",
+            )
+            self._m_step2 = metrics.histogram(
+                "step2_duration_s",
+                buckets=LATENCY_BUCKETS_S,
+                quantiles=(0.5, 0.99),
+                help="t_finish - t_exec: wait for marked connections",
+            )
+            self._m_total = metrics.histogram(
+                "update_duration_s",
+                buckets=LATENCY_BUCKETS_S,
+                quantiles=(0.5, 0.99),
+                help="t_finish - t_req: whole 3-step update",
+            )
 
     def _state(self, vip: VirtualIP) -> _VipUpdate:
         return self._vips.setdefault(vip, _VipUpdate())
@@ -117,9 +160,13 @@ class UpdateCoordinator:
     def request(self, event: UpdateEvent) -> None:
         """An operator requests a DIP-pool update (t_req if idle)."""
         self.updates_requested += 1
+        if self._m_requested is not None:
+            self._m_requested.value += 1.0
         state = self._state(event.vip)
         if state.phase is not Phase.IDLE:
             state.queued.append(event)
+            if self._m_queued is not None:
+                self._m_queued.value += 1.0
             return
         self._begin(state, event)
 
@@ -129,6 +176,17 @@ class UpdateCoordinator:
         state.t_req = self._now()
         state.awaiting_exec = set(self._pending_keys(event.vip))
         state.marked = set()
+        if self._tracer is not None:
+            state.span = self._tracer.start_span(
+                "pcc_update",
+                t=state.t_req,
+                vip=str(event.vip),
+                kind=event.kind.value,
+                dip=str(event.dip),
+            )
+            state.span.mark(
+                "t_req", state.t_req, pending_connections=len(state.awaiting_exec)
+            )
         self._start(event.vip)
         self._maybe_exec(event.vip, state)
 
@@ -183,6 +241,10 @@ class UpdateCoordinator:
             return
         state.phase = Phase.STEP2
         state.t_exec = self._now()
+        if state.span is not None:
+            state.span.mark(
+                "t_exec", state.t_exec, marked_connections=len(state.marked)
+            )
         assert state.active is not None
         self._execute(state.active)
         self._maybe_finish(vip, state)
@@ -191,10 +253,23 @@ class UpdateCoordinator:
         if state.phase is not Phase.STEP2 or state.marked:
             return
         t_finish = self._now()
-        self.timings.append(
-            UpdateTimings(vip=vip, t_req=state.t_req, t_exec=state.t_exec, t_finish=t_finish)
+        timing = UpdateTimings(
+            vip=vip, t_req=state.t_req, t_exec=state.t_exec, t_finish=t_finish
         )
+        self.timings.append(timing)
         self.updates_completed += 1
+        if self._m_completed is not None:
+            self._m_completed.value += 1.0
+            self._m_step1.observe(timing.step1_s)
+            self._m_step2.observe(timing.step2_s)
+            self._m_total.observe(t_finish - state.t_req)
+        if state.span is not None:
+            span = state.span
+            state.span = None
+            span.mark("t_finish", t_finish)
+            span.attrs["step1_s"] = timing.step1_s
+            span.attrs["step2_s"] = timing.step2_s
+            span.finish(t_finish)
         state.phase = Phase.IDLE
         state.active = None
         self._finish(vip)

@@ -31,6 +31,7 @@ from ..netsim.flows import Connection
 from ..netsim.packet import DirectIP, VirtualIP
 from ..netsim.simulator import LoadBalancer, PRIO_INTERNAL
 from ..netsim.updates import UpdateEvent, UpdateKind
+from ..obs import MetricRegistry, Tracer, telemetry_to_dict
 from .config import SilkRoadConfig
 from .conn_table import ConnTable
 from .control_plane import SwitchCpu
@@ -61,21 +62,39 @@ class _ConnState:
 class SilkRoadSwitch(LoadBalancer):
     """One SilkRoad switch instance."""
 
-    def __init__(self, config: SilkRoadConfig = SilkRoadConfig(), name: str = "silkroad"):
+    def __init__(
+        self,
+        config: SilkRoadConfig = SilkRoadConfig(),
+        name: str = "silkroad",
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         self.name = name
         self.config = config
+        # Every switch owns a metrics registry and a tracer (always-on, the
+        # instruments are cheap); callers may inject shared ones instead.
+        self.metrics = (
+            registry
+            if registry is not None
+            else MetricRegistry(labels={"switch": name})
+        )
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._cpu_metrics = self.metrics.scope("switch_cpu")
         self.vip_table = VipTable()
         self.dip_pools = DipPoolTable(
             version_bits=config.version_bits, version_reuse=config.version_reuse
         )
-        self.conn_table = ConnTable(config)
+        self.conn_table = ConnTable(config, metrics=self.metrics.scope("conn_table"))
         self.transit = TransitTable(
-            size_bytes=config.transit_table_bytes, num_hashes=config.transit_hash_ways
+            size_bytes=config.transit_table_bytes,
+            num_hashes=config.transit_hash_ways,
+            metrics=self.metrics.scope("transit_table"),
         )
         self.meters = MeterBank()
         self.learning = LearningFilter(
             capacity=config.learning_filter_capacity,
             timeout=config.learning_filter_timeout_s,
+            metrics=self.metrics.scope("learning_filter"),
         )
         self.coordinator = UpdateCoordinator(
             pending_keys=self._pending_keys_of,
@@ -84,6 +103,8 @@ class SilkRoadSwitch(LoadBalancer):
             mark=self._mark_transit,
             now=lambda: self.queue.now,
             start=lambda vip: self.transit.update_started(),
+            tracer=self.tracer,
+            metrics=self.metrics.scope("update"),
         )
         self._states: Dict[bytes, _ConnState] = {}
         self._pending_by_vip: Dict[VirtualIP, Set[bytes]] = {}
@@ -97,9 +118,39 @@ class SilkRoadSwitch(LoadBalancer):
         self.overflow_pinned = 0
         self.version_exhaustion_events = 0
         self.connections_seen = 0
+        self._register_switch_gauges()
         # A private queue lets the switch be driven directly as a library
         # object; FlowSimulator.bind() replaces it with the shared one.
         self.bind(EventQueue())
+
+    def _register_switch_gauges(self) -> None:
+        """Switch-level views over the slow-path counters (callback gauges,
+        so the cost is paid at sample/export time only)."""
+        scope = self.metrics.scope("switch")
+        scope.gauge("pending_connections", "arrived but not yet installed").set_function(
+            lambda: float(self.pending_connections())
+        )
+        scope.gauge("sram_bytes", "SRAM across all SilkRoad tables").set_function(
+            lambda: float(self.sram_bytes())
+        )
+        scope.gauge("connections_seen", "connection arrivals").set_function(
+            lambda: float(self.connections_seen)
+        )
+        scope.gauge("fp_syn_redirects", "SYNs redirected on digest collision").set_function(
+            lambda: float(self.fp_syn_redirects)
+        )
+        scope.gauge("transit_fp_adopted", "conns pinned to old version by Bloom FP").set_function(
+            lambda: float(self.transit_fp_adopted)
+        )
+        scope.gauge("table_full_events", "insertions hitting a full ConnTable").set_function(
+            lambda: float(self.table_full_events)
+        )
+        scope.gauge("overflow_pinned", "conns pinned in software on overflow").set_function(
+            lambda: float(self.overflow_pinned)
+        )
+        scope.gauge(
+            "version_exhaustion_events", "updates dropped: version space full"
+        ).set_function(lambda: float(self.version_exhaustion_events))
 
     # ------------------------------------------------------------------
     # Provisioning
@@ -419,6 +470,7 @@ class SilkRoadSwitch(LoadBalancer):
             queue,
             insertion_rate_per_s=self.config.insertion_rate_per_s,
             on_installed=self._on_installed,
+            metrics=self._cpu_metrics,
         )
 
     def apply_update_now(self, event: UpdateEvent) -> None:
@@ -443,6 +495,16 @@ class SilkRoadSwitch(LoadBalancer):
             + self.vip_table.sram_bytes(ipv6=ipv6)
             + self.transit.size_bytes
             + self.meters.sram_bytes
+        )
+
+    def telemetry_snapshot(self) -> Dict[str, object]:
+        """Machine-readable dump: every metric, every finished trace span,
+        plus the legacy flat counters.  The shape matches what
+        ``python -m repro.cli telemetry`` emits per switch."""
+        return telemetry_to_dict(
+            self.metrics,
+            self.tracer,
+            extra={"switch": self.name, "counters": self.report()},
         )
 
     def report(self) -> Dict[str, float]:

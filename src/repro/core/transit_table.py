@@ -20,15 +20,50 @@ from __future__ import annotations
 from typing import Optional
 
 from ..asicsim.registers import BloomFilter, BloomQuery
+from ..obs.metrics import Scope
 
 
 class TransitTable:
     """The shared pending-connection filter of one switch."""
 
-    def __init__(self, size_bytes: int = 256, num_hashes: int = 4, seed: int = 0xB100F):
+    def __init__(
+        self,
+        size_bytes: int = 256,
+        num_hashes: int = 4,
+        seed: int = 0xB100F,
+        metrics: Optional[Scope] = None,
+    ):
         self._filter = BloomFilter(size_bytes, num_hashes=num_hashes, seed=seed)
         self._active_updates = 0
         self.clears = 0
+        if metrics is None:
+            self._m_marks = self._m_checks = self._m_hits = None
+            self._m_fp = self._m_clears = None
+        else:
+            self._m_marks = metrics.counter(
+                "marks_total", "pending connections written during step 1"
+            )
+            self._m_checks = metrics.counter(
+                "checks_total", "ConnTable-miss packets that consulted the filter"
+            )
+            self._m_hits = metrics.counter(
+                "hits_total", "filter queries answered positive"
+            )
+            self._m_fp = metrics.counter(
+                "false_positives_total", "positive answers for never-marked keys"
+            )
+            self._m_clears = metrics.counter(
+                "clears_total", "filter wipes at step 3"
+            )
+            metrics.gauge("population", "keys marked since the last clear").set_function(
+                lambda: float(self._filter.population)
+            )
+            metrics.gauge("fill_ratio", "fraction of set bits").set_function(
+                lambda: self._filter.fill_ratio
+            )
+            metrics.gauge("active_updates", "updates currently using the filter").set_function(
+                lambda: float(self._active_updates)
+            )
 
     # -- update lifecycle ------------------------------------------------
 
@@ -44,6 +79,8 @@ class TransitTable:
         if self._active_updates == 0:
             self._filter.clear()
             self.clears += 1
+            if self._m_clears is not None:
+                self._m_clears.value += 1.0
 
     @property
     def active_updates(self) -> int:
@@ -55,10 +92,19 @@ class TransitTable:
         """Step 1: remember a pending connection (one-cycle transactional
         write in hardware)."""
         self._filter.insert(key)
+        if self._m_marks is not None:
+            self._m_marks.value += 1.0
 
     def check(self, key: bytes) -> BloomQuery:
         """Step 2: should this ConnTable-missing packet use the old version?"""
-        return self._filter.query(key)
+        query = self._filter.query(key)
+        if self._m_checks is not None:
+            self._m_checks.value += 1.0
+            if query.positive:
+                self._m_hits.value += 1.0
+                if query.false_positive:
+                    self._m_fp.value += 1.0
+        return query
 
     # -- accounting --------------------------------------------------------
 

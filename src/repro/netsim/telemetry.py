@@ -4,14 +4,20 @@ Operators judge a load balancer by its time series — ConnTable occupancy,
 CPU backlog, pending connections, update latency — not just end-of-run
 totals.  :class:`Sampler` attaches named probes (zero-argument callables)
 to the simulation's event queue and samples them on a fixed period,
-producing :class:`Series` objects with simple summary statistics.
+producing :class:`Series` objects with summary statistics and percentiles.
+
+Probes are fed from the :mod:`repro.obs` metrics registry wherever one is
+available — :func:`watch_switch` reads a SilkRoad switch's registry gauges
+and :meth:`Sampler.watch_registry` turns an entire registry into probes —
+so time series and end-of-run counters share a single metric namespace.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..obs.metrics import Counter, Gauge, Histogram, MetricRegistry
 from .events import EventQueue
 from .simulator import PRIO_INTERNAL
 
@@ -67,6 +73,18 @@ class Series:
             total += v0 * (t1 - t0)
         return total / span
 
+    def percentile(self, p: float) -> float:
+        """Value at quantile ``p`` (linear interpolation between samples)."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        if not self.points:
+            raise ValueError(f"series {self.name!r} is empty")
+        ordered = sorted(self.values)
+        rank = p * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
+
     def __len__(self) -> int:
         return len(self.points)
 
@@ -89,6 +107,33 @@ class Sampler:
             raise ValueError(f"probe already registered: {name}")
         self._probes[name] = fn
         self.series[name] = Series(name=name)
+
+    def watch_registry(
+        self,
+        registry: MetricRegistry,
+        names: Optional[Iterable[str]] = None,
+        prefix: str = "",
+    ) -> List[str]:
+        """Register one probe per registry instrument (shared namespace).
+
+        Counters and gauges are sampled by value; a histogram contributes
+        its running observation count as ``<name>.count``.  ``names``
+        restricts the selection; returns the probe names registered.
+        """
+        chosen = list(names) if names is not None else registry.names()
+        registered: List[str] = []
+        for name in chosen:
+            instrument = registry.get(name)
+            if isinstance(instrument, (Counter, Gauge)):
+                probe_name = f"{prefix}{name}"
+                self.probe(probe_name, lambda i=instrument: float(i.value))
+            elif isinstance(instrument, Histogram):
+                probe_name = f"{prefix}{name}.count"
+                self.probe(probe_name, lambda i=instrument: float(i.count))
+            else:  # pragma: no cover - future instrument kinds
+                continue
+            registered.append(probe_name)
+        return registered
 
     def start(self) -> None:
         if self._running:
@@ -118,7 +163,7 @@ class Sampler:
             self.series[name].append(now, float(fn()))
 
     def summary(self) -> Dict[str, Dict[str, float]]:
-        """Per-series min/mean/max/last for quick reporting."""
+        """Per-series min/mean/p50/p99/max/last for quick reporting."""
         out: Dict[str, Dict[str, float]] = {}
         for name, series in self.series.items():
             if not series.points:
@@ -126,14 +171,40 @@ class Sampler:
             out[name] = {
                 "min": series.min(),
                 "mean": series.mean(),
+                "p50": series.percentile(0.5),
+                "p99": series.percentile(0.99),
                 "max": series.max(),
                 "last": series.last if series.last is not None else 0.0,
             }
         return out
 
 
+#: Standard switch probes: series name -> registry instrument feeding it.
+_SWITCH_PROBES = {
+    "conn_table_entries": "conn_table.occupancy",
+    "conn_table_load": "conn_table.load_factor",
+    "pending_connections": "switch.pending_connections",
+    "cpu_backlog": "switch_cpu.backlog",
+    "sram_bytes": "switch.sram_bytes",
+}
+
+
 def watch_switch(sampler: Sampler, switch, prefix: str = "") -> None:
-    """Register the standard probes for a SilkRoad switch."""
+    """Register the standard probes for a SilkRoad switch.
+
+    When the switch carries a :class:`~repro.obs.metrics.MetricRegistry`
+    (``switch.metrics``), probes read the registry's gauges so the sampled
+    series and the exported metrics agree by construction; otherwise the
+    probes fall back to reading the switch's attributes directly.
+    """
+    registry = getattr(switch, "metrics", None)
+    if isinstance(registry, MetricRegistry) and all(
+        name in registry for name in _SWITCH_PROBES.values()
+    ):
+        for series_name, metric_name in _SWITCH_PROBES.items():
+            gauge = registry.get(metric_name)
+            sampler.probe(f"{prefix}{series_name}", lambda g=gauge: float(g.value))
+        return
     sampler.probe(f"{prefix}conn_table_entries", lambda: float(len(switch.conn_table)))
     sampler.probe(f"{prefix}conn_table_load", lambda: switch.conn_table.load_factor)
     sampler.probe(f"{prefix}pending_connections", lambda: float(switch.pending_connections()))

@@ -1,0 +1,62 @@
+"""Observability: metrics registry, trace spans, and exporters.
+
+The measurement layer the rest of the reproduction reports through:
+
+* :mod:`repro.obs.metrics` — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` primitives (with P² streaming quantiles) owned by a
+  :class:`MetricRegistry`; components receive :class:`Scope` prefix views.
+* :mod:`repro.obs.tracing` — :class:`TraceSpan` / :class:`Tracer` for
+  control-plane operations, most importantly the 3-step PCC update with
+  its ``t_req`` / ``t_exec`` / ``t_finish`` marks (Figure 11).
+* :mod:`repro.obs.export` — Prometheus text format and JSON/JSONL dumps,
+  plus the minimal parser the smoke tests round-trip through.
+
+Every :class:`~repro.core.silkroad.SilkRoadSwitch` owns a registry
+(``switch.metrics``) and a tracer (``switch.tracer``); the
+``python -m repro.cli telemetry`` command runs a scenario and emits the
+full dump.
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_S,
+    MetricRegistry,
+    P2Quantile,
+    Scope,
+    get_default_registry,
+)
+from .tracing import SpanEvent, TraceSpan, Tracer
+from .export import (
+    dump_json,
+    iter_jsonl,
+    parse_prometheus_text,
+    registry_to_dict,
+    telemetry_to_dict,
+    to_prometheus_text,
+    write_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "MetricRegistry",
+    "P2Quantile",
+    "Scope",
+    "SpanEvent",
+    "TraceSpan",
+    "Tracer",
+    "dump_json",
+    "get_default_registry",
+    "iter_jsonl",
+    "parse_prometheus_text",
+    "registry_to_dict",
+    "telemetry_to_dict",
+    "to_prometheus_text",
+    "write_jsonl",
+]

@@ -1,0 +1,205 @@
+"""Exporters: Prometheus text format and JSON/JSONL telemetry dumps.
+
+Two machine-readable renderings of a :class:`~repro.obs.metrics.MetricRegistry`
+(plus, for the JSON forms, the trace spans of a
+:class:`~repro.obs.tracing.Tracer`):
+
+* :func:`to_prometheus_text` — the Prometheus exposition text format
+  (``# HELP`` / ``# TYPE`` / samples; histograms as cumulative
+  ``_bucket{le=...}`` series).  :func:`parse_prometheus_text` is the
+  matching minimal parser, used by tests and smoke checks to prove the
+  output round-trips.
+* :func:`telemetry_to_dict` / :func:`dump_json` / :func:`iter_jsonl` —
+  one JSON document (or one JSONL record per metric/span) carrying the
+  full metric catalogue and every finished trace span.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, IO, Iterable, Iterator, List, Optional, Tuple
+
+from .metrics import Counter, Gauge, Histogram, MetricRegistry
+from .tracing import Tracer
+
+__all__ = [
+    "to_prometheus_text",
+    "parse_prometheus_text",
+    "registry_to_dict",
+    "telemetry_to_dict",
+    "dump_json",
+    "iter_jsonl",
+    "write_jsonl",
+]
+
+
+def _prom_name(namespace: str, name: str) -> str:
+    flat = name.replace(".", "_").replace("-", "_")
+    return f"{namespace}_{flat}" if namespace else flat
+
+
+def _labels_text(labels: Dict[str, str], extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    items = list(labels.items()) + list(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus_text(registry: MetricRegistry) -> str:
+    """Render a registry in the Prometheus exposition text format."""
+    lines: List[str] = []
+    labels = registry.labels
+    for name, instrument in registry.instruments():
+        prom = _prom_name(registry.namespace, name)
+        if instrument.help:
+            lines.append(f"# HELP {prom} {instrument.help}")
+        lines.append(f"# TYPE {prom} {instrument.kind}")
+        if isinstance(instrument, (Counter, Gauge)):
+            lines.append(f"{prom}{_labels_text(labels)} {_fmt_value(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            for bound, cumulative in instrument.cumulative_buckets():
+                le = _labels_text(labels, (("le", _fmt_value(bound)),))
+                lines.append(f"{prom}_bucket{le} {cumulative}")
+            lines.append(f"{prom}_sum{_labels_text(labels)} {_fmt_value(instrument.sum)}")
+            lines.append(f"{prom}_count{_labels_text(labels)} {instrument.count}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[str, float]]:
+    """Parse exposition text back into ``{metric: {label_sig: value}}``.
+
+    The label signature is the raw ``{...}`` block (empty string for none),
+    which is all the round-trip checks need.  Raises ``ValueError`` on
+    malformed sample lines, so it doubles as a format validator.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        # name{labels} value  |  name value
+        if "}" in line:
+            head, _, tail = line.partition("}")
+            name, _, labels = head.partition("{")
+            value_text = tail.strip()
+            label_sig = "{" + labels + "}"
+        else:
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"malformed sample line: {raw!r}")
+            name, value_text = parts
+            label_sig = ""
+        name = name.strip()
+        if not name:
+            raise ValueError(f"malformed sample line: {raw!r}")
+        try:
+            value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError as exc:
+            raise ValueError(f"malformed sample value in {raw!r}") from exc
+        out.setdefault(name, {})[label_sig] = value
+    return out
+
+
+def _histogram_dict(instrument: Histogram) -> Dict[str, object]:
+    out: Dict[str, object] = {
+        "type": "histogram",
+        "count": instrument.count,
+        "sum": instrument.sum,
+        "buckets": [
+            [("+Inf" if math.isinf(bound) else bound), cumulative]
+            for bound, cumulative in instrument.cumulative_buckets()
+        ],
+    }
+    if instrument.count:
+        out["min"] = instrument.min
+        out["max"] = instrument.max
+        out["mean"] = instrument.mean()
+        out["p50"] = instrument.percentile(0.5)
+        out["p99"] = instrument.percentile(0.99)
+    return out
+
+
+def registry_to_dict(registry: MetricRegistry) -> Dict[str, object]:
+    """One JSON-ready dict per instrument, keyed by dotted metric name."""
+    metrics: Dict[str, object] = {}
+    for name, instrument in registry.instruments():
+        if isinstance(instrument, Histogram):
+            metrics[name] = _histogram_dict(instrument)
+        else:
+            metrics[name] = {"type": instrument.kind, "value": instrument.value}
+    return {
+        "namespace": registry.namespace,
+        "labels": dict(registry.labels),
+        "metrics": metrics,
+    }
+
+
+def telemetry_to_dict(
+    registry: MetricRegistry,
+    tracer: Optional[Tracer] = None,
+    series: Optional[Dict[str, object]] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The full telemetry document: metrics + trace spans (+ time series)."""
+    doc = registry_to_dict(registry)
+    doc["spans"] = tracer.to_dicts() if tracer is not None else []
+    if series is not None:
+        doc["series"] = series
+    if extra:
+        doc.update(extra)
+    return doc
+
+
+def dump_json(
+    registry: MetricRegistry,
+    tracer: Optional[Tracer] = None,
+    stream: Optional[IO[str]] = None,
+    indent: int = 2,
+    **extra: object,
+) -> str:
+    """Serialize the telemetry document; optionally write it to ``stream``."""
+    doc = telemetry_to_dict(registry, tracer, extra=dict(extra) if extra else None)
+    text = json.dumps(doc, indent=indent, sort_keys=True, default=str)
+    if stream is not None:
+        stream.write(text)
+        stream.write("\n")
+    return text
+
+
+def iter_jsonl(
+    registry: MetricRegistry, tracer: Optional[Tracer] = None
+) -> Iterator[str]:
+    """One JSON line per metric and per finished span (streaming-friendly)."""
+    doc = registry_to_dict(registry)
+    for name, payload in doc["metrics"].items():
+        record = {"record": "metric", "name": name}
+        record.update(payload)
+        yield json.dumps(record, sort_keys=True, default=str)
+    if tracer is not None:
+        for span in tracer.to_dicts():
+            record = {"record": "span"}
+            record.update(span)
+            yield json.dumps(record, sort_keys=True, default=str)
+
+
+def write_jsonl(stream: IO[str], records: Iterable[object]) -> int:
+    """Write arbitrary records as JSONL; returns the number written."""
+    written = 0
+    for record in records:
+        if isinstance(record, str):
+            stream.write(record)
+        else:
+            stream.write(json.dumps(record, sort_keys=True, default=str))
+        stream.write("\n")
+        written += 1
+    return written

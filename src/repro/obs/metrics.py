@@ -1,0 +1,443 @@
+"""Process-wide metrics registry: counters, gauges and histograms.
+
+SilkRoad's evaluation lives on per-component quantities — ConnTable
+occupancy and cuckoo-move counts (§5.1), learning-filter drain latency and
+switch-CPU backlog (§6.2), TransitTable hit/false-positive rates — so every
+simulated component carries always-on instruments.  The primitives here are
+deliberately cheap (an increment is one attribute add) so they can stay
+enabled in the simulator hot path:
+
+* :class:`Counter` — monotonically increasing total,
+* :class:`Gauge` — point-in-time value, optionally computed by a callback
+  so the cost is paid at sample/export time rather than per event,
+* :class:`Histogram` — fixed cumulative buckets (Prometheus ``le``
+  semantics) plus optional :class:`P2Quantile` streaming estimators,
+* :class:`MetricRegistry` — the namespace that owns them, with
+  :meth:`MetricRegistry.scope` prefix views for per-component wiring.
+
+Instruments are get-or-create: asking a registry twice for the same name
+returns the same object, so components may re-wire (e.g. a switch re-bound
+to a new event queue) without losing or double-registering state.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "P2Quantile",
+    "Scope",
+    "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS_S",
+    "get_default_registry",
+]
+
+#: Generic count-style buckets (cuckoo moves, batch sizes, backlogs).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+    512.0, 1024.0, 2048.0, 4096.0,
+)
+
+#: Log-spaced latency buckets, 10 µs .. 10 s.
+LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+    1e-1, 3e-1, 1.0, 3.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "help", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value, set directly or computed by a callback."""
+
+    __slots__ = ("name", "help", "_value", "_fn")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self._fn = None
+        self._value = float(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Compute the gauge lazily; cost is paid at read time only."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+    def reset(self) -> None:
+        # Callback gauges keep their source of truth; stored gauges zero.
+        if self._fn is None:
+            self._value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class P2Quantile:
+    """Streaming quantile estimator (Jain & Chlamtac's P² algorithm).
+
+    Tracks one quantile in O(1) memory without storing observations —
+    exactly what an always-on simulator instrument needs for p99s over
+    millions of events.  Estimates are exact until five observations have
+    arrived, then piecewise-parabolic.
+    """
+
+    __slots__ = ("p", "_initial", "_q", "_n", "_np", "_dn", "count")
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError("p must be in (0, 1)")
+        self.p = p
+        self._initial: List[float] = []
+        self._q: List[float] = []
+        self._n: List[float] = []
+        self._np: List[float] = []
+        self._dn = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+        self.count = 0
+
+    def observe(self, x: float) -> None:
+        self.count += 1
+        if self._q:
+            self._update(x)
+            return
+        self._initial.append(x)
+        if len(self._initial) == 5:
+            self._initial.sort()
+            self._q = list(self._initial)
+            self._n = [0.0, 1.0, 2.0, 3.0, 4.0]
+            p = self.p
+            self._np = [0.0, 2.0 * p, 4.0 * p, 2.0 + 2.0 * p, 4.0]
+
+    def _update(self, x: float) -> None:
+        q, n = self._q, self._n
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            self._np[i] += self._dn[i]
+        # Adjust interior markers towards their desired positions.
+        for i in (1, 2, 3):
+            d = self._np[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:
+                    q[i] = self._linear(i, step)
+                n[i] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        j = i + int(d)
+        return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """Current estimate of the tracked quantile."""
+        if self._q:
+            return self._q[2]
+        if not self._initial:
+            raise ValueError("no observations")
+        ordered = sorted(self._initial)
+        rank = self.p * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
+
+    def reset(self) -> None:
+        self._initial.clear()
+        self._q = []
+        self._n = []
+        self._np = []
+        self.count = 0
+
+
+class Histogram:
+    """Fixed-bucket histogram with optional streaming quantiles.
+
+    Buckets follow Prometheus cumulative-``le`` semantics: an observation
+    lands in the first bucket whose upper bound is >= the value, and
+    ``+Inf`` catches the remainder.  ``quantiles`` attaches
+    :class:`P2Quantile` estimators (pay ~constant extra work per observe);
+    without them :meth:`percentile` interpolates inside the bucket CDF.
+    """
+
+    __slots__ = (
+        "name", "help", "bounds", "bucket_counts", "sum", "count",
+        "min", "max", "_estimators",
+    )
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+        quantiles: Sequence[float] = (),
+    ) -> None:
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be distinct")
+        self.name = name
+        self.help = help
+        self.bounds: List[float] = bounds  # finite upper bounds; +Inf implied
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._estimators: Dict[float, P2Quantile] = {
+            float(p): P2Quantile(p) for p in quantiles
+        }
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for estimator in self._estimators.values():
+            estimator.observe(value)
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Quantile estimate: P² if tracked, else bucket interpolation."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        estimator = self._estimators.get(p)
+        if estimator is not None and estimator.count:
+            return estimator.value()
+        target = p * self.count
+        cumulative = 0
+        lower = self.min
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            upper = self.bounds[i] if i < len(self.bounds) else self.max
+            upper = min(upper, self.max)
+            if cumulative + bucket_count >= target:
+                frac = (target - cumulative) / bucket_count
+                return lower + (upper - lower) * frac
+            cumulative += bucket_count
+            lower = upper
+        return self.max
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs ending with +Inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            running += bucket_count
+            out.append((bound, running))
+        out.append((float("inf"), self.count))
+        return out
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+        for estimator in self._estimators.values():
+            estimator.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, count={self.count})"
+
+
+class MetricRegistry:
+    """Owns every instrument of one process (or one simulated switch).
+
+    Names are dotted paths (``conn_table.lookups_total``); the dots become
+    underscores in the Prometheus rendering.  Instrument creation is
+    get-or-create and type-checked, so independent components can share a
+    namespace safely.
+    """
+
+    def __init__(self, namespace: str = "repro", labels: Optional[Dict[str, str]] = None):
+        self.namespace = namespace
+        self.labels: Dict[str, str] = dict(labels or {})
+        self._instruments: Dict[str, object] = {}
+
+    # -- creation ------------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, **kwargs):
+        instrument = self._instruments.get(name)
+        if instrument is not None:
+            if not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {cls.__name__}"
+                )
+            return instrument
+        instrument = cls(name, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+        quantiles: Sequence[float] = (),
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, buckets=buckets, help=help, quantiles=quantiles
+        )
+
+    def scope(self, prefix: str) -> "Scope":
+        """A view that prefixes every instrument name with ``prefix.``."""
+        return Scope(self, prefix)
+
+    # -- access --------------------------------------------------------
+
+    def get(self, name: str):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            raise KeyError(f"no metric registered under {name!r}")
+        return instrument
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def instruments(self) -> Iterable[Tuple[str, object]]:
+        for name in sorted(self._instruments):
+            yield name, self._instruments[name]
+
+    def reset(self) -> None:
+        """Zero every instrument, keeping registrations and identities.
+
+        Bound references held by instrumented components stay valid — a
+        counter captured before ``reset()`` keeps counting into the same
+        (now zeroed) instrument afterwards.
+        """
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat name -> value view (histograms contribute count/sum/mean)."""
+        out: Dict[str, float] = {}
+        for name, instrument in self.instruments():
+            if isinstance(instrument, Histogram):
+                out[f"{name}.count"] = float(instrument.count)
+                out[f"{name}.sum"] = instrument.sum
+                if instrument.count:
+                    out[f"{name}.mean"] = instrument.mean()
+            else:
+                out[name] = float(instrument.value)
+        return out
+
+
+class Scope:
+    """Prefix view of a registry, handed to one component."""
+
+    __slots__ = ("registry", "prefix")
+
+    def __init__(self, registry: MetricRegistry, prefix: str) -> None:
+        self.registry = registry
+        self.prefix = prefix
+
+    def _name(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self.registry.counter(self._name(name), help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self.registry.gauge(self._name(name), help=help)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+        quantiles: Sequence[float] = (),
+    ) -> Histogram:
+        return self.registry.histogram(
+            self._name(name), buckets=buckets, help=help, quantiles=quantiles
+        )
+
+    def scope(self, prefix: str) -> "Scope":
+        return Scope(self.registry, self._name(prefix))
+
+
+_DEFAULT_REGISTRY = MetricRegistry()
+
+
+def get_default_registry() -> MetricRegistry:
+    """The process-wide registry (library users may prefer their own)."""
+    return _DEFAULT_REGISTRY

@@ -1,0 +1,149 @@
+"""Structured trace spans for control-plane operations.
+
+The paper's Figure 11 characterizes a 3-step PCC update by three
+timestamps — ``t_req`` (operator request), ``t_exec`` (DIP pool applied,
+VIPTable in transition) and ``t_finish`` (old version dropped, TransitTable
+cleared).  :class:`TraceSpan` records exactly that shape: a named operation
+with attributes, a set of named timestamped *marks*, and optional
+intermediate events, collected by a :class:`Tracer` for machine-readable
+export alongside the metric registry.
+
+Spans use the simulation clock (callers pass timestamps explicitly), so
+traces are deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SpanEvent", "TraceSpan", "Tracer"]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One intermediate event inside a span."""
+
+    name: str
+    t: float
+    attrs: Tuple[Tuple[str, object], ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"name": self.name, "t": self.t}
+        out.update(self.attrs)
+        return out
+
+
+@dataclass
+class TraceSpan:
+    """A named operation with marks (named timestamps) and events."""
+
+    name: str
+    start: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+    marks: Dict[str, float] = field(default_factory=dict)
+    events: List[SpanEvent] = field(default_factory=list)
+    end: Optional[float] = None
+    _tracer: Optional["Tracer"] = field(default=None, repr=False, compare=False)
+
+    def mark(self, name: str, t: float, **attrs: object) -> None:
+        """Record a named timestamp (t_req / t_exec / t_finish style)."""
+        self.marks[name] = t
+        if attrs:
+            self.events.append(SpanEvent(name=name, t=t, attrs=tuple(attrs.items())))
+
+    def event(self, name: str, t: float, **attrs: object) -> None:
+        """Record an intermediate event without a top-level mark."""
+        self.events.append(SpanEvent(name=name, t=t, attrs=tuple(attrs.items())))
+
+    def finish(self, t: float) -> None:
+        """Close the span and hand it to the owning tracer."""
+        if self.end is not None:
+            raise RuntimeError(f"span {self.name!r} already finished")
+        self.end = t
+        if self._tracer is not None:
+            self._tracer._on_finished(self)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+            "marks": dict(self.marks),
+        }
+        if self.events:
+            out["events"] = [e.to_dict() for e in self.events]
+        return out
+
+
+class Tracer:
+    """Collects spans from one switch (or one process).
+
+    Keeps every finished span plus the set still open; ``max_spans`` bounds
+    memory for long runs by dropping the *oldest* finished spans.
+    """
+
+    def __init__(self, max_spans: int = 100_000) -> None:
+        if max_spans <= 0:
+            raise ValueError("max_spans must be positive")
+        self.max_spans = max_spans
+        self._finished: List[TraceSpan] = []
+        self._open: List[TraceSpan] = []
+        self.spans_started = 0
+        self.spans_dropped = 0
+
+    def start_span(self, name: str, t: float, **attrs: object) -> TraceSpan:
+        span = TraceSpan(name=name, start=t, attrs=dict(attrs), _tracer=self)
+        self._open.append(span)
+        self.spans_started += 1
+        return span
+
+    def _on_finished(self, span: TraceSpan) -> None:
+        try:
+            self._open.remove(span)
+        except ValueError:
+            pass
+        self._finished.append(span)
+        if len(self._finished) > self.max_spans:
+            overflow = len(self._finished) - self.max_spans
+            del self._finished[:overflow]
+            self.spans_dropped += overflow
+
+    @property
+    def finished_spans(self) -> List[TraceSpan]:
+        return list(self._finished)
+
+    @property
+    def open_spans(self) -> List[TraceSpan]:
+        return list(self._open)
+
+    def spans(self, name: Optional[str] = None) -> List[TraceSpan]:
+        """Finished spans, optionally filtered by name."""
+        if name is None:
+            return list(self._finished)
+        return [s for s in self._finished if s.name == name]
+
+    def __len__(self) -> int:
+        return len(self._finished)
+
+    def to_dicts(self, include_open: bool = False) -> List[Dict[str, object]]:
+        out = [span.to_dict() for span in self._finished]
+        if include_open:
+            out.extend(span.to_dict() for span in self._open)
+        return out
+
+    def reset(self) -> None:
+        self._finished.clear()
+        self._open.clear()
+        self.spans_started = 0
+        self.spans_dropped = 0

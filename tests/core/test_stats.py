@@ -81,3 +81,37 @@ class TestActivePeak:
     def test_validates_step(self):
         with pytest.raises(ValueError):
             active_connection_peak([], 10.0, step_s=0.0)
+
+    def test_matches_sampled_rescan(self):
+        """The event sweep must agree with the definitional per-sample scan."""
+        import random
+
+        rng = random.Random(13)
+        conns = [
+            conn(i, rng.uniform(-50.0, 280.0), rng.uniform(0.1, 90.0))
+            for i in range(60)
+        ]
+        for horizon, step in ((300.0, 10.0), (300.0, 7.5), (99.9, 1.0), (0.0, 60.0)):
+            expected = 0
+            t = 0.0
+            while t <= horizon:
+                expected = max(
+                    expected, sum(1 for c in conns if c.active_at(t))
+                )
+                t += step
+            assert (
+                active_connection_peak(conns, horizon_s=horizon, step_s=step)
+                == expected
+            )
+
+    def test_boundary_samples(self):
+        # Starts exactly on a sample count; ends (exclusive) do not.
+        conns = [conn(1, 10.0, 10.0)]  # active on [10, 20)
+        assert active_connection_peak(conns, horizon_s=30.0, step_s=10.0) == 1
+        assert active_connection_peak([conn(1, 10.0, 5.0)], 30.0, step_s=10.0) == 1
+        # Active only between samples -> never observed.
+        assert active_connection_peak([conn(1, 11.0, 5.0)], 30.0, step_s=10.0) == 0
+
+    def test_warmup_connections_counted(self):
+        conns = [conn(1, -30.0, 100.0), conn(2, -5.0, 6.0)]
+        assert active_connection_peak(conns, horizon_s=60.0, step_s=10.0) == 2

@@ -31,6 +31,22 @@ class TestSeries:
         with pytest.raises(ValueError):
             Series(name="x").max()
 
+    def test_percentile(self):
+        series = Series(name="x")
+        for i, v in enumerate(range(1, 101)):
+            series.append(float(i), float(v))
+        assert series.percentile(0.0) == 1.0
+        assert series.percentile(1.0) == 100.0
+        assert series.percentile(0.5) == pytest.approx(50.5)
+
+    def test_percentile_validation(self):
+        series = Series(name="x")
+        with pytest.raises(ValueError):
+            series.percentile(0.5)  # empty
+        series.append(0.0, 1.0)
+        with pytest.raises(ValueError):
+            series.percentile(1.5)
+
 
 class TestSampler:
     def test_periodic_sampling(self):
@@ -84,6 +100,24 @@ class TestSampler:
         summary = sampler.summary()
         assert summary["x"]["min"] == 1.0
         assert summary["x"]["max"] == 3.0
+        assert summary["x"]["p50"] == 2.0
+        assert summary["x"]["p99"] == pytest.approx(2.98)
+
+    def test_watch_registry(self):
+        from repro.obs.metrics import MetricRegistry
+
+        registry = MetricRegistry()
+        counter = registry.counter("hits_total")
+        registry.gauge("depth").set(3.0)
+        registry.histogram("lat").observe(1.0)
+        sampler = Sampler(EventQueue())
+        names = sampler.watch_registry(registry)
+        assert names == ["depth", "hits_total", "lat.count"]
+        counter.inc(5)
+        sampler.sample_now()
+        assert sampler.series["hits_total"].last == 5.0
+        assert sampler.series["depth"].last == 3.0
+        assert sampler.series["lat.count"].last == 1.0
 
 
 class TestWatchSwitch:
@@ -99,3 +133,31 @@ class TestWatchSwitch:
         sampler.sample_now()
         assert sampler.series["conn_table_entries"].last == 0.0
         assert sampler.series["sram_bytes"].last > 0.0
+
+    def test_probes_fed_from_registry(self):
+        """The standard probes read the switch's metric registry, so the
+        sampled series track the registry gauges exactly."""
+        from repro.core import SilkRoadConfig, SilkRoadSwitch
+        from repro.netsim import make_cluster
+        from repro.netsim.flows import Connection
+        from repro.netsim.packet import five_tuple_for
+
+        cluster = make_cluster(num_vips=1, dips_per_vip=2)
+        switch = SilkRoadSwitch(SilkRoadConfig(conn_table_capacity=100))
+        switch.announce_vip(cluster.vips[0], cluster.services[0].dips)
+        sampler = Sampler(switch.queue, period_s=1.0)
+        watch_switch(sampler, switch)
+        conn = Connection(
+            conn_id=1,
+            five_tuple=five_tuple_for(cluster.vips[0], src_ip=9, src_port=1024),
+            vip=cluster.vips[0],
+            start=0.0,
+            duration=10.0,
+        )
+        switch.on_connection_arrival(conn)
+        sampler.sample_now()
+        assert sampler.series["pending_connections"].last == 1.0
+        assert (
+            sampler.series["conn_table_entries"].last
+            == switch.metrics.get("conn_table.occupancy").value
+        )

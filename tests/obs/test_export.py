@@ -1,0 +1,107 @@
+"""Tests for the Prometheus/JSON/JSONL exporters."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.export import (
+    dump_json,
+    iter_jsonl,
+    parse_prometheus_text,
+    registry_to_dict,
+    telemetry_to_dict,
+    to_prometheus_text,
+)
+from repro.obs.metrics import MetricRegistry
+from repro.obs.tracing import Tracer
+
+
+def make_registry() -> MetricRegistry:
+    registry = MetricRegistry(labels={"switch": "s1"})
+    registry.counter("conn_table.inserts_total", "insertions").inc(42)
+    registry.gauge("conn_table.occupancy").set(17.0)
+    hist = registry.histogram("cpu.delay_s", buckets=(0.001, 0.01, 0.1))
+    for v in (0.0005, 0.002, 0.05, 0.5):
+        hist.observe(v)
+    return registry
+
+
+class TestPrometheusText:
+    def test_round_trips_through_parser(self):
+        registry = make_registry()
+        samples = parse_prometheus_text(to_prometheus_text(registry))
+        sig = '{switch="s1"}'
+        assert samples["repro_conn_table_inserts_total"][sig] == 42.0
+        assert samples["repro_conn_table_occupancy"][sig] == 17.0
+        buckets = samples["repro_cpu_delay_s_bucket"]
+        assert buckets['{switch="s1",le="0.001"}'] == 1.0
+        assert buckets['{switch="s1",le="0.1"}'] == 3.0
+        assert buckets['{switch="s1",le="+Inf"}'] == 4.0
+        assert samples["repro_cpu_delay_s_count"][sig] == 4.0
+        assert samples["repro_cpu_delay_s_sum"][sig] == pytest.approx(0.5525)
+
+    def test_buckets_are_cumulative_and_monotone(self):
+        text = to_prometheus_text(make_registry())
+        buckets = parse_prometheus_text(text)["repro_cpu_delay_s_bucket"]
+        counts = [v for _sig, v in sorted(buckets.items())]
+        # All cumulative counts bounded by the +Inf total.
+        assert max(counts) == 4.0
+
+    def test_parser_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("metric_without_value\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("metric not_a_number\n")
+
+
+class TestJson:
+    def test_registry_dict_shape(self):
+        doc = registry_to_dict(make_registry())
+        assert doc["labels"] == {"switch": "s1"}
+        metrics = doc["metrics"]
+        assert metrics["conn_table.inserts_total"] == {
+            "type": "counter",
+            "value": 42.0,
+        }
+        hist = metrics["cpu.delay_s"]
+        assert hist["count"] == 4
+        assert hist["buckets"][-1][0] == "+Inf"
+        assert hist["p50"] <= hist["p99"] <= hist["max"]
+
+    def test_dump_json_is_valid_json(self):
+        registry = make_registry()
+        tracer = Tracer()
+        tracer.start_span("pcc_update", t=0.0).finish(1.0)
+        doc = json.loads(dump_json(registry, tracer, run="unit"))
+        assert doc["run"] == "unit"
+        assert doc["spans"][0]["name"] == "pcc_update"
+
+    def test_telemetry_dict_merges_extra(self):
+        doc = telemetry_to_dict(make_registry(), extra={"switch": "s1"})
+        assert doc["switch"] == "s1"
+        assert doc["spans"] == []
+
+
+class TestJsonl:
+    def test_one_record_per_metric_and_span(self):
+        registry = make_registry()
+        tracer = Tracer()
+        tracer.start_span("pcc_update", t=0.0).finish(1.0)
+        records = [json.loads(line) for line in iter_jsonl(registry, tracer)]
+        metric_names = {r["name"] for r in records if r["record"] == "metric"}
+        assert metric_names == {
+            "conn_table.inserts_total",
+            "conn_table.occupancy",
+            "cpu.delay_s",
+        }
+        spans = [r for r in records if r["record"] == "span"]
+        assert len(spans) == 1 and spans[0]["duration"] == 1.0
+
+    def test_values_finite(self):
+        for line in iter_jsonl(make_registry()):
+            record = json.loads(line)
+            if record["record"] == "metric" and "value" in record:
+                assert math.isfinite(record["value"])

@@ -1,0 +1,168 @@
+"""Tests for the metrics registry primitives."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    P2Quantile,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_reset(self):
+        c = Counter("x")
+        c.inc(7)
+        c.reset()
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_set(self):
+        g = Gauge("x")
+        g.set(4.0)
+        assert g.value == 4.0
+
+    def test_callback(self):
+        state = {"v": 1.0}
+        g = Gauge("x")
+        g.set_function(lambda: state["v"])
+        assert g.value == 1.0
+        state["v"] = 9.0
+        assert g.value == 9.0
+
+    def test_reset_preserves_callback(self):
+        g = Gauge("x")
+        g.set_function(lambda: 5.0)
+        g.reset()
+        assert g.value == 5.0
+
+
+class TestHistogram:
+    def test_bucket_edges_are_le_inclusive(self):
+        h = Histogram("x", buckets=(1.0, 2.0))
+        h.observe(1.0)  # lands in le=1
+        h.observe(1.5)  # lands in le=2
+        h.observe(2.0)  # lands in le=2
+        h.observe(3.0)  # lands in +Inf
+        cumulative = dict(h.cumulative_buckets())
+        assert cumulative[1.0] == 1
+        assert cumulative[2.0] == 3
+        assert cumulative[float("inf")] == 4
+
+    def test_summary_statistics(self):
+        h = Histogram("x", buckets=(10.0,))
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == 6.0
+        assert h.mean() == pytest.approx(2.0)
+        assert h.min == 1.0
+        assert h.max == 3.0
+
+    def test_percentile_bucket_interpolation(self):
+        h = Histogram("x", buckets=tuple(float(b) for b in range(0, 101, 10)))
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(0.5) == pytest.approx(50.0, abs=10.0)
+        assert h.percentile(1.0) == 100.0
+
+    def test_percentile_streaming_quantile(self):
+        h = Histogram("x", buckets=DEFAULT_BUCKETS, quantiles=(0.5,))
+        rng = random.Random(3)
+        values = [rng.uniform(0.0, 1000.0) for _ in range(2000)]
+        for v in values:
+            h.observe(v)
+        exact = sorted(values)[1000]
+        assert h.percentile(0.5) == pytest.approx(exact, rel=0.05)
+
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("x").percentile(0.5)
+
+    def test_reset(self):
+        h = Histogram("x", quantiles=(0.5,))
+        h.observe(4.0)
+        h.reset()
+        assert h.count == 0
+        assert h.sum == 0.0
+        assert all(c == 0 for c in h.bucket_counts)
+
+    def test_rejects_duplicate_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=(1.0, 1.0))
+
+
+class TestP2Quantile:
+    def test_exact_below_five_observations(self):
+        q = P2Quantile(0.5)
+        for v in (5.0, 1.0, 3.0):
+            q.observe(v)
+        assert q.value() == 3.0
+
+    def test_converges_on_uniform(self):
+        q = P2Quantile(0.99)
+        rng = random.Random(11)
+        for _ in range(20_000):
+            q.observe(rng.uniform(0.0, 1.0))
+        assert q.value() == pytest.approx(0.99, abs=0.02)
+
+    def test_validates_p(self):
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+
+class TestMetricRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricRegistry()
+        a = registry.counter("hits")
+        b = registry.counter("hits")
+        assert a is b
+
+    def test_type_conflict_rejected(self):
+        registry = MetricRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_counters_survive_reset(self):
+        registry = MetricRegistry()
+        counter = registry.counter("hits")
+        counter.inc(10)
+        registry.reset()
+        # Identity kept: a bound reference keeps counting into the same
+        # (zeroed) instrument, and the registry sees the new increments.
+        assert counter.value == 0.0
+        counter.inc()
+        assert registry.get("hits") is counter
+        assert registry.get("hits").value == 1.0
+
+    def test_scope_prefixes_names(self):
+        registry = MetricRegistry()
+        scope = registry.scope("conn_table")
+        scope.counter("inserts_total").inc()
+        assert "conn_table.inserts_total" in registry
+        nested = scope.scope("stage0")
+        nested.gauge("occupancy").set(3.0)
+        assert registry.get("conn_table.stage0.occupancy").value == 3.0
+
+    def test_snapshot_flattens_histograms(self):
+        registry = MetricRegistry()
+        registry.histogram("lat").observe(2.0)
+        snap = registry.snapshot()
+        assert snap["lat.count"] == 1.0
+        assert snap["lat.sum"] == 2.0
+        assert snap["lat.mean"] == 2.0

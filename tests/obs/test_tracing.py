@@ -1,0 +1,71 @@
+"""Tests for trace spans and the tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.tracing import Tracer
+
+
+class TestTraceSpan:
+    def test_lifecycle_and_dict_shape(self):
+        tracer = Tracer()
+        span = tracer.start_span("pcc_update", t=1.0, vip="20.0.0.1:80")
+        span.mark("t_req", 1.0, pending_connections=3)
+        span.mark("t_exec", 1.5)
+        span.finish(2.0)
+        doc = span.to_dict()
+        assert doc["name"] == "pcc_update"
+        assert doc["start"] == 1.0
+        assert doc["end"] == 2.0
+        assert doc["duration"] == pytest.approx(1.0)
+        assert doc["attrs"]["vip"] == "20.0.0.1:80"
+        assert doc["marks"] == {"t_req": 1.0, "t_exec": 1.5}
+
+    def test_double_finish_rejected(self):
+        span = Tracer().start_span("x", t=0.0)
+        span.finish(1.0)
+        with pytest.raises(RuntimeError):
+            span.finish(2.0)
+
+    def test_open_vs_finished(self):
+        tracer = Tracer()
+        a = tracer.start_span("x", t=0.0)
+        tracer.start_span("y", t=0.0)
+        a.finish(1.0)
+        assert len(tracer.finished_spans) == 1
+        assert len(tracer.open_spans) == 1
+        assert [s["name"] for s in tracer.to_dicts()] == ["x"]
+        assert len(tracer.to_dicts(include_open=True)) == 2
+
+    def test_overflow_drops_oldest(self):
+        tracer = Tracer(max_spans=2)
+        for i in range(3):
+            tracer.start_span("s", t=float(i)).finish(float(i))
+        assert tracer.spans_dropped == 1
+        assert [s.start for s in tracer.finished_spans] == [1.0, 2.0]
+
+
+class TestSwitchSpans:
+    def test_pcc_update_spans_from_real_run(self):
+        from repro.experiments.common import build_workload, silkroad_factory
+
+        workload = build_workload(
+            updates_per_min=30.0, scale=0.05, seed=5, horizon_s=30.0
+        )
+        _report, _conns, lb = workload.replay(
+            silkroad_factory(insertion_rate_per_s=20_000.0)
+        )
+        spans = lb.tracer.spans("pcc_update")
+        assert spans, "expected at least one completed update span"
+        for span in spans:
+            marks = span.marks
+            assert marks["t_req"] <= marks["t_exec"] <= marks["t_finish"]
+            assert span.attrs["step1_s"] == pytest.approx(
+                marks["t_exec"] - marks["t_req"]
+            )
+            assert span.attrs["step2_s"] == pytest.approx(
+                marks["t_finish"] - marks["t_exec"]
+            )
+        # The registry's completion counter and the tracer agree.
+        assert len(spans) == lb.metrics.get("update.updates_completed_total").value

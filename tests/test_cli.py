@@ -21,6 +21,12 @@ class TestParser:
         assert args.system == "silkroad"
         assert args.updates_per_min == 10.0
 
+    def test_telemetry_defaults(self):
+        args = build_parser().parse_args(["telemetry"])
+        assert args.system == "silkroad"
+        assert args.format == "json"
+        assert args.out is None
+
 
 class TestCommands:
     def test_experiments_list(self, capsys):
@@ -47,6 +53,56 @@ class TestCommands:
         out = capsys.readouterr().out.strip().splitlines()
         assert len(out) == 3
         assert all("->" in line for line in out)
+
+    def test_telemetry_json(self, capsys):
+        import json
+
+        code = main(
+            ["telemetry", "--scale", "0.05", "--horizon", "20", "--format", "json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        metrics = doc["metrics"]
+        for name in (
+            "conn_table.lookups_total",
+            "learning_filter.events_offered_total",
+            "switch_cpu.installs_total",
+            "transit_table.checks_total",
+        ):
+            assert name in metrics
+        complete = [
+            s
+            for s in doc["spans"]
+            if s["name"] == "pcc_update"
+            and {"t_req", "t_exec", "t_finish"} <= set(s["marks"])
+        ]
+        assert complete, "expected a complete 3-step update span"
+        assert "conn_table_entries" in doc["series"]
+
+    def test_telemetry_prom_round_trips(self, capsys):
+        from repro.obs import parse_prometheus_text
+
+        code = main(
+            ["telemetry", "--scale", "0.05", "--horizon", "20", "--format", "prom"]
+        )
+        assert code == 0
+        samples = parse_prometheus_text(capsys.readouterr().out)
+        assert "repro_conn_table_inserts_total" in samples
+
+    def test_telemetry_out_file(self, tmp_path):
+        import json
+
+        out = tmp_path / "tel.jsonl"
+        code = main(
+            [
+                "telemetry", "--scale", "0.05", "--horizon", "20",
+                "--format", "jsonl", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        records = [json.loads(line) for line in out.read_text().splitlines()]
+        kinds = {r["record"] for r in records}
+        assert {"metric", "span", "scenario", "report", "series"} <= kinds
 
     def test_pcc_small_run(self, capsys):
         code = main(
