@@ -1,0 +1,175 @@
+"""CI benchmark smoke check: catch wall-clock regressions early.
+
+Times two representative workloads —
+
+* the single-pass hashing fan-out (the per-packet hot path), and
+* a small Figure 16 configuration (the full switch model end to end) —
+
+and compares them against a checked-in baseline
+(``benchmarks/smoke_baseline.json``).  Raw seconds are useless across CI
+runners of different speeds, so every measurement is *normalized* by a
+calibration loop (pure-Python integer/dict work, independent of the code
+under test) run on the same machine.  The check fails when a normalized
+measurement exceeds the baseline by more than the tolerance (default 25%).
+
+Usage::
+
+    python benchmarks/smoke.py                  # compare against baseline
+    python benchmarks/smoke.py --write-baseline # record a new baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "smoke_baseline.json"
+DEFAULT_TOLERANCE = 1.25
+
+
+# ----------------------------------------------------------------------
+# Calibration: machine-speed yardstick, independent of the repo's code
+# ----------------------------------------------------------------------
+
+
+def calibration_loop() -> float:
+    """Seconds for a fixed amount of plain-Python integer and dict work."""
+    t0 = time.perf_counter()
+    acc = 0
+    table = {}
+    for i in range(400_000):
+        acc = (acc * 1103515245 + i) & 0xFFFFFFFF
+        table[acc & 1023] = acc
+        if acc & 7 == 0:
+            acc ^= table.get((acc >> 10) & 1023, 0)
+    assert table  # keep the loop's side effects alive
+    return time.perf_counter() - t0
+
+
+def calibrate(rounds: int = 3) -> float:
+    return min(calibration_loop() for _ in range(rounds))
+
+
+# ----------------------------------------------------------------------
+# Measured workloads
+# ----------------------------------------------------------------------
+
+
+def bench_hashing() -> float:
+    """The per-packet derivation fan-out from one cached base hash."""
+    from repro.asicsim.hashing import base_hash, hash_family
+
+    rnd = random.Random(16)
+    keys = [bytes(rnd.getrandbits(8) for _ in range(13)) for _ in range(20_000)]
+    index_units = hash_family(4)
+    digest_units = hash_family(4, base_seed=0xD16E57)
+    bloom_units = hash_family(4, base_seed=0xB100F)
+
+    def fanout() -> int:
+        out = 0
+        for key in keys:
+            base = base_hash(key)
+            for unit in index_units:
+                out ^= unit.index_base(base, 1024)
+            for unit in digest_units:
+                out ^= unit.digest_base(base, 16)
+            for unit in bloom_units:
+                out ^= unit.index_base(base, 2048)
+        return out
+
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        fanout()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_fig16_small() -> float:
+    """A small Figure 16 configuration through the full SilkRoad model."""
+    from repro.experiments import fig16
+
+    systems = fig16.default_systems(
+        insertion_rate_per_s=10_000.0, duet_period_s=60.0
+    )
+    t0 = time.perf_counter()
+    points = fig16.run(
+        rates=(50.0,),
+        scale=0.5,
+        seed=16,
+        horizon_s=60.0,
+        systems={"silkroad": systems["silkroad"]},
+    )
+    elapsed = time.perf_counter() - t0
+    # The run must stay correct, not just fast.
+    assert sum(p.violations for p in points) == 0, "smoke run broke PCC"
+    return elapsed
+
+
+MEASUREMENTS = {
+    "hashing_fanout": bench_hashing,
+    "fig16_small": bench_fig16_small,
+}
+
+
+# ----------------------------------------------------------------------
+# Baseline compare / record
+# ----------------------------------------------------------------------
+
+
+def run(baseline_path: Path, write: bool, tolerance: float) -> int:
+    calibration_s = calibrate()
+    print(f"calibration: {calibration_s:.4f}s")
+    normalized = {}
+    for name, fn in MEASUREMENTS.items():
+        seconds = fn()
+        normalized[name] = seconds / calibration_s
+        print(f"{name}: {seconds:.4f}s  ({normalized[name]:.2f}x calibration)")
+
+    if write:
+        doc = {
+            "calibration_s": round(calibration_s, 4),
+            "normalized": {k: round(v, 3) for k, v in normalized.items()},
+            "note": (
+                "Normalized = workload seconds / calibration-loop seconds on "
+                "the same machine. Regenerate with: "
+                "python benchmarks/smoke.py --write-baseline"
+            ),
+        }
+        baseline_path.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"baseline written to {baseline_path}")
+        return 0
+
+    if not baseline_path.exists():
+        print(f"ERROR: no baseline at {baseline_path}; run with --write-baseline")
+        return 2
+    baseline = json.loads(baseline_path.read_text())["normalized"]
+    failed = False
+    for name, value in normalized.items():
+        ref = baseline.get(name)
+        if ref is None:
+            print(f"WARNING: no baseline entry for {name}; skipping")
+            continue
+        ratio = value / ref
+        status = "ok" if ratio <= tolerance else "REGRESSION"
+        print(f"{name}: {ratio:.2f}x baseline ({status}, tolerance {tolerance}x)")
+        if ratio > tolerance:
+            failed = True
+    return 1 if failed else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write-baseline", action="store_true")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    args = parser.parse_args()
+    return run(args.baseline, args.write_baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

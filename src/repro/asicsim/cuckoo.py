@@ -30,12 +30,12 @@ would shadow (or be shadowed by) an existing entry, the search avoids it.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from ..obs.metrics import Scope
-from .hashing import HashUnit, hash_family
+from .hashing import HashUnit, _splitmix64, base_hash, hash_family
 from .sram import DEFAULT_WORD_BITS, bytes_for_entries
 
 #: Packing overhead per entry (instruction + next-table address), §6 of paper.
@@ -117,6 +117,10 @@ class CuckooTable:
         Load factor above which insertions fail immediately instead of
         running the BFS (saturated-table protection).  Set to 1.0 to
         always search (occupancy ablations do).
+    profile_cache_size:
+        Bound on the LRU side cache of non-resident key profiles (keys
+        mid-insertion or being probed).  Eviction is per-entry LRU, not
+        a wholesale clear, so BFS inserts under churn don't thrash.
     metrics:
         Optional :class:`~repro.obs.metrics.Scope`; when given, the table
         registers always-on instruments (lookups, false positives, insert
@@ -135,6 +139,7 @@ class CuckooTable:
         max_bfs_nodes: int = 4096,
         fast_fail_load: float = 0.98,
         seed: int = 0x51CC_0AD0,
+        profile_cache_size: int = 16384,
         metrics: Optional[Scope] = None,
     ) -> None:
         if buckets_per_stage <= 0:
@@ -162,10 +167,28 @@ class CuckooTable:
         if not 0.0 < fast_fail_load <= 1.0:
             raise ValueError("fast_fail_load must be in (0, 1]")
         self.fast_fail_load = fast_fail_load
-        # Each stage gets an independent index hash and digest hash, as the
-        # hardware lets each stage use a different polynomial.
+        # Occupancy above which insert() fails without running the BFS; a
+        # fast_fail_load of 1.0 disables the shortcut.
+        capacity = stages * buckets_per_stage * ways
+        self._fast_fail_entries = (
+            int(capacity * fast_fail_load) if fast_fail_load < 1.0 else capacity + 1
+        )
+        # Each stage gets an independent index hash and digest hash; all of
+        # them derive from the same single-pass base hash with per-unit
+        # seeded mixing (see repro.asicsim.hashing).
         self._index_units: List[HashUnit] = hash_family(stages, base_seed=seed)
         self._digest_units: List[HashUnit] = hash_family(stages, base_seed=seed ^ 0xD16E57)
+        # Pre-resolved per-stage derivation parameters so the hot profile
+        # loop is pure integer mixing with no method dispatch:
+        # (index seed_mix, digest seed_mix, 64 - digest_bits).
+        self._stage_mixes: List[Tuple[int, int, int]] = [
+            (
+                self._index_units[s].seed_mix,
+                self._digest_units[s].seed_mix,
+                64 - self.digest_bits_per_stage[s],
+            )
+            for s in range(stages)
+        ]
         self._slots: List[List[List[Optional[Slot]]]] = [
             [[None] * ways for _ in range(buckets_per_stage)] for _ in range(stages)
         ]
@@ -173,7 +196,13 @@ class CuckooTable:
         # profiles so collision checks are O(stages) instead of O(n).
         self._where: Dict[bytes, Location] = {}
         self._profiles: Dict[bytes, Tuple[Tuple[int, int], ...]] = {}
-        self._profile_cache: Dict[bytes, Tuple[Tuple[int, int], ...]] = {}
+        if profile_cache_size <= 0:
+            raise ValueError("profile_cache_size must be positive")
+        self.profile_cache_size = profile_cache_size
+        self._profile_cache: "OrderedDict[bytes, Tuple[Tuple[int, int], ...]]" = (
+            OrderedDict()
+        )
+        self.profile_cache_evictions = 0
         # (stage, bucket, digest) -> set of resident keys with that candidate.
         self._candidates: Dict[Tuple[int, int, int], Set[bytes]] = {}
         self.false_positive_lookups = 0
@@ -304,46 +333,71 @@ class CuckooTable:
     # Per-key geometry
     # ------------------------------------------------------------------
 
-    def _profile(self, key: bytes) -> Tuple[Tuple[int, int], ...]:
+    def _profile(
+        self, key: bytes, key_hash: Optional[int] = None
+    ) -> Tuple[Tuple[int, int], ...]:
         """Candidate (bucket, digest) of a key in every stage.
 
-        Resident keys are cached in ``_profiles``; a bounded side cache
+        One single-pass derivation: the key is byte-hashed once (or not at
+        all, when the caller supplies a cached ``key_hash`` base), then every
+        stage's bucket index and digest come from cheap seeded integer
+        mixing of that base.
+
+        Resident keys are cached in ``_profiles``; a bounded LRU side cache
         covers keys mid-insertion (the insert path consults the profile
-        several times per key).
+        several times per key) without the re-hash storms a wholesale clear
+        would cause under churn.
         """
         cached = self._profiles.get(key)
         if cached is not None:
             return cached
-        cached = self._profile_cache.get(key)
+        cache = self._profile_cache
+        cached = cache.get(key)
         if cached is not None:
+            cache.move_to_end(key)
             return cached
+        base = base_hash(key) if key_hash is None else key_hash
+        buckets = self.buckets_per_stage
         profile = tuple(
             (
-                self._index_units[s].index(key, self.buckets_per_stage),
-                self._digest_units[s].digest(key, self.digest_bits_per_stage[s]),
+                _splitmix64(base ^ index_mix) % buckets,
+                _splitmix64(base ^ digest_mix) >> shift,
             )
-            for s in range(self.stages)
+            for index_mix, digest_mix, shift in self._stage_mixes
         )
-        if len(self._profile_cache) >= 16384:
-            self._profile_cache.clear()
-        self._profile_cache[key] = profile
+        if len(cache) >= self.profile_cache_size:
+            cache.popitem(last=False)
+            self.profile_cache_evictions += 1
+        cache[key] = profile
         return profile
 
     # ------------------------------------------------------------------
     # Data-plane lookup
     # ------------------------------------------------------------------
 
-    def lookup(self, key: bytes) -> LookupResult:
+    def lookup(self, key: bytes, key_hash: Optional[int] = None) -> LookupResult:
         """Data-plane lookup: first digest match across stages wins.
 
         Exactly mirrors the hardware: only the digest is compared, so a
         different resident key can (rarely) match.  The result carries the
-        ground-truth ``false_positive`` flag for measurement.
+        ground-truth ``false_positive`` flag for measurement.  ``key_hash``
+        is the key's cached base hash; supplying it skips the byte pass.
         """
         self.total_lookups += 1
         if self._m_lookups is not None:
             self._m_lookups.value += 1.0
-        profile = self._profile(key)
+        profile = self._profiles.get(key)
+        if profile is None:
+            profile = self._profile(key, key_hash)
+        # Fast miss: every slot whose digest could match is owned by a key
+        # registered under the same (stage, bucket, digest) triple, so if
+        # no such key exists in any stage the scan cannot hit.
+        candidates = self._candidates
+        for stage, (bucket, digest) in enumerate(profile):
+            if (stage, bucket, digest) in candidates:
+                break
+        else:
+            return LookupResult(hit=False)
         for stage, (bucket, digest) in enumerate(profile):
             for way, slot in enumerate(self._slots[stage][bucket]):
                 if slot is not None and slot.digest == digest:
@@ -419,8 +473,13 @@ class CuckooTable:
         profile = self._profile(key)
         self._profiles[key] = profile
         self._where[key] = loc
+        candidates = self._candidates
         for s, (bucket, digest) in enumerate(profile):
-            self._candidates.setdefault((s, bucket, digest), set()).add(key)
+            bucket_set = candidates.get((s, bucket, digest))
+            if bucket_set is None:
+                candidates[(s, bucket, digest)] = {key}
+            else:
+                bucket_set.add(key)
 
     def _unregister(self, key: bytes) -> None:
         profile = self._profiles.pop(key)
@@ -447,13 +506,17 @@ class CuckooTable:
     # Insertion (software, cuckoo BFS)
     # ------------------------------------------------------------------
 
-    def insert(self, key: bytes, value: int) -> InsertResult:
+    def insert(
+        self, key: bytes, value: int, key_hash: Optional[int] = None
+    ) -> InsertResult:
         """Insert an entry, cuckoo-moving residents if needed.
 
         Returns the number of entry moves performed (0 for a direct
         placement), which the control plane converts into CPU time.
         Raises :class:`TableFull` when no placement is found, and
-        :class:`DuplicateKey` on exact-key re-insertion.
+        :class:`DuplicateKey` on exact-key re-insertion.  ``key_hash`` is
+        the key's cached base hash; the whole insertion (profile, BFS,
+        legality checks) then runs without re-hashing any bytes.
         """
         if key in self._where:
             raise DuplicateKey(f"key already resident: {key!r}")
@@ -462,16 +525,14 @@ class CuckooTable:
         # Fast-fail when the table is effectively packed: running the BFS
         # for every arrival at a saturated table would burn the switch CPU
         # (and the simulator) for nothing.
-        if self.fast_fail_load < 1.0 and len(self._where) >= int(
-            self.capacity * self.fast_fail_load
-        ):
+        if len(self._where) >= self._fast_fail_entries:
             self.failed_inserts += 1
             if self._m_insert_failures is not None:
                 self._m_insert_failures.value += 1.0
             raise TableFull(
                 f"table effectively full ({len(self._where)}/{self.capacity})"
             )
-        profile = self._profile(key)
+        profile = self._profile(key, key_hash)
 
         # A resident digest twin in one of the key's candidate buckets
         # shadows every legal placement; the switch software resolves the

@@ -8,18 +8,41 @@ checksum offload, exact-match table addressing, ...).  SilkRoad uses them for
 * computing the compact *digest* stored in ConnTable instead of the 5-tuple,
 * addressing the TransitTable Bloom filter.
 
-This module models those units as a family of deterministic, seedable 64-bit
-mixers.  The mixer is a splitmix64-style finalizer applied to a CRC of the
-key, which gives good avalanche behaviour on the short keys (13/37-byte
-5-tuples) a load balancer hashes, while staying fast in pure Python.
+This module models those units as a **single-pass hash pipeline**, mirroring
+how a real ASIC hash block extracts the key fields once and feeds the result
+to every consumer:
+
+* :func:`base_hash` performs the one byte pass over the key — two CRCs with
+  *different polynomials* (CRC-32 and CRC-16/CCITT) combined with the key
+  length into a 64-bit base value.  This deliberately deviates from the
+  per-unit CRC polynomials of real hash blocks: a single 32-bit CRC funnel
+  would make two colliding keys collide in *every* stage, digest and Bloom
+  way simultaneously, violating the independent-hash assumption behind the
+  paper's §5.1 digest-collision analysis.  Two distinct polynomials push the
+  correlated-collision probability to ~2^-48 per key pair.
+* Each :class:`HashUnit` then *derives* its value from the base with one
+  seeded splitmix64 finalizer round — cheap integer mixing, no further byte
+  hashing.  Callers that already know a key's base hash (a cached
+  ``Connection.key_hash``) pass it via the ``key_hash`` parameter and skip
+  the byte pass entirely.
+
+Two units with different seeds behave as independent hash functions over the
+shared base, which preserves the per-stage/per-way independence the cuckoo
+and Bloom analyses assume.
 """
 
 from __future__ import annotations
 
+import binascii
 import zlib
 from dataclasses import dataclass
 
 _MASK64 = (1 << 64) - 1
+
+#: Byte passes performed since import (one per :func:`base_hash` call).
+#: Tests and benchmarks read this to assert the "one byte pass per key"
+#: property of the single-pass pipeline; it is never reset by this module.
+BASE_HASH_CALLS = 0
 
 
 def _splitmix64(x: int) -> int:
@@ -35,32 +58,71 @@ def mix64(value: int, seed: int = 0) -> int:
     return _splitmix64((value ^ _splitmix64(seed & _MASK64)) & _MASK64)
 
 
+def base_hash(key: bytes) -> int:
+    """The single byte pass of the pipeline: key bytes -> 64-bit base value.
+
+    CRC-32 fills bits 32-63, CRC-16/CCITT bits 13-28, the key length the low
+    bits; the fields do not overlap for the key sizes a load balancer hashes.
+    Avalanche is provided by the seeded splitmix64 round every derivation
+    applies on top, so the base itself only needs to separate keys.
+    """
+    global BASE_HASH_CALLS
+    BASE_HASH_CALLS += 1
+    return (
+        (zlib.crc32(key) << 32)
+        ^ (binascii.crc_hqx(key, 0xFFFF) << 13)
+        ^ len(key)
+    ) & _MASK64
+
+
 @dataclass(frozen=True)
 class HashUnit:
     """A single seeded hash function, as provided by the ASIC's hash blocks.
 
     Two units with different seeds behave as independent hash functions; the
-    ASIC similarly lets each physical stage use a distinct polynomial.
+    ASIC similarly lets each physical stage use a distinct polynomial.  All
+    units derive from the shared :func:`base_hash` with one seeded mixing
+    round, so ``unit.hash_bytes(key) == unit.derive(base_hash(key))`` always
+    holds — callers holding a cached base hash get identical results without
+    re-hashing the bytes.
     """
 
     seed: int
 
-    def hash_bytes(self, key: bytes) -> int:
-        """Hash a byte-string key to a 64-bit value."""
-        crc = zlib.crc32(key)
-        return mix64((crc << 32) | (len(key) & 0xFFFFFFFF), self.seed)
+    def __post_init__(self) -> None:
+        # Pre-mix the seed once; ``derive`` then costs a single splitmix
+        # round.  (frozen dataclass: set via object.__setattr__.)
+        object.__setattr__(self, "seed_mix", _splitmix64(self.seed & _MASK64))
+
+    def derive(self, base: int) -> int:
+        """Derive this unit's 64-bit value from a key's base hash."""
+        return _splitmix64((base ^ self.seed_mix) & _MASK64)
+
+    def hash_bytes(self, key: bytes, key_hash: int | None = None) -> int:
+        """Hash a byte-string key to a 64-bit value.
+
+        ``key_hash`` short-circuits the byte pass with a precomputed
+        :func:`base_hash` of the same key.
+        """
+        return self.derive(base_hash(key) if key_hash is None else key_hash)
 
     def hash_int(self, key: int) -> int:
         """Hash an integer key to a 64-bit value."""
         return mix64(key & _MASK64, self.seed ^ (key >> 64))
 
-    def index(self, key: bytes, size: int) -> int:
+    def index(self, key: bytes, size: int, key_hash: int | None = None) -> int:
         """Map a key to a table index in ``[0, size)``."""
         if size <= 0:
             raise ValueError("table size must be positive")
-        return self.hash_bytes(key) % size
+        return self.hash_bytes(key, key_hash) % size
 
-    def digest(self, key: bytes, bits: int) -> int:
+    def index_base(self, base: int, size: int) -> int:
+        """Map a precomputed base hash to a table index in ``[0, size)``."""
+        if size <= 0:
+            raise ValueError("table size must be positive")
+        return self.derive(base) % size
+
+    def digest(self, key: bytes, bits: int, key_hash: int | None = None) -> int:
         """Compute a ``bits``-wide digest of a key.
 
         SilkRoad stores this digest in ConnTable instead of the full 5-tuple
@@ -71,7 +133,13 @@ class HashUnit:
         # Use the high bits: they are the best mixed bits of splitmix64, and
         # they are disjoint from the low bits a small table index consumes,
         # keeping digest and index roughly independent as in real designs.
-        return self.hash_bytes(key) >> (64 - bits)
+        return self.hash_bytes(key, key_hash) >> (64 - bits)
+
+    def digest_base(self, base: int, bits: int) -> int:
+        """Compute a ``bits``-wide digest from a precomputed base hash."""
+        if not 1 <= bits <= 64:
+            raise ValueError("digest width must be in [1, 64]")
+        return self.derive(base) >> (64 - bits)
 
 
 def hash_family(count: int, base_seed: int = 0x51CC_0AD0) -> list[HashUnit]:

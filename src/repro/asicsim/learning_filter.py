@@ -23,11 +23,17 @@ from ..obs.metrics import LATENCY_BUCKETS_S, Scope
 
 @dataclass(frozen=True)
 class LearnEvent:
-    """One deduplicated new-connection event."""
+    """One deduplicated new-connection event.
+
+    ``key_hash`` carries the connection's cached base hash (see
+    :func:`repro.asicsim.hashing.base_hash`) from the data plane to the
+    switch CPU, so the later cuckoo insertion never re-hashes the key bytes.
+    """
 
     key: bytes
     metadata: Tuple
     first_seen: float
+    key_hash: Optional[int] = None
 
 
 @dataclass
@@ -109,11 +115,18 @@ class LearningFilter:
                 lambda: float(len(self._pending))
             )
 
-    def offer(self, key: bytes, now: float, metadata: Tuple = ()) -> Optional[LearnBatch]:
+    def offer(
+        self,
+        key: bytes,
+        now: float,
+        metadata: Tuple = (),
+        key_hash: Optional[int] = None,
+    ) -> Optional[LearnBatch]:
         """Deposit a learn event; returns a batch if the buffer filled.
 
         Duplicate keys (multiple packets of the same connection racing the
-        CPU) are merged, as the hardware filter does.
+        CPU) are merged, as the hardware filter does.  ``key_hash`` is the
+        key's cached base hash, forwarded to the CPU on the event.
         """
         self.offered += 1
         if self._m_offered is not None:
@@ -123,7 +136,9 @@ class LearningFilter:
             if self._m_dedup is not None:
                 self._m_dedup.value += 1.0
             return None
-        self._pending[key] = LearnEvent(key=key, metadata=metadata, first_seen=now)
+        self._pending[key] = LearnEvent(
+            key=key, metadata=metadata, first_seen=now, key_hash=key_hash
+        )
         if self._oldest is None:
             self._oldest = now
         if len(self._pending) >= self.capacity:

@@ -19,7 +19,7 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
-from .hashing import HashUnit, hash_family
+from .hashing import HashUnit, _splitmix64, base_hash, hash_family
 
 
 class RegisterArray:
@@ -97,26 +97,33 @@ class BloomFilter:
         self.num_bits = size_bytes * 8
         self.num_hashes = num_hashes
         self._units: List[HashUnit] = hash_family(num_hashes, base_seed=seed)
+        # Per-way pre-mixed seeds: every way index derives from the single
+        # base hash of the key with one splitmix round (single-pass pipeline).
+        self._way_mixes: List[int] = [unit.seed_mix for unit in self._units]
         self._array = RegisterArray(self.num_bits, width=1)
         self._members: Set[bytes] = set()
         self.inserts = 0
         self.queries = 0
         self.false_positives = 0
 
-    def _indices(self, key: bytes) -> List[int]:
-        return [unit.index(key, self.num_bits) for unit in self._units]
+    def _indices(self, key: bytes, key_hash: Optional[int] = None) -> List[int]:
+        base = base_hash(key) if key_hash is None else key_hash
+        bits = self.num_bits
+        return [_splitmix64(base ^ mix) % bits for mix in self._way_mixes]
 
-    def insert(self, key: bytes) -> None:
+    def insert(self, key: bytes, key_hash: Optional[int] = None) -> None:
         """Set the key's bits (write-only phase of the 3-step update)."""
         self.inserts += 1
-        for index in self._indices(key):
+        for index in self._indices(key, key_hash):
             self._array.write(index, 1)
         self._members.add(key)
 
-    def query(self, key: bytes) -> BloomQuery:
+    def query(self, key: bytes, key_hash: Optional[int] = None) -> BloomQuery:
         """Test membership (read-only phase); flags false positives."""
         self.queries += 1
-        positive = all(self._array.read(index) for index in self._indices(key))
+        positive = all(
+            self._array.read(index) for index in self._indices(key, key_hash)
+        )
         false_positive = positive and key not in self._members
         if false_positive:
             self.false_positives += 1
@@ -173,16 +180,16 @@ class CountingBloomFilter(BloomFilter):
             raise ValueError("filter too small for the requested counter width")
         self._array = RegisterArray(self.num_bits, width=counter_bits)
 
-    def insert(self, key: bytes) -> None:
+    def insert(self, key: bytes, key_hash: Optional[int] = None) -> None:
         self.inserts += 1
-        for index in self._indices(key):
+        for index in self._indices(key, key_hash):
             self._array.read_modify_write(index, +1)
         self._members.add(key)
 
-    def remove(self, key: bytes) -> None:
+    def remove(self, key: bytes, key_hash: Optional[int] = None) -> None:
         """Decrement the key's counters; key must have been inserted."""
         if key not in self._members:
             raise KeyError("key was never inserted")
-        for index in self._indices(key):
+        for index in self._indices(key, key_hash):
             self._array.read_modify_write(index, -1)
         self._members.discard(key)

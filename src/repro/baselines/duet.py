@@ -85,9 +85,11 @@ class DuetLoadBalancer(LoadBalancer):
         self._active[vip] = {}
         self._slb_intervals[vip] = []
 
-    def select(self, vip: VirtualIP, key: bytes) -> DirectIP:
+    def select(
+        self, vip: VirtualIP, key: bytes, key_hash: Optional[int] = None
+    ) -> DirectIP:
         """The ECMP hash both the switches and (for new flows) SLBs use."""
-        return self._tables[vip].lookup(key)
+        return self._tables[vip].lookup(key, key_hash)
 
     def vip_at_slb(self, vip: VirtualIP) -> bool:
         return vip in self._at_slb
@@ -112,7 +114,7 @@ class DuetLoadBalancer(LoadBalancer):
 
     def on_connection_arrival(self, conn: Connection) -> None:
         vip, key = conn.vip, conn.key
-        dip = self.select(vip, key)
+        dip = self.select(vip, key, conn.key_hash)
         conn.record_decision(self.queue.now, dip)
         self._active[vip][key] = conn
         if vip in self._at_slb:
@@ -181,7 +183,7 @@ class DuetLoadBalancer(LoadBalancer):
         # Back at the switches, every flow re-hashes over the current pool;
         # flows pinned under an older pool may land elsewhere: PCC breaks.
         for key, conn in self._active[vip].items():
-            dip = self.select(vip, key)
+            dip = self.select(vip, key, conn.key_hash)
             conn.record_decision(now, dip)
         self._pinned[vip].clear()
         self._unsafe[vip].clear()
@@ -191,8 +193,10 @@ class DuetLoadBalancer(LoadBalancer):
             return
         unsafe = self._unsafe[vip]
         unsafe.clear()
+        active = self._active[vip]
         for key, pinned_dip in self._pinned[vip].items():
-            if self.select(vip, key) != pinned_dip:
+            conn = active.get(key)
+            if self.select(vip, key, conn.key_hash if conn else None) != pinned_dip:
                 unsafe.add(key)
 
     def _maybe_safe_return(self, vip: VirtualIP) -> None:

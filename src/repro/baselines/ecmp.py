@@ -39,14 +39,16 @@ class EcmpLoadBalancer(LoadBalancer):
             raise ValueError(f"VIP already announced: {vip}")
         self._pools[vip] = list(dips)
 
-    def select(self, vip: VirtualIP, key: bytes) -> DirectIP:
+    def select(
+        self, vip: VirtualIP, key: bytes, key_hash: Optional[int] = None
+    ) -> DirectIP:
         pool = self._pools[vip]
-        return pool[self._unit.index(key, len(pool))]
+        return pool[self._unit.index(key, len(pool), key_hash)]
 
     # -- LoadBalancer interface -------------------------------------------
 
     def on_connection_arrival(self, conn: Connection) -> None:
-        dip = self.select(conn.vip, conn.key)
+        dip = self.select(conn.vip, conn.key, conn.key_hash)
         conn.record_decision(self.queue.now, dip)
         self._active.setdefault(conn.vip, set()).add(conn)
 
@@ -67,7 +69,7 @@ class EcmpLoadBalancer(LoadBalancer):
         if not pool:
             raise RuntimeError(f"pool of {event.vip} drained empty")
         for conn in self._active.get(event.vip, ()):  # every flow re-hashes
-            new_dip = self.select(event.vip, conn.key)
+            new_dip = self.select(event.vip, conn.key, conn.key_hash)
             if event.kind is UpdateKind.REMOVE and conn.decisions:
                 last = conn.decisions[-1][1]
                 if last == event.dip:
@@ -101,8 +103,8 @@ class ResilientHashTable:
     def members(self) -> List[DirectIP]:
         return list(self._members)
 
-    def lookup(self, key: bytes) -> DirectIP:
-        return self.slots[self._unit.index(key, self.num_slots)]
+    def lookup(self, key: bytes, key_hash: Optional[int] = None) -> DirectIP:
+        return self.slots[self._unit.index(key, self.num_slots, key_hash)]
 
     def _share(self) -> int:
         return self.num_slots // max(len(self._members), 1)
@@ -167,11 +169,13 @@ class ResilientEcmpLoadBalancer(LoadBalancer):
             list(dips), num_slots=self.num_slots, seed=self._seed
         )
 
-    def select(self, vip: VirtualIP, key: bytes) -> DirectIP:
-        return self._tables[vip].lookup(key)
+    def select(
+        self, vip: VirtualIP, key: bytes, key_hash: Optional[int] = None
+    ) -> DirectIP:
+        return self._tables[vip].lookup(key, key_hash)
 
     def on_connection_arrival(self, conn: Connection) -> None:
-        dip = self.select(conn.vip, conn.key)
+        dip = self.select(conn.vip, conn.key, conn.key_hash)
         conn.record_decision(self.queue.now, dip)
         self._active.setdefault(conn.vip, set()).add(conn)
 
@@ -190,7 +194,7 @@ class ResilientEcmpLoadBalancer(LoadBalancer):
                 return
             table.add(event.dip)
         for conn in self._active.get(event.vip, ()):  # only moved slots change
-            new_dip = table.lookup(conn.key)
+            new_dip = table.lookup(conn.key, conn.key_hash)
             if event.kind is UpdateKind.REMOVE and conn.decisions:
                 if conn.decisions[-1][1] == event.dip:
                     conn.broken_by_removal = True

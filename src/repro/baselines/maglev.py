@@ -93,8 +93,8 @@ class MaglevTable:
                     break
         self.entries = [self.backends[i] for i in entry]  # type: ignore[index]
 
-    def lookup(self, key: bytes) -> DirectIP:
-        return self.entries[self._key_unit.index(key, self.table_size)]
+    def lookup(self, key: bytes, key_hash: Optional[int] = None) -> DirectIP:
+        return self.entries[self._key_unit.index(key, self.table_size, key_hash)]
 
     def rebuild(self, backends: Sequence[DirectIP]) -> int:
         """Replace the backend set; returns the number of changed entries

@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
+from ..asicsim.hashing import HashUnit
 from ..netsim.flows import Connection
 from ..netsim.packet import DirectIP, VirtualIP
 from ..netsim.simulator import LoadBalancer
@@ -108,6 +109,7 @@ class SoftwareLoadBalancer(LoadBalancer):
         self.use_maglev = use_maglev
         self._maglev_size = maglev_table_size
         self._seed = seed
+        self._select_unit = HashUnit(seed=seed)
         self._pools: Dict[VirtualIP, List[DirectIP]] = {}
         self._tables: Dict[VirtualIP, MaglevTable] = {}
         self._conn_table: Dict[bytes, DirectIP] = {}
@@ -124,18 +126,18 @@ class SoftwareLoadBalancer(LoadBalancer):
                 list(dips), table_size=self._maglev_size, seed=self._seed
             )
 
-    def select(self, vip: VirtualIP, key: bytes) -> DirectIP:
+    def select(
+        self, vip: VirtualIP, key: bytes, key_hash: Optional[int] = None
+    ) -> DirectIP:
         if self.use_maglev:
-            return self._tables[vip].lookup(key)
+            return self._tables[vip].lookup(key, key_hash)
         pool = self._pools[vip]
-        from ..asicsim.hashing import HashUnit
-
-        return pool[HashUnit(self._seed).index(key, len(pool))]
+        return pool[self._select_unit.index(key, len(pool), key_hash)]
 
     # -- LoadBalancer interface -------------------------------------------
 
     def on_connection_arrival(self, conn: Connection) -> None:
-        dip = self.select(conn.vip, conn.key)
+        dip = self.select(conn.vip, conn.key, conn.key_hash)
         self._conn_table[conn.key] = dip
         conn.record_decision(self.queue.now, dip)
         self._active.setdefault(conn.vip, set()).add(conn)

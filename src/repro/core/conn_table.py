@@ -51,14 +51,20 @@ class ConnTable:
 
     # -- data plane ----------------------------------------------------
 
-    def lookup(self, key: bytes) -> LookupResult:
-        """Digest lookup, exactly as the ASIC performs it."""
-        return self._table.lookup(key)
+    def lookup(self, key: bytes, key_hash: Optional[int] = None) -> LookupResult:
+        """Digest lookup, exactly as the ASIC performs it.
+
+        ``key_hash`` is the connection's cached base hash; with it the
+        lookup performs no byte hashing at all.
+        """
+        return self._table.lookup(key, key_hash)
 
     # -- software (switch CPU) -----------------------------------------
 
-    def insert(self, key: bytes, version: int) -> InsertResult:
-        return self._table.insert(key, version)
+    def insert(
+        self, key: bytes, version: int, key_hash: Optional[int] = None
+    ) -> InsertResult:
+        return self._table.insert(key, version, key_hash)
 
     def delete(self, key: bytes) -> None:
         self._table.delete(key)
@@ -66,10 +72,12 @@ class ConnTable:
     def get_exact(self, key: bytes) -> Optional[int]:
         return self._table.get_exact(key)
 
-    def relocate_colliding_entry(self, new_key: bytes) -> bool:
+    def relocate_colliding_entry(
+        self, new_key: bytes, key_hash: Optional[int] = None
+    ) -> bool:
         """Resolve a digest collision for ``new_key``: find the resident
         entry its SYN falsely hit and move it to a different stage."""
-        result = self._table.lookup(new_key)
+        result = self._table.lookup(new_key, key_hash)
         if not result.hit or not result.false_positive:
             return True  # nothing to resolve
         assert result.location is not None

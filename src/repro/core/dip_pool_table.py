@@ -47,8 +47,10 @@ class DipPool:
         if not self.slots:
             raise ValueError("a DIP pool cannot be empty")
 
-    def select(self, key: bytes, unit: HashUnit) -> DirectIP:
-        return self.slots[unit.index(key, len(self.slots))]
+    def select(
+        self, key: bytes, unit: HashUnit, key_hash: Optional[int] = None
+    ) -> DirectIP:
+        return self.slots[unit.index(key, len(self.slots), key_hash)]
 
     def without(self, dip: DirectIP) -> "DipPool":
         """A new pool with one DIP removed."""
@@ -226,9 +228,19 @@ class DipPoolTable:
             raise KeyError(f"no version {version} for {vip}")
         return pool
 
-    def select(self, vip: VirtualIP, version: int, key: bytes) -> DirectIP:
-        """Pick the DIP for a connection pinned to a pool version."""
-        return self.pool(vip, version).select(key, self._select_unit)
+    def select(
+        self,
+        vip: VirtualIP,
+        version: int,
+        key: bytes,
+        key_hash: Optional[int] = None,
+    ) -> DirectIP:
+        """Pick the DIP for a connection pinned to a pool version.
+
+        ``key_hash`` is the connection's cached base hash; supplying it
+        makes selection pure integer mixing.
+        """
+        return self.pool(vip, version).select(key, self._select_unit, key_hash)
 
     # ------------------------------------------------------------------
     # Reference counting (connection lifecycle)

@@ -102,11 +102,14 @@ class SilkRoadSwitch(LoadBalancer):
             finish=self._finish_update,
             mark=self._mark_transit,
             now=lambda: self.queue.now,
-            start=lambda vip: self.transit.update_started(),
+            start=self._transit_update_started,
             tracer=self.tracer,
             metrics=self.metrics.scope("update"),
         )
         self._states: Dict[bytes, _ConnState] = {}
+        #: TransitTable update-id token per VIP mid-update (the coordinator
+        #: serializes updates per VIP, so one token per VIP suffices).
+        self._transit_update_ids: Dict[VirtualIP, int] = {}
         self._pending_by_vip: Dict[VirtualIP, Set[bytes]] = {}
         self._conns_on: Dict[Tuple[VirtualIP, DirectIP], Set[bytes]] = {}
         self._poll_handle: Optional[EventHandle] = None
@@ -180,8 +183,9 @@ class SilkRoadSwitch(LoadBalancer):
     def on_connection_arrival(self, conn: Connection) -> None:
         now = self.queue.now
         key = conn.key
+        key_hash = conn.key_hash
         self.connections_seen += 1
-        result = self.conn_table.lookup(key)
+        result = self.conn_table.lookup(key, key_hash)
         if result.hit:
             # New connections are unique, so a hit is a digest false
             # positive.  The SYN is redirected to the CPU, which relocates
@@ -194,7 +198,7 @@ class SilkRoadSwitch(LoadBalancer):
             )
             return
         state = self._admit(conn, now)
-        batch = self.learning.offer(key, now)
+        batch = self.learning.offer(key, now, key_hash=key_hash)
         if batch is not None:
             self._cancel_poll()
             self._cpu.submit_batch(batch)
@@ -239,11 +243,12 @@ class SilkRoadSwitch(LoadBalancer):
     def _admit(self, conn: Connection, now: float) -> _ConnState:
         vip = conn.vip
         key = conn.key
+        key_hash = conn.key_hash
         entry = self.vip_table.lookup(vip)
         adopted_old = False
         if entry.in_transition and self.config.use_transit_table:
             # Step 2: ConnTable miss -> consult the TransitTable.
-            query = self.transit.check(key)
+            query = self.transit.check(key, key_hash)
             if query.positive:
                 # A new connection can only hit the filter falsely.
                 if self.config.syn_redirect_on_transit_fp:
@@ -265,7 +270,7 @@ class SilkRoadSwitch(LoadBalancer):
         self._pending_by_vip.setdefault(vip, set()).add(key)
         # Step 1 of an in-flight update marks the connection.
         state.marked = self.coordinator.note_new_pending(vip, key)
-        dip = self.dip_pools.select(vip, version, key)
+        dip = self.dip_pools.select(vip, version, key, key_hash)
         self._set_decision(state, dip, now)
         return state
 
@@ -280,11 +285,12 @@ class SilkRoadSwitch(LoadBalancer):
             # Connection ended before its entry was written; nothing to do
             # (the abort already told the coordinator).
             return
+        key_hash = state.conn.key_hash
         if metadata and metadata[0] == "fp":
             # Redirected SYN: resolve the digest collision first.
-            self.conn_table.relocate_colliding_entry(key)
+            self.conn_table.relocate_colliding_entry(key, key_hash)
         try:
-            self.conn_table.insert(key, state.version)
+            self.conn_table.insert(key, state.version, key_hash)
         except TableFull:
             self.table_full_events += 1
             if self.config.overflow_to_software:
@@ -315,7 +321,7 @@ class SilkRoadSwitch(LoadBalancer):
         # The installed entry pins the connection to its arrival version;
         # if interim VIPTable flips re-mapped it (no-TransitTable mode),
         # the decision now reverts.
-        dip = self.dip_pools.select(state.vip, state.version, key)
+        dip = self.dip_pools.select(state.vip, state.version, key, key_hash)
         self._set_decision(state, dip, now)
 
     def _expire_entry(self, key: bytes) -> None:
@@ -355,9 +361,10 @@ class SilkRoadSwitch(LoadBalancer):
                 state = self._states.get(key)
                 if state is None or state.dead or state.installed or state.marked:
                     continue
-                query = self.transit.check(key)
+                key_hash = state.conn.key_hash
+                query = self.transit.check(key, key_hash)
                 use_version = old_version if query.positive else new_version
-                dip = self.dip_pools.select(vip, use_version, key)
+                dip = self.dip_pools.select(vip, use_version, key, key_hash)
                 self._set_decision(state, dip, now)
         else:
             self.vip_table.set_version(vip, new_version)
@@ -366,7 +373,9 @@ class SilkRoadSwitch(LoadBalancer):
     def _finish_update(self, vip: VirtualIP) -> None:
         now = self.queue.now
         self.vip_table.end_transition(vip)
-        self.transit.update_finished()
+        # Evict exactly this update's marks: overlapping updates of other
+        # VIPs keep theirs, but no stale bit outlives its own update.
+        self.transit.update_finished(self._transit_update_ids.pop(vip, None))
         # Pending connections that adopted the old version through a Bloom
         # false positive lose their protection when the filter clears: their
         # next packets miss ConnTable and take the (new) current version.
@@ -376,7 +385,9 @@ class SilkRoadSwitch(LoadBalancer):
             if state is None or not state.adopted_old_via_fp or state.dead:
                 continue
             state.adopted_old_via_fp = False
-            dip = self.dip_pools.select(vip, entry.current_version, key)
+            dip = self.dip_pools.select(
+                vip, entry.current_version, key, state.conn.key_hash
+            )
             self._set_decision(state, dip, now)
 
     def _remap_pending(self, vip: VirtualIP, new_version: int, now: float) -> None:
@@ -385,7 +396,7 @@ class SilkRoadSwitch(LoadBalancer):
             state = self._states.get(key)
             if state is None or state.dead:
                 continue
-            dip = self.dip_pools.select(vip, new_version, key)
+            dip = self.dip_pools.select(vip, new_version, key, state.conn.key_hash)
             self._set_decision(state, dip, now)
 
     # ------------------------------------------------------------------
@@ -404,8 +415,21 @@ class SilkRoadSwitch(LoadBalancer):
             if not self._states[key].overflowed
         }
 
+    def _transit_update_started(self, vip: VirtualIP) -> None:
+        """Step 1 begins for ``vip``: reserve a TransitTable update id so
+        the update's marks can be evicted precisely at its own step 3."""
+        self._transit_update_ids[vip] = self.transit.update_started()
+
     def _mark_transit(self, key: bytes) -> None:
-        self.transit.mark(key)
+        state = self._states.get(key)
+        if state is not None:
+            self.transit.mark(
+                key,
+                key_hash=state.conn.key_hash,
+                update_id=self._transit_update_ids.get(state.vip),
+            )
+        else:
+            self.transit.mark(key)
 
     # ------------------------------------------------------------------
     # Decision bookkeeping

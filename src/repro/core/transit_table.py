@@ -10,14 +10,22 @@ keep using the *old* DIP-pool version.  Its lifecycle per update:
 * **Step 3**: cleared.
 
 Several VIPs may be mid-update simultaneously; they share the physical
-filter (it is one register array), so this wrapper reference-counts the
-in-flight updates and only truly clears when the last one finishes — an
-implementation detail the paper leaves to the control plane.
+filter (it is one register array).  A naive reference count that only wipes
+the array when the *last* in-flight update finishes lets the marks of an
+update that already reached step 3 linger, inflating step-2 false positives
+for unrelated VIPs for as long as any other update is in flight.  This
+wrapper therefore **per-update-accounts** the marks: :meth:`update_started`
+hands out an update id, :meth:`mark` stamps each mark with its owning
+update, and when an update finishes its marks are evicted — the control
+plane wipes the array and replays the marks still owned by in-flight
+updates (it logged them during step 1, so the rebuild is exact and can
+never produce a false negative).  Marks recorded without an id keep the
+legacy behaviour of surviving until the last active update finishes.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from ..asicsim.registers import BloomFilter, BloomQuery
 from ..obs.metrics import Scope
@@ -34,11 +42,18 @@ class TransitTable:
         metrics: Optional[Scope] = None,
     ):
         self._filter = BloomFilter(size_bytes, num_hashes=num_hashes, seed=seed)
-        self._active_updates = 0
+        self._next_update_id = 1
+        #: update id -> {key: cached base hash} of the marks it owns.
+        self._owned: Dict[int, Dict[bytes, Optional[int]]] = {}
+        #: marks recorded without an owning update (legacy callers).
+        self._unowned: Dict[bytes, Optional[int]] = {}
         self.clears = 0
+        self.rebuilds = 0
+        self.evicted_marks = 0
         if metrics is None:
             self._m_marks = self._m_checks = self._m_hits = None
             self._m_fp = self._m_clears = None
+            self._m_rebuilds = self._m_evicted = None
         else:
             self._m_marks = metrics.counter(
                 "marks_total", "pending connections written during step 1"
@@ -53,7 +68,16 @@ class TransitTable:
                 "false_positives_total", "positive answers for never-marked keys"
             )
             self._m_clears = metrics.counter(
-                "clears_total", "filter wipes at step 3"
+                "clears_total", "filter wipes at step 3 (no update left in flight)"
+            )
+            self._m_rebuilds = metrics.counter(
+                "rebuilds_total",
+                "filter rebuilds evicting a finished update's marks while "
+                "other updates stayed in flight",
+            )
+            self._m_evicted = metrics.counter(
+                "evicted_marks_total",
+                "marks of finished updates removed before the last clear",
             )
             metrics.gauge("population", "keys marked since the last clear").set_function(
                 lambda: float(self._filter.population)
@@ -62,42 +86,88 @@ class TransitTable:
                 lambda: self._filter.fill_ratio
             )
             metrics.gauge("active_updates", "updates currently using the filter").set_function(
-                lambda: float(self._active_updates)
+                lambda: float(len(self._owned))
             )
 
     # -- update lifecycle ------------------------------------------------
 
-    def update_started(self) -> None:
-        """An update entered step 1; the filter is in use."""
-        self._active_updates += 1
+    def update_started(self) -> int:
+        """An update entered step 1; returns its id for mark stamping."""
+        update_id = self._next_update_id
+        self._next_update_id += 1
+        self._owned[update_id] = {}
+        return update_id
 
-    def update_finished(self) -> None:
-        """An update reached step 3; clear once no update needs the filter."""
-        if self._active_updates <= 0:
+    def update_finished(self, update_id: Optional[int] = None) -> None:
+        """An update reached step 3: evict its marks.
+
+        With no update left in flight the filter is wiped outright; while
+        others remain, the array is wiped and the surviving marks (those of
+        still-active updates, plus unowned legacy marks) are replayed so
+        stale bits stop inflating other VIPs' false positives.
+
+        ``update_id`` is the token :meth:`update_started` returned; omitting
+        it (legacy callers) finishes the oldest in-flight update.
+        """
+        if not self._owned:
             raise RuntimeError("update_finished without matching update_started")
-        self._active_updates -= 1
-        if self._active_updates == 0:
+        if update_id is None:
+            update_id = next(iter(self._owned))
+        finished = self._owned.pop(update_id)
+        if not self._owned:
+            # Last in-flight update: step 3 proper, the filter truly clears.
+            self._unowned.clear()
             self._filter.clear()
             self.clears += 1
             if self._m_clears is not None:
                 self._m_clears.value += 1.0
+            return
+        # Other updates still need their marks: rebuild without the
+        # finished update's.  A key marked by several updates survives
+        # until its last owner finishes.
+        survivors: Dict[bytes, Optional[int]] = dict(self._unowned)
+        for marks in self._owned.values():
+            survivors.update(marks)
+        evicted = sum(1 for key in finished if key not in survivors)
+        self._filter.clear()
+        for key, key_hash in survivors.items():
+            self._filter.insert(key, key_hash)
+        self.rebuilds += 1
+        self.evicted_marks += evicted
+        if self._m_rebuilds is not None:
+            self._m_rebuilds.value += 1.0
+            self._m_evicted.value += float(evicted)
 
     @property
     def active_updates(self) -> int:
-        return self._active_updates
+        return len(self._owned)
 
     # -- data plane --------------------------------------------------------
 
-    def mark(self, key: bytes) -> None:
+    def mark(
+        self,
+        key: bytes,
+        key_hash: Optional[int] = None,
+        update_id: Optional[int] = None,
+    ) -> None:
         """Step 1: remember a pending connection (one-cycle transactional
-        write in hardware)."""
-        self._filter.insert(key)
+        write in hardware).
+
+        ``key_hash`` is the connection's cached base hash (skips the byte
+        pass); ``update_id`` stamps the mark with its owning update so it
+        can be evicted the moment that update finishes.
+        """
+        self._filter.insert(key, key_hash)
+        if update_id is not None and update_id in self._owned:
+            self._owned[update_id][key] = key_hash
+        else:
+            self._unowned[key] = key_hash
         if self._m_marks is not None:
             self._m_marks.value += 1.0
 
-    def check(self, key: bytes) -> BloomQuery:
+    def check(self, key: bytes, key_hash: Optional[int] = None) -> BloomQuery:
         """Step 2: should this ConnTable-missing packet use the old version?"""
-        query = self._filter.query(key)
+        query = self._filter.query(key, key_hash)
         if self._m_checks is not None:
             self._m_checks.value += 1.0
             if query.positive:

@@ -6,52 +6,45 @@ reproducible for a given seed.  Both the SilkRoad switch model (learning
 flushes, CPU insertion completions, 3-step update transitions) and the
 workload (connection arrivals/expiries, DIP-pool updates) are driven off
 this kernel.
+
+The heap stores plain ``(time, priority, seq, entry)`` tuples so ordering
+is resolved by C-level tuple comparison; ``seq`` is unique, so the
+``entry`` payload is never compared.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple
 
 Action = Callable[[], None]
 
 
-@dataclass(order=True)
-class _Entry:
-    time: float
-    priority: int
-    seq: int
-    action: Action = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-
-
 class EventHandle:
-    """Handle returned by :meth:`EventQueue.schedule`; supports cancel()."""
+    """One scheduled event: heap payload and cancellation handle in one.
 
-    __slots__ = ("_entry",)
+    A single object per event keeps :meth:`EventQueue.schedule` to one
+    allocation; ``cancelled`` is a plain attribute, not a property, for the
+    same reason.
+    """
 
-    def __init__(self, entry: _Entry) -> None:
-        self._entry = entry
+    __slots__ = ("time", "action", "cancelled")
+
+    def __init__(self, time: float, action: Action) -> None:
+        self.time = time
+        self.action = action
+        self.cancelled = False
 
     def cancel(self) -> None:
-        self._entry.cancelled = True
-
-    @property
-    def cancelled(self) -> bool:
-        return self._entry.cancelled
-
-    @property
-    def time(self) -> float:
-        return self._entry.time
+        self.cancelled = True
 
 
 class EventQueue:
     """A deterministic priority event queue with a simulation clock."""
 
     def __init__(self) -> None:
-        self._heap: list = []
+        self._heap: List[Tuple[float, int, int, EventHandle]] = []
         self._seq = itertools.count()
         self.now = 0.0
         self.processed = 0
@@ -63,9 +56,9 @@ class EventQueue:
         """
         if time < self.now:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
-        entry = _Entry(time=time, priority=priority, seq=next(self._seq), action=action)
-        heapq.heappush(self._heap, entry)
-        return EventHandle(entry)
+        entry = EventHandle(time, action)
+        heapq.heappush(self._heap, (time, priority, next(self._seq), entry))
+        return entry
 
     def schedule_in(self, delay: float, action: Action, priority: int = 0) -> EventHandle:
         """Schedule ``action`` after ``delay`` seconds."""
@@ -75,11 +68,12 @@ class EventQueue:
 
     def step(self) -> bool:
         """Run the next event; returns False when the queue is empty."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _priority, _seq, entry = heapq.heappop(heap)
             if entry.cancelled:
                 continue
-            self.now = entry.time
+            self.now = time
             self.processed += 1
             entry.action()
             return True
@@ -87,15 +81,17 @@ class EventQueue:
 
     def run_until(self, end_time: float) -> None:
         """Run all events with time <= ``end_time``; clock ends at end_time."""
-        while self._heap:
-            entry = self._heap[0]
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, _priority, _seq, entry = heap[0]
             if entry.cancelled:
-                heapq.heappop(self._heap)
+                pop(heap)
                 continue
-            if entry.time > end_time:
+            if time > end_time:
                 break
-            heapq.heappop(self._heap)
-            self.now = entry.time
+            pop(heap)
+            self.now = time
             self.processed += 1
             entry.action()
         self.now = max(self.now, end_time)
@@ -111,7 +107,7 @@ class EventQueue:
 
     @property
     def empty(self) -> bool:
-        return not any(not e.cancelled for e in self._heap)
+        return not any(not item[3].cancelled for item in self._heap)
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for item in self._heap if not item[3].cancelled)

@@ -21,7 +21,32 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..asicsim.hashing import base_hash
 from .packet import DirectIP, FiveTuple, VirtualIP
+
+
+class _lazy:
+    """``functools.cached_property`` without the pre-3.12 per-access RLock.
+
+    Millions of connections each compute ``key``/``key_hash`` exactly once;
+    the stock descriptor's lock acquisition dominates that first access on
+    Python < 3.12, so this lock-free variant is used instead (the simulator
+    is single-threaded by construction).
+    """
+
+    __slots__ = ("func", "name", "doc")
+
+    def __init__(self, func):
+        self.func = func
+        self.name = func.__name__
+        self.doc = func.__doc__
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        value = self.func(obj)
+        obj.__dict__[self.name] = value
+        return value
 
 
 @dataclass(frozen=True)
@@ -99,9 +124,21 @@ class Connection:
     def end(self) -> float:
         return self.start + self.duration
 
-    @property
+    @_lazy
     def key(self) -> bytes:
+        """Canonical match-key bytes, packed once per connection."""
         return self.five_tuple.key_bytes()
+
+    @_lazy
+    def key_hash(self) -> int:
+        """The key's base hash, computed once per connection.
+
+        Every hash consumer (ConnTable stages, digests, TransitTable Bloom
+        ways, DIP selection) derives from this value with seeded integer
+        mixing, so the simulator performs exactly one byte pass per
+        connection no matter how many packets or events touch it.
+        """
+        return base_hash(self.key)
 
     def active_at(self, t: float) -> bool:
         return self.start <= t < self.end

@@ -54,6 +54,17 @@ class VirtualIP:
         if not 0 <= self.port <= 0xFFFF:
             raise ValueError("port out of range")
 
+
+    def __hash__(self) -> int:
+        # Instances are hashed millions of times as dict/set keys during a
+        # simulation; cache the field-tuple hash on first use.
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.ip, self.port, self.proto, self.v6))
+            object.__setattr__(self, "_hash", h)
+            return h
+
     @classmethod
     def parse(cls, text: str, proto: int = TCP) -> "VirtualIP":
         """Parse ``"20.0.0.1:80"`` or ``"[2001:db8::1]:80"``."""
@@ -81,6 +92,17 @@ class DirectIP:
         if not 0 <= self.port <= 0xFFFF:
             raise ValueError("port out of range")
 
+
+    def __hash__(self) -> int:
+        # Instances are hashed millions of times as dict/set keys during a
+        # simulation; cache the field-tuple hash on first use.
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.ip, self.port, self.v6))
+            object.__setattr__(self, "_hash", h)
+            return h
+
     @classmethod
     def parse(cls, text: str) -> "DirectIP":
         host, _, port = text.rpartition(":")
@@ -105,6 +127,17 @@ class FiveTuple:
     dst_port: int
     proto: int = TCP
     v6: bool = False
+
+
+    def __hash__(self) -> int:
+        # Instances are hashed millions of times as dict/set keys during a
+        # simulation; cache the field-tuple hash on first use.
+        try:
+            return self._hash
+        except AttributeError:
+            h = hash((self.src_ip, self.src_port, self.dst_ip, self.dst_port, self.proto, self.v6))
+            object.__setattr__(self, "_hash", h)
+            return h
 
     def key_bytes(self) -> bytes:
         """Canonical match-key byte string (13 B IPv4 / 37 B IPv6)."""

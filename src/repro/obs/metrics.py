@@ -157,8 +157,11 @@ class P2Quantile:
                 k += 1
         for i in range(k + 1, 5):
             n[i] += 1.0
-        for i in range(5):
-            self._np[i] += self._dn[i]
+        np_, dn = self._np, self._dn
+        np_[1] += dn[1]
+        np_[2] += dn[2]
+        np_[3] += dn[3]
+        np_[4] += 1.0
         # Adjust interior markers towards their desired positions.
         for i in (1, 2, 3):
             d = self._np[i] - n[i]
@@ -217,7 +220,7 @@ class Histogram:
 
     __slots__ = (
         "name", "help", "bounds", "bucket_counts", "sum", "count",
-        "min", "max", "_estimators",
+        "min", "max", "_estimators", "_est_tuple",
     )
 
     kind = "histogram"
@@ -245,6 +248,7 @@ class Histogram:
         self._estimators: Dict[float, P2Quantile] = {
             float(p): P2Quantile(p) for p in quantiles
         }
+        self._est_tuple = tuple(self._estimators.values())
 
     def observe(self, value: float) -> None:
         self.bucket_counts[bisect_left(self.bounds, value)] += 1
@@ -254,8 +258,9 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
-        for estimator in self._estimators.values():
-            estimator.observe(value)
+        if self._est_tuple:
+            for estimator in self._est_tuple:
+                estimator.observe(value)
 
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..asicsim.hashing import HashUnit, hash_family
+from ..asicsim.hashing import HashUnit, base_hash, hash_family
 from ..asicsim.registers import RegisterArray
 from ..netsim.packet import DirectIP, VirtualIP
 from .context import PacketContext
@@ -249,11 +249,17 @@ class SilkRoadP4:
             self.dip_member_table.remove((base + offset,))
 
     def conn_profile(self, key: bytes) -> List[Tuple[int, int]]:
-        """(bucket, digest) of a connection key at every stage."""
+        """(bucket, digest) of a connection key at every stage.
+
+        Single-pass: one byte hash of the key, then per-stage seeded
+        derivations — the same scheme (and therefore the same values) as
+        the object model's cuckoo table.
+        """
+        base = base_hash(key)
         return [
             (
-                self._index_units[s].index(key, self.conn_buckets_per_stage),
-                self._digest_units[s].digest(key, self.digest_bits),
+                self._index_units[s].index_base(base, self.conn_buckets_per_stage),
+                self._digest_units[s].digest_base(base, self.digest_bits),
             )
             for s in range(self.conn_stages)
         ]
@@ -273,15 +279,19 @@ class SilkRoadP4:
         self.conn_table.remove((stage, bucket, digest))
 
     def transit_mark(self, key: bytes) -> None:
+        base = base_hash(key)
         for unit in self._transit_units:
-            self.transit_register.write(unit.index(key, self.transit_register.size), 1)
+            self.transit_register.write(
+                unit.index_base(base, self.transit_register.size), 1
+            )
 
     def transit_clear(self) -> None:
         self.transit_register.clear()
 
     def _transit_check(self, key: bytes) -> bool:
+        base = base_hash(key)
         return all(
-            self.transit_register.read(unit.index(key, self.transit_register.size))
+            self.transit_register.read(unit.index_base(base, self.transit_register.size))
             for unit in self._transit_units
         )
 

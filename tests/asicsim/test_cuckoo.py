@@ -207,3 +207,59 @@ class TestInvariantsProperty:
             except (TableFull, DuplicateKey):
                 pass
         assert sum(t.stage_occupancy()) == len(t)
+
+
+class TestProfileCacheLru:
+    def test_bounded_with_lru_eviction(self):
+        t = CuckooTable(
+            buckets_per_stage=64, ways=4, stages=4, digest_bits=16,
+            profile_cache_size=8,
+        )
+        keys = make_keys(20, seed=7)
+        for key in keys:
+            t.lookup(key)  # misses populate the side cache
+        assert len(t._profile_cache) <= 8
+        assert t.profile_cache_evictions == 20 - 8
+
+    def test_lru_keeps_recently_used(self):
+        t = CuckooTable(
+            buckets_per_stage=64, ways=4, stages=4, digest_bits=16,
+            profile_cache_size=4,
+        )
+        keys = make_keys(4, seed=3)
+        for key in keys:
+            t.lookup(key)
+        t.lookup(keys[0])  # refresh: keys[0] becomes most-recently used
+        t.lookup(b"evictor-key")  # evicts the LRU entry, which is keys[1]
+        assert keys[0] in t._profile_cache
+        assert keys[1] not in t._profile_cache
+
+    def test_rejects_nonpositive_cache_size(self):
+        with pytest.raises(ValueError):
+            CuckooTable(buckets_per_stage=4, profile_cache_size=0)
+
+
+class TestKeyHashEquivalence:
+    def test_lookup_with_cached_base_matches_bytes_path(self, table):
+        from repro.asicsim.hashing import base_hash
+
+        keys = make_keys(32, seed=5)
+        for i, key in enumerate(keys):
+            table.insert(key, i % 64, base_hash(key))
+        for i, key in enumerate(keys):
+            with_hash = table.lookup(key, base_hash(key))
+            plain = table.lookup(key)
+            assert with_hash.hit and plain.hit
+            assert with_hash.value == plain.value == i % 64
+            assert with_hash.location == plain.location
+
+    def test_lookup_with_key_hash_performs_no_byte_pass(self, table):
+        from repro.asicsim import hashing
+
+        key = b"pre-hashed-key"
+        base = hashing.base_hash(key)
+        table.insert(key, 9, base)
+        before = hashing.BASE_HASH_CALLS
+        for _ in range(5):
+            assert table.lookup(key, base).hit
+        assert hashing.BASE_HASH_CALLS == before

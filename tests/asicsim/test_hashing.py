@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.asicsim.hashing import HashUnit, hash_family, mix64
+from repro.asicsim.hashing import HashUnit, base_hash, hash_family, mix64
 
 
 class TestMix64:
@@ -99,3 +99,81 @@ class TestHashFamily:
         a = hash_family(3, base_seed=9)
         b = hash_family(3, base_seed=9)
         assert [u.seed for u in a] == [u.seed for u in b]
+
+
+class TestBaseHashPipeline:
+    """The single-pass pipeline: one byte pass, seeded integer derivations."""
+
+    def test_hash_bytes_equals_derive_of_base(self):
+        unit = HashUnit(seed=77)
+        for key in (b"", b"a", b"abc", bytes(range(37))):
+            assert unit.hash_bytes(key) == unit.derive(base_hash(key))
+
+    def test_key_hash_parameter_matches_byte_path(self):
+        unit = HashUnit(seed=5)
+        key = b"cached-connection-key"
+        base = base_hash(key)
+        assert unit.hash_bytes(key, key_hash=base) == unit.hash_bytes(key)
+        assert unit.index(key, 97, key_hash=base) == unit.index(key, 97)
+        assert unit.digest(key, 16, key_hash=base) == unit.digest(key, 16)
+
+    def test_index_base_and_digest_base_match_bytes_path(self):
+        unit = HashUnit(seed=13)
+        key = b"p4-mirror-key"
+        base = base_hash(key)
+        assert unit.index_base(base, 64) == unit.index(key, 64)
+        assert unit.digest_base(base, 16) == unit.digest(key, 16)
+
+    def test_key_hash_skips_byte_pass(self):
+        from repro.asicsim import hashing
+
+        unit = HashUnit(seed=3)
+        base = base_hash(b"some-key")
+        before = hashing.BASE_HASH_CALLS
+        unit.hash_bytes(b"some-key", key_hash=base)
+        unit.index(b"some-key", 31, key_hash=base)
+        unit.digest(b"some-key", 16, key_hash=base)
+        assert hashing.BASE_HASH_CALLS == before
+
+    def test_length_separates_zero_prefixed_keys(self):
+        # CRCs of b"\x00" * n collide for some polynomial/init combos; the
+        # length term keeps such keys apart in the base.
+        bases = {base_hash(b"\x00" * n) for n in range(1, 16)}
+        assert len(bases) == 15
+
+
+class TestCorrelatedCollisionRegression:
+    """Keys colliding in CRC-32 must not collide in every derived hash.
+
+    The pre-fix pipeline funnelled every stage index, digest and Bloom way
+    through one 32-bit CRC, so a CRC-colliding key pair collided in *all* of
+    them at once (breaking the independent-hash assumption of the paper's
+    §5.1 digest analysis).  This pair was found by birthday search; both
+    keys CRC-32 to 0xc26ad9b4.
+    """
+
+    CRC32_COLLIDING_A = bytes.fromhex("e0eb47e055636f44135cb18475")
+    CRC32_COLLIDING_B = bytes.fromhex("cc49fb8d935e33368dae569aa1")
+
+    def test_pair_actually_collides_in_crc32(self):
+        import zlib
+
+        assert zlib.crc32(self.CRC32_COLLIDING_A) == zlib.crc32(
+            self.CRC32_COLLIDING_B
+        )
+
+    def test_bases_differ(self):
+        assert base_hash(self.CRC32_COLLIDING_A) != base_hash(
+            self.CRC32_COLLIDING_B
+        )
+
+    def test_units_disagree_on_crc_colliding_pair(self):
+        # Every stage/digest/Bloom-way unit must separate the pair: a single
+        # shared funnel would make all of them collide simultaneously.
+        for unit in hash_family(8):
+            assert unit.hash_bytes(self.CRC32_COLLIDING_A) != unit.hash_bytes(
+                self.CRC32_COLLIDING_B
+            )
+            assert unit.digest(self.CRC32_COLLIDING_A, 16) != unit.digest(
+                self.CRC32_COLLIDING_B, 16
+            )

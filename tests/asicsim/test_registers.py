@@ -146,3 +146,45 @@ class TestCountingBloomFilter:
     def test_counter_width_validated(self):
         with pytest.raises(ValueError):
             CountingBloomFilter(size_bytes=64, counter_bits=1)
+
+
+class TestBloomKeyHash:
+    def test_insert_and_query_with_cached_base(self):
+        from repro.asicsim.hashing import base_hash
+
+        bf = BloomFilter(size_bytes=256, num_hashes=4)
+        key = b"cached-base-key"
+        base = base_hash(key)
+        bf.insert(key, base)
+        assert bf.query(key).positive
+        assert bf.query(key, base).positive
+        assert not bf.query(b"other", base_hash(b"other")).positive
+
+    def test_way_indices_match_bytes_path(self):
+        from repro.asicsim.hashing import base_hash
+
+        bf = BloomFilter(size_bytes=64, num_hashes=4)
+        key = b"index-parity"
+        assert bf._indices(key) == bf._indices(key, base_hash(key))
+
+    def test_query_with_key_hash_performs_no_byte_pass(self):
+        from repro.asicsim import hashing
+
+        bf = BloomFilter(size_bytes=256, num_hashes=4)
+        key = b"no-byte-pass"
+        base = hashing.base_hash(key)
+        bf.insert(key, base)
+        before = hashing.BASE_HASH_CALLS
+        bf.query(key, base)
+        assert hashing.BASE_HASH_CALLS == before
+
+    def test_counting_filter_remove_with_cached_base(self):
+        from repro.asicsim.hashing import base_hash
+
+        cbf = CountingBloomFilter(size_bytes=256, num_hashes=4)
+        key = b"counted-key"
+        base = base_hash(key)
+        cbf.insert(key, base)
+        assert cbf.query(key).positive
+        cbf.remove(key, base)
+        assert not cbf.query(key).positive

@@ -69,3 +69,109 @@ class TestFalsePositives:
         tt.mark(b"a")
         assert tt.population == 1
         assert tt.fill_ratio > 0.0
+
+
+class TestPerUpdateMarkAccounting:
+    """Marks of a finished update must not linger while others run (§4.3)."""
+
+    def test_finished_updates_marks_evicted_immediately(self):
+        tt = TransitTable(size_bytes=256)
+        a = tt.update_started()
+        b = tt.update_started()
+        tt.mark(b"conn-of-a", update_id=a)
+        tt.mark(b"conn-of-b", update_id=b)
+        tt.update_finished(a)
+        # B is still in flight, so the filter was rebuilt, not cleared --
+        # and A's mark is gone the moment A finished.
+        assert tt.clears == 0
+        assert tt.rebuilds == 1
+        assert tt.evicted_marks == 1
+        assert not tt.check(b"conn-of-a").positive
+        assert tt.check(b"conn-of-b").positive
+        tt.update_finished(b)
+        assert tt.clears == 1
+        assert not tt.check(b"conn-of-b").positive
+
+    def test_key_marked_by_both_updates_survives_first_finish(self):
+        tt = TransitTable(size_bytes=256)
+        a = tt.update_started()
+        b = tt.update_started()
+        tt.mark(b"shared-conn", update_id=a)
+        tt.mark(b"shared-conn", update_id=b)
+        tt.update_finished(a)
+        assert tt.check(b"shared-conn").positive
+        assert tt.evicted_marks == 0
+        tt.update_finished(b)
+        assert not tt.check(b"shared-conn").positive
+
+    def test_unowned_marks_survive_rebuilds(self):
+        tt = TransitTable(size_bytes=256)
+        a = tt.update_started()
+        tt.update_started()  # legacy update B, marks without an id
+        tt.mark(b"legacy-conn")
+        tt.update_finished(a)
+        assert tt.rebuilds == 1
+        assert tt.check(b"legacy-conn").positive
+
+    def test_finish_out_of_order(self):
+        tt = TransitTable(size_bytes=256)
+        a = tt.update_started()
+        b = tt.update_started()
+        c = tt.update_started()
+        tt.mark(b"of-a", update_id=a)
+        tt.mark(b"of-b", update_id=b)
+        tt.mark(b"of-c", update_id=c)
+        tt.update_finished(b)
+        assert tt.check(b"of-a").positive
+        assert not tt.check(b"of-b").positive
+        assert tt.check(b"of-c").positive
+        tt.update_finished(c)
+        assert tt.check(b"of-a").positive
+        assert not tt.check(b"of-c").positive
+        tt.update_finished(a)
+        assert tt.clears == 1
+        assert tt.population == 0
+
+    def test_rebuild_preserves_no_false_negatives(self):
+        tt = TransitTable(size_bytes=256)
+        a = tt.update_started()
+        b = tt.update_started()
+        survivors = [f"survivor-{i}".encode() for i in range(40)]
+        for key in survivors:
+            tt.mark(key, update_id=b)
+        for i in range(40):
+            tt.mark(f"finished-{i}".encode(), update_id=a)
+        tt.update_finished(a)
+        assert tt.evicted_marks == 40
+        for key in survivors:
+            assert tt.check(key).positive
+
+    def test_rebuild_uses_cached_key_hashes(self):
+        from repro.asicsim import hashing
+        from repro.asicsim.hashing import base_hash
+
+        tt = TransitTable(size_bytes=256)
+        a = tt.update_started()
+        b = tt.update_started()
+        keys = [f"hashed-{i}".encode() for i in range(10)]
+        bases = {key: base_hash(key) for key in keys}
+        for key in keys:
+            tt.mark(key, key_hash=bases[key], update_id=b)
+        tt.mark(b"done", key_hash=base_hash(b"done"), update_id=a)
+        before = hashing.BASE_HASH_CALLS
+        tt.update_finished(a)  # rebuild replays survivors from cached bases
+        assert hashing.BASE_HASH_CALLS == before
+        for key in keys:
+            assert tt.check(key, bases[key]).positive
+
+    def test_metrics_count_rebuilds_and_evictions(self):
+        from repro.obs.metrics import MetricRegistry
+
+        registry = MetricRegistry()
+        tt = TransitTable(size_bytes=256, metrics=registry.scope("transit"))
+        a = tt.update_started()
+        tt.update_started()
+        tt.mark(b"gone", update_id=a)
+        tt.update_finished(a)
+        assert registry.get("transit.rebuilds_total").value == 1.0
+        assert registry.get("transit.evicted_marks_total").value == 1.0
