@@ -110,9 +110,40 @@ def bench_fig16_small() -> float:
     return elapsed
 
 
+def bench_slow_path_no_faults() -> float:
+    """The hardened slow path with fault injection *disabled*.
+
+    The crash/shed/retry/watchdog hooks are always wired into the switch
+    now; this measurement pins down that with no injector attached they
+    stay off the hot path (a regression here means the hardening got
+    expensive for everyone, not just for chaos runs).
+    """
+    from repro.experiments.common import build_workload, silkroad_factory
+
+    workload = build_workload(
+        updates_per_min=60.0, scale=0.1, seed=16, horizon_s=30.0, warmup_s=3.0
+    )
+    factory = silkroad_factory(conn_table_capacity=100_000)
+
+    best = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        report, _conns, switch = workload.replay(factory)
+        best = min(best, time.perf_counter() - t0)
+        # No faults injected: nothing may shed, relearn, or trip a watchdog.
+        counters = switch.report()
+        for name in (
+            "cpu_jobs_shed", "cpu_jobs_lost", "cpu_crashes",
+            "relearns", "at_risk_connections", "watchdog_forced_steps",
+        ):
+            assert counters[name] == 0.0, f"fault path fired without faults: {name}"
+    return best
+
+
 MEASUREMENTS = {
     "hashing_fanout": bench_hashing,
     "fig16_small": bench_fig16_small,
+    "slow_path_no_faults": bench_slow_path_no_faults,
 }
 
 

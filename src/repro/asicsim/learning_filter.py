@@ -83,10 +83,12 @@ class LearningFilter:
         self.deduplicated = 0
         self.flushes_full = 0
         self.flushes_timeout = 0
+        self.rearmed = 0
         if metrics is None:
             self._m_offered = self._m_dedup = None
             self._m_flushes_full = self._m_flushes_timeout = None
             self._m_batch_size = self._m_drain_latency = None
+            self._m_rearmed = None
         else:
             self._m_offered = metrics.counter(
                 "events_offered_total", "new-key events deposited by the data plane"
@@ -110,6 +112,10 @@ class LearningFilter:
                 "drain_latency_s",
                 buckets=LATENCY_BUCKETS_S,
                 help="time each event waited in the filter before drain",
+            )
+            self._m_rearmed = metrics.counter(
+                "events_rearmed_total",
+                "learn events re-deposited after a slow-path loss",
             )
             metrics.gauge("occupancy", "events pending in the buffer").set_function(
                 lambda: float(len(self._pending))
@@ -144,6 +150,38 @@ class LearningFilter:
         if len(self._pending) >= self.capacity:
             return self._flush(now, "full")
         return None
+
+    def rearm(self, events: List[LearnEvent], now: float) -> Optional[LearnBatch]:
+        """Re-deposit learn events whose slow-path jobs were lost.
+
+        After a CPU crash, a shed job, or a lost notification the connection
+        is still unmatched in ConnTable, so its next packet triggers a fresh
+        learn event; this models that re-learning.  Metadata and cached key
+        hashes are preserved, ``first_seen`` is stamped ``now`` (it *is* a
+        new event).  Keys already pending deduplicate as usual.  Returns a
+        batch if the re-arm filled the buffer.
+        """
+        batch: Optional[LearnBatch] = None
+        for event in events:
+            if event.key in self._pending:
+                self.deduplicated += 1
+                if self._m_dedup is not None:
+                    self._m_dedup.value += 1.0
+                continue
+            self.rearmed += 1
+            if self._m_rearmed is not None:
+                self._m_rearmed.value += 1.0
+            self._pending[event.key] = LearnEvent(
+                key=event.key,
+                metadata=event.metadata,
+                first_seen=now,
+                key_hash=event.key_hash,
+            )
+            if self._oldest is None:
+                self._oldest = now
+            if len(self._pending) >= self.capacity and batch is None:
+                batch = self._flush(now, "full")
+        return batch
 
     def poll(self, now: float) -> Optional[LearnBatch]:
         """Flush on timeout; the CPU calls this on its notification timer.

@@ -12,6 +12,9 @@ Commands:
   and print the forwarding decision.
 * ``telemetry`` — run a small scenario and emit the full metric/trace dump
   (JSON, JSONL, Prometheus text, or a human-readable table).
+* ``chaos`` — run a seeded fault-injection simulation against the hardened
+  slow path, audit every invariant, and exit non-zero on violations (the
+  CI chaos smoke step).
 """
 
 from __future__ import annotations
@@ -209,6 +212,43 @@ def _cmd_forward(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import run_chaos
+
+    result = run_chaos(
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        scale=args.scale,
+        horizon_s=args.horizon,
+        updates_per_min=args.updates_per_min,
+        faults_per_min=args.faults_per_min,
+    )
+    print(result.summary())
+    if args.check_determinism:
+        again = run_chaos(
+            seed=args.seed,
+            fault_seed=args.fault_seed,
+            scale=args.scale,
+            horizon_s=args.horizon,
+            updates_per_min=args.updates_per_min,
+            faults_per_min=args.faults_per_min,
+        )
+        if again.fingerprint != result.fingerprint:
+            print("FAIL: same-seed runs diverged", file=sys.stderr)
+            return 1
+        print(f"determinism ok (fingerprint {result.fingerprint[:16]})")
+    if not result.ok:
+        print(str(result.audit), file=sys.stderr)
+        if result.overdue_updates:
+            print(
+                f"FAIL: {result.overdue_updates} updates overran the "
+                f"watchdog budget",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SilkRoad reproduction command line"
@@ -272,6 +312,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tel.add_argument("--out", help="write to a file instead of stdout")
     p_tel.set_defaults(fn=_cmd_telemetry)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection run with invariant audit"
+    )
+    p_chaos.add_argument("--seed", type=int, default=7)
+    p_chaos.add_argument(
+        "--fault-seed", type=int, default=None, help="default: seed + 1000"
+    )
+    p_chaos.add_argument("--scale", type=float, default=0.05)
+    p_chaos.add_argument("--horizon", type=float, default=20.0)
+    p_chaos.add_argument("--updates-per-min", type=float, default=60.0)
+    p_chaos.add_argument("--faults-per-min", type=float, default=30.0)
+    p_chaos.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="run twice and require identical metric fingerprints",
+    )
+    p_chaos.set_defaults(fn=_cmd_chaos)
 
     return parser
 

@@ -23,7 +23,7 @@ from .pcc_update import Phase, UpdateCoordinator, UpdateTimings
 from .silkroad import SilkRoadSwitch
 from .stats import PccSummary, active_connection_peak, summarize, violations_by_minute
 from .transit_table import TransitTable
-from .verify import InvariantViolation, verify_switch
+from .verify import AuditReport, InvariantViolation, audit_switch, verify_switch
 from .vip_table import VipEntry, VipTable
 
 __all__ = [
@@ -43,7 +43,9 @@ __all__ = [
     "VersionsExhausted",
     "VipEntry",
     "VipTable",
+    "AuditReport",
     "InvariantViolation",
+    "audit_switch",
     "verify_switch",
     "active_connection_peak",
     "always_alive",

@@ -9,6 +9,7 @@ a switch CPU inserting 200 K ConnTable entries per second.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..asicsim.sram import DEFAULT_WORD_BITS
 
@@ -45,6 +46,26 @@ class SilkRoadConfig:
     #: Software handling time for a redirected (false-positive) TCP SYN.
     fp_resolution_delay_s: float = 2e-3
 
+    # --- Slow-path hardening (failure model; see docs/robustness.md).
+    #: Maximum insertion jobs the switch CPU may hold queued or in flight.
+    #: ``None`` models the idealized unbounded FIFO; with a bound, excess
+    #: jobs are *shed* and the connection re-learned from its next packet.
+    cpu_max_backlog: Optional[int] = None
+    #: PCI-E ConnTable writes that fail (injected faults) are retried this
+    #: many times before the job is given up and the key re-learned.
+    install_retry_limit: int = 3
+    #: Base delay before an install retry; attempt ``n`` waits ``n`` times
+    #: this (linear backoff — the bus recovers quickly or not at all).
+    install_retry_backoff_s: float = 1e-4
+    #: Delay before a shed/lost connection re-enters the learning filter —
+    #: models the next packet of the (still-unmatched) connection
+    #: depositing a fresh learn event.
+    relearn_delay_s: float = 1e-3
+    #: Per-step watchdog deadline for 3-step updates.  ``None`` waits
+    #: forever (the idealized model); with a deadline, a step that overruns
+    #: force-advances and its still-pending keys are reclassified at-risk.
+    update_step_deadline_s: Optional[float] = None
+
     # --- Versioning (§4.2).
     version_reuse: bool = True
 
@@ -75,6 +96,16 @@ class SilkRoadConfig:
             raise ValueError("learning_filter_timeout_s must be positive")
         if self.idle_timeout_s < 0:
             raise ValueError("idle_timeout_s must be non-negative")
+        if self.cpu_max_backlog is not None and self.cpu_max_backlog <= 0:
+            raise ValueError("cpu_max_backlog must be positive or None")
+        if self.install_retry_limit < 0:
+            raise ValueError("install_retry_limit must be non-negative")
+        if self.install_retry_backoff_s <= 0:
+            raise ValueError("install_retry_backoff_s must be positive")
+        if self.relearn_delay_s <= 0:
+            raise ValueError("relearn_delay_s must be positive")
+        if self.update_step_deadline_s is not None and self.update_step_deadline_s <= 0:
+            raise ValueError("update_step_deadline_s must be positive or None")
 
     @property
     def num_versions(self) -> int:

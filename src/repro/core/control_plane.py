@@ -10,21 +10,52 @@ The CPU is modelled as a single-server FIFO: entries complete at
 ``1/insertion_rate`` intervals, starting when the CPU is free.  Redirected
 false-positive TCP SYNs are handled as separate jobs with a fixed software
 delay (a few milliseconds, §4.2).
+
+Unlike the original perfectly-reliable FIFO, this model can *fail* the way
+a real slow path does (see ``repro.faults`` and docs/robustness.md):
+
+* a **bounded backlog** (``max_backlog``) sheds excess jobs instead of
+  queueing them forever — shed keys are reported through ``on_shed`` so
+  the switch can re-learn them from the connection's next packet;
+* ConnTable writes are **acknowledged**: an injected PCI-E write fault
+  (the ``write_fault`` hook) triggers bounded retry with linear backoff,
+  and a job that exhausts its retries is reported via
+  ``on_install_failed``;
+* the CPU can **crash** (in-flight and queued jobs lost) and **restart**,
+  reporting the lost jobs through ``on_restart``, and can **stall**,
+  pushing every outstanding completion out by the stall window.
+
+All hooks default to disabled, in which case behaviour is bit-identical to
+the reliable FIFO.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from ..asicsim.learning_filter import LearnBatch, LearnEvent
-from ..netsim.events import EventQueue
+from ..asicsim.learning_filter import LearnBatch
+from ..netsim.events import EventHandle, EventQueue
 from ..netsim.simulator import PRIO_INTERNAL
 from ..obs.metrics import LATENCY_BUCKETS_S, Scope
 
 #: Callback invoked when the CPU finishes installing one connection:
-#: ``(key, metadata, now)``.
+#: ``(key, metadata)``.
 InstallCallback = Callable[[bytes, Tuple], None]
+
+#: Callback for a job that left the CPU without installing: ``(key, metadata)``.
+JobCallback = Callable[[bytes, Tuple], None]
+
+
+class _Job:
+    """One accepted insertion job and its scheduled completion."""
+
+    __slots__ = ("key", "metadata", "attempts", "handle")
+
+    def __init__(self, key: bytes, metadata: Tuple) -> None:
+        self.key = key
+        self.metadata = metadata
+        self.attempts = 0
+        self.handle: Optional[EventHandle] = None
 
 
 class SwitchCpu:
@@ -36,21 +67,49 @@ class SwitchCpu:
         insertion_rate_per_s: float,
         on_installed: InstallCallback,
         metrics: Optional[Scope] = None,
+        max_backlog: Optional[int] = None,
+        retry_limit: int = 0,
+        retry_backoff_s: float = 1e-4,
     ) -> None:
         if insertion_rate_per_s <= 0:
             raise ValueError("insertion rate must be positive")
+        if max_backlog is not None and max_backlog <= 0:
+            raise ValueError("max_backlog must be positive or None")
         self.queue = queue
         self.insertion_rate_per_s = insertion_rate_per_s
         self.on_installed = on_installed
+        self.max_backlog = max_backlog
+        self.retry_limit = retry_limit
+        self.retry_backoff_s = retry_backoff_s
+        # Failure-path hooks; all optional.  ``write_fault`` is consulted
+        # once per install attempt (fault injectors set it); the rest tell
+        # the switch what left the slow path without installing.
+        self.write_fault: Optional[Callable[[bytes], bool]] = None
+        self.on_shed: Optional[JobCallback] = None
+        self.on_lost: Optional[JobCallback] = None
+        self.on_install_failed: Optional[JobCallback] = None
+        self.on_restart: Optional[Callable[[], None]] = None
         # -inf: the CPU has never been busy (the simulation clock may start
         # negative during warm-up replay).
         self._busy_until = float("-inf")
+        self.down = False
+        #: Accepted jobs not yet completed/failed, in submission order.
+        self._outstanding: Dict[int, _Job] = {}
+        self._job_seq = 0
         self.submitted = 0
         self.completed = 0
         self.batches = 0
+        self.shed = 0
+        self.lost = 0
+        self.retries = 0
+        self.install_failures = 0
+        self.crashes = 0
+        self.stalls = 0
         if metrics is None:
             self._m_submitted = self._m_installed = None
             self._m_batches = self._m_queue_delay = None
+            self._m_shed = self._m_lost = self._m_retries = None
+            self._m_failures = self._m_crashes = self._m_stalls = None
         else:
             self._m_submitted = metrics.counter(
                 "jobs_submitted_total", "insertion jobs queued on the CPU"
@@ -67,6 +126,20 @@ class SwitchCpu:
                 quantiles=(0.5, 0.99),
                 help="wait before the CPU starts a newly submitted batch",
             )
+            self._m_shed = metrics.counter(
+                "jobs_shed_total", "jobs dropped by the bounded-backlog policy"
+            )
+            self._m_lost = metrics.counter(
+                "jobs_lost_total", "jobs lost to CPU crashes or downtime"
+            )
+            self._m_retries = metrics.counter(
+                "install_retries_total", "ConnTable writes retried after a fault"
+            )
+            self._m_failures = metrics.counter(
+                "install_failures_total", "jobs abandoned after exhausting retries"
+            )
+            self._m_crashes = metrics.counter("crashes_total", "CPU crash events")
+            self._m_stalls = metrics.counter("stalls_total", "CPU stall windows")
             # Re-registering after a rebind re-points the callbacks at the
             # new CPU instance; counters are shared and keep accumulating.
             metrics.gauge("backlog", "entries submitted but not installed").set_function(
@@ -82,40 +155,174 @@ class SwitchCpu:
 
     @property
     def backlog(self) -> int:
-        """Entries submitted but not yet installed."""
-        return self.submitted - self.completed
+        """Jobs accepted but not yet installed (or abandoned)."""
+        return len(self._outstanding)
 
     def queueing_delay(self) -> float:
         """Time until the CPU would start a job submitted now."""
         return max(0.0, self._busy_until - self.queue.now)
 
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
     def submit_batch(self, batch: LearnBatch) -> None:
-        """Enqueue a learning-filter batch; entries complete sequentially."""
+        """Enqueue a learning-filter batch; entries complete sequentially.
+
+        While the CPU is down the whole batch is lost (reported through
+        ``on_lost``); with a bounded backlog the tail of the batch that
+        does not fit is shed (reported through ``on_shed``).
+        """
+        if self.down:
+            for event in batch.events:
+                self._lose(event.key, event.metadata)
+            return
         self.batches += 1
         start = max(self.queue.now, self._busy_until)
         if self._m_batches is not None:
             self._m_batches.value += 1.0
             self._m_queue_delay.observe(max(0.0, start - self.queue.now))
         for event in batch.events:
+            if not self._has_capacity():
+                self._shed(event.key, event.metadata)
+                continue
             start += self.per_entry_s
             self._schedule_install(event.key, event.metadata, start)
-        self._busy_until = start
+        self._busy_until = max(self._busy_until, start)
 
     def submit_one(self, key: bytes, metadata: Tuple, extra_delay_s: float = 0.0) -> None:
         """Enqueue a single out-of-band job (e.g. a redirected SYN fix)."""
+        if self.down:
+            self._lose(key, metadata)
+            return
+        if not self._has_capacity():
+            self._shed(key, metadata)
+            return
         start = max(self.queue.now, self._busy_until) + extra_delay_s + self.per_entry_s
         self._schedule_install(key, metadata, start)
         self._busy_until = start
+
+    def _has_capacity(self) -> bool:
+        return self.max_backlog is None or len(self._outstanding) < self.max_backlog
+
+    def _shed(self, key: bytes, metadata: Tuple) -> None:
+        self.shed += 1
+        if self._m_shed is not None:
+            self._m_shed.value += 1.0
+        if self.on_shed is not None:
+            self.on_shed(key, metadata)
+
+    def _lose(self, key: bytes, metadata: Tuple) -> None:
+        self.lost += 1
+        if self._m_lost is not None:
+            self._m_lost.value += 1.0
+        if self.on_lost is not None:
+            self.on_lost(key, metadata)
+
+    # ------------------------------------------------------------------
+    # Completion (with write acknowledgement and retry)
+    # ------------------------------------------------------------------
 
     def _schedule_install(self, key: bytes, metadata: Tuple, when: float) -> None:
         self.submitted += 1
         if self._m_submitted is not None:
             self._m_submitted.value += 1.0
+        job = _Job(key, metadata)
+        self._job_seq += 1
+        job_id = self._job_seq
+        self._outstanding[job_id] = job
 
         def fire() -> None:
-            self.completed += 1
-            if self._m_installed is not None:
-                self._m_installed.value += 1.0
-            self.on_installed(key, metadata)
+            self._complete(job_id, job)
 
-        self.queue.schedule(when, fire, PRIO_INTERNAL)
+        job.handle = self.queue.schedule(when, fire, PRIO_INTERNAL)
+
+    def _complete(self, job_id: int, job: _Job) -> None:
+        job.attempts += 1
+        if self.write_fault is not None and self.write_fault(job.key):
+            if job.attempts <= self.retry_limit:
+                self.retries += 1
+                if self._m_retries is not None:
+                    self._m_retries.value += 1.0
+                delay = self.retry_backoff_s * job.attempts
+
+                def fire() -> None:
+                    self._complete(job_id, job)
+
+                job.handle = self.queue.schedule_in(delay, fire, PRIO_INTERNAL)
+                return
+            # Retries exhausted: the write never acknowledged.
+            del self._outstanding[job_id]
+            self.install_failures += 1
+            if self._m_failures is not None:
+                self._m_failures.value += 1.0
+            if self.on_install_failed is not None:
+                self.on_install_failed(job.key, job.metadata)
+            return
+        del self._outstanding[job_id]
+        self.completed += 1
+        if self._m_installed is not None:
+            self._m_installed.value += 1.0
+        self.on_installed(job.key, job.metadata)
+
+    # ------------------------------------------------------------------
+    # Fault semantics: crash/restart and stall
+    # ------------------------------------------------------------------
+
+    def crash(self, restart_delay_s: float) -> List[Tuple[bytes, Tuple]]:
+        """The CPU process dies; every queued and in-flight job is lost.
+
+        Submissions are refused (lost) until the restart ``restart_delay_s``
+        later.  Returns the lost ``(key, metadata)`` jobs in submission
+        order; each is also reported through ``on_lost``, and ``on_restart``
+        fires when the CPU comes back (the switch re-arms learning there).
+        """
+        if restart_delay_s < 0:
+            raise ValueError("restart_delay_s must be non-negative")
+        if self.down:
+            return []
+        self.down = True
+        self.crashes += 1
+        if self._m_crashes is not None:
+            self._m_crashes.value += 1.0
+        lost: List[Tuple[bytes, Tuple]] = []
+        for job in self._outstanding.values():
+            if job.handle is not None:
+                job.handle.cancel()
+            lost.append((job.key, job.metadata))
+        self._outstanding.clear()
+        self._busy_until = self.queue.now + restart_delay_s
+        for key, metadata in lost:
+            self._lose(key, metadata)
+
+        def restart() -> None:
+            self.down = False
+            if self.on_restart is not None:
+                self.on_restart()
+
+        self.queue.schedule_in(restart_delay_s, restart, PRIO_INTERNAL)
+        return lost
+
+    def stall(self, duration_s: float) -> None:
+        """The CPU freezes for ``duration_s`` (GC pause, PCI-E contention):
+        nothing is lost, but every outstanding completion slips by the
+        window and newly submitted jobs queue behind it."""
+        if duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        if self.down or duration_s == 0.0:
+            return
+        self.stalls += 1
+        if self._m_stalls is not None:
+            self._m_stalls.value += 1.0
+        self._busy_until = max(self._busy_until, self.queue.now) + duration_s
+        for job_id, job in self._outstanding.items():
+            handle = job.handle
+            if handle is None or handle.cancelled:
+                continue
+            handle.cancel()
+            when = handle.time + duration_s
+
+            def fire(jid: int = job_id, j: _Job = job) -> None:
+                self._complete(jid, j)
+
+            job.handle = self.queue.schedule(when, fire, PRIO_INTERNAL)

@@ -48,6 +48,9 @@ class _VipUpdate:
     t_req: float = 0.0
     t_exec: float = 0.0
     span: Optional[TraceSpan] = None
+    #: Armed per-step watchdog (an :class:`~repro.netsim.events.EventHandle`
+    #: or anything with ``cancel()``); ``None`` while no step deadline runs.
+    watchdog: Optional[object] = None
 
 
 @dataclass
@@ -86,6 +89,16 @@ class UpdateCoordinator:
     ``t_finish`` marks (the Figure 11 timeline) carrying the pending and
     marked connection counts at each transition; a metrics scope adds the
     step-duration histograms.
+
+    **Watchdogs.**  With ``step_deadline_s`` set (and a ``schedule``
+    callback to arm timers), each step gets a deadline: a step-1 or step-2
+    wait that overruns *force-advances* instead of stalling every queued
+    update behind a connection that will never install (crashed CPU, lost
+    notification, shed job).  The still-pending keys are handed to
+    ``on_at_risk`` — the switch reclassifies them as at-risk, since their
+    protection window closed early and their eventual install may move
+    them across versions.  Forced steps are counted and marked on the
+    update's trace span.
     """
 
     def __init__(
@@ -98,7 +111,14 @@ class UpdateCoordinator:
         start: Optional[Callable[[VirtualIP], None]] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[Scope] = None,
+        step_deadline_s: Optional[float] = None,
+        schedule: Optional[Callable[[float, Callable[[], None]], object]] = None,
+        on_at_risk: Optional[Callable[[VirtualIP, Set[bytes], Phase], None]] = None,
     ) -> None:
+        if step_deadline_s is not None and step_deadline_s <= 0:
+            raise ValueError("step_deadline_s must be positive or None")
+        if step_deadline_s is not None and schedule is None:
+            raise ValueError("step_deadline_s requires a schedule callback")
         self._pending_keys = pending_keys
         self._execute = execute
         self._finish = finish
@@ -106,13 +126,19 @@ class UpdateCoordinator:
         self._now = now
         self._start = start or (lambda vip: None)
         self._tracer = tracer
+        self.step_deadline_s = step_deadline_s
+        self._schedule = schedule
+        self._on_at_risk = on_at_risk
         self._vips: Dict[VirtualIP, _VipUpdate] = {}
         self.timings: List[UpdateTimings] = []
         self.updates_requested = 0
         self.updates_completed = 0
+        self.watchdog_forced_steps = 0
+        self.at_risk_reclassified = 0
         if metrics is None:
             self._m_requested = self._m_completed = self._m_queued = None
             self._m_step1 = self._m_step2 = self._m_total = None
+            self._m_watchdog = self._m_at_risk = None
         else:
             self._m_requested = metrics.counter(
                 "updates_requested_total", "DIP-pool updates requested"
@@ -140,6 +166,14 @@ class UpdateCoordinator:
                 buckets=LATENCY_BUCKETS_S,
                 quantiles=(0.5, 0.99),
                 help="t_finish - t_req: whole 3-step update",
+            )
+            self._m_watchdog = metrics.counter(
+                "watchdog_forced_steps_total",
+                "update steps force-advanced past their deadline",
+            )
+            self._m_at_risk = metrics.counter(
+                "at_risk_keys_total",
+                "pending keys reclassified at-risk by a forced step",
             )
 
     def _state(self, vip: VirtualIP) -> _VipUpdate:
@@ -188,7 +222,56 @@ class UpdateCoordinator:
                 "t_req", state.t_req, pending_connections=len(state.awaiting_exec)
             )
         self._start(event.vip)
+        self._arm_watchdog(event.vip, state)
         self._maybe_exec(event.vip, state)
+
+    # ------------------------------------------------------------------
+    # Watchdogs
+    # ------------------------------------------------------------------
+
+    def _arm_watchdog(self, vip: VirtualIP, state: _VipUpdate) -> None:
+        """(Re)arm the per-step deadline for the step just entered."""
+        self._cancel_watchdog(state)
+        if self.step_deadline_s is None:
+            return
+        phase = state.phase
+
+        def fire() -> None:
+            state.watchdog = None
+            self._watchdog_expired(vip, state, phase)
+
+        state.watchdog = self._schedule(self.step_deadline_s, fire)
+
+    def _cancel_watchdog(self, state: _VipUpdate) -> None:
+        if state.watchdog is not None:
+            state.watchdog.cancel()
+            state.watchdog = None
+
+    def _watchdog_expired(self, vip: VirtualIP, state: _VipUpdate, phase: Phase) -> None:
+        if state.phase is not phase:
+            # The step completed between scheduling and firing; stale timer.
+            return
+        if phase is Phase.STEP1:
+            stuck = set(state.awaiting_exec)
+            state.awaiting_exec.clear()
+        else:
+            stuck = set(state.marked)
+            state.marked.clear()
+        self.watchdog_forced_steps += 1
+        self.at_risk_reclassified += len(stuck)
+        if self._m_watchdog is not None:
+            self._m_watchdog.value += 1.0
+            self._m_at_risk.value += float(len(stuck))
+        if state.span is not None:
+            state.span.mark(
+                f"watchdog_{phase.value}", self._now(), at_risk=len(stuck)
+            )
+        if self._on_at_risk is not None and stuck:
+            self._on_at_risk(vip, stuck, phase)
+        if phase is Phase.STEP1:
+            self._maybe_exec(vip, state)
+        else:
+            self._maybe_finish(vip, state)
 
     # ------------------------------------------------------------------
     # Data-plane/CPU notifications from the switch
@@ -245,6 +328,10 @@ class UpdateCoordinator:
             state.span.mark(
                 "t_exec", state.t_exec, marked_connections=len(state.marked)
             )
+        if state.marked:
+            self._arm_watchdog(vip, state)
+        else:
+            self._cancel_watchdog(state)
         assert state.active is not None
         self._execute(state.active)
         self._maybe_finish(vip, state)
@@ -252,6 +339,7 @@ class UpdateCoordinator:
     def _maybe_finish(self, vip: VirtualIP, state: _VipUpdate) -> None:
         if state.phase is not Phase.STEP2 or state.marked:
             return
+        self._cancel_watchdog(state)
         t_finish = self._now()
         timing = UpdateTimings(
             vip=vip, t_req=state.t_req, t_exec=state.t_exec, t_finish=t_finish

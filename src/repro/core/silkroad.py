@@ -21,10 +21,10 @@ insertion window (Figures 16-18).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from ..asicsim.cuckoo import DuplicateKey, TableFull
-from ..asicsim.learning_filter import LearningFilter
+from ..asicsim.learning_filter import LearnBatch, LearnEvent, LearningFilter
 from ..asicsim.meters import MeterBank
 from ..netsim.events import EventHandle, EventQueue
 from ..netsim.flows import Connection
@@ -56,6 +56,9 @@ class _ConnState:
     marked: bool = False
     #: step-2 Bloom false positive made this conn adopt the old version.
     adopted_old_via_fp: bool = False
+    #: a watchdog force-advanced past this conn: its PCC protection window
+    #: closed early and a violation, if any, is attributed to the fault.
+    at_risk: bool = False
     current_dip: Optional[DirectIP] = None
 
 
@@ -105,14 +108,26 @@ class SilkRoadSwitch(LoadBalancer):
             start=self._transit_update_started,
             tracer=self.tracer,
             metrics=self.metrics.scope("update"),
+            step_deadline_s=config.update_step_deadline_s,
+            schedule=lambda delay, action: self.queue.schedule_in(
+                delay, action, PRIO_INTERNAL
+            ),
+            on_at_risk=self._on_at_risk,
         )
         self._states: Dict[bytes, _ConnState] = {}
         #: TransitTable update-id token per VIP mid-update (the coordinator
         #: serializes updates per VIP, so one token per VIP suffices).
         self._transit_update_ids: Dict[VirtualIP, int] = {}
         self._pending_by_vip: Dict[VirtualIP, Set[bytes]] = {}
+        #: live (not-yet-ended) connections per VIP, so withdraw_vip does
+        #: not scan every connection the switch has ever carried.
+        self._live_by_vip: Dict[VirtualIP, Set[bytes]] = {}
         self._conns_on: Dict[Tuple[VirtualIP, DirectIP], Set[bytes]] = {}
         self._poll_handle: Optional[EventHandle] = None
+        # Fault-delivery state (set by repro.faults.FaultInjector).
+        self._drop_notifications = 0
+        self._delay_notifications = 0
+        self._notification_delay_s = 0.0
         # Counters
         self.fp_syn_redirects = 0
         self.transit_fp_adopted = 0
@@ -121,6 +136,27 @@ class SilkRoadSwitch(LoadBalancer):
         self.overflow_pinned = 0
         self.version_exhaustion_events = 0
         self.connections_seen = 0
+        self.notifications_lost = 0
+        self.notifications_delayed = 0
+        self.relearns = 0
+        self.at_risk_connections = 0
+        #: Keys whose PCC exposure the fault model predicts — watchdog
+        #: reclassifications, ConnTable overflows, step-2 Bloom adoptions.
+        #: Persisted past connection death so post-run audits can attribute
+        #: every observed violation (see :mod:`repro.core.verify`).
+        self.at_risk_keys: Set[bytes] = set()
+        self.overflow_keys: Set[bytes] = set()
+        self.fp_adopted_keys: Set[bytes] = set()
+        self._slow_path_metrics = self.metrics.scope("slow_path")
+        self._m_relearns = self._slow_path_metrics.counter(
+            "relearns_total", "connections re-learned after a slow-path loss"
+        )
+        self._m_notifications_lost = self._slow_path_metrics.counter(
+            "notifications_lost_total", "learning-filter batches lost in delivery"
+        )
+        self._m_notifications_delayed = self._slow_path_metrics.counter(
+            "notifications_delayed_total", "learning-filter batches delivered late"
+        )
         self._register_switch_gauges()
         # A private queue lets the switch be driven directly as a library
         # object; FlowSimulator.bind() replaces it with the shared one.
@@ -154,6 +190,9 @@ class SilkRoadSwitch(LoadBalancer):
         scope.gauge(
             "version_exhaustion_events", "updates dropped: version space full"
         ).set_function(lambda: float(self.version_exhaustion_events))
+        scope.gauge(
+            "at_risk_connections", "conns reclassified at-risk by watchdogs"
+        ).set_function(lambda: float(self.at_risk_connections))
 
     # ------------------------------------------------------------------
     # Provisioning
@@ -167,14 +206,13 @@ class SilkRoadSwitch(LoadBalancer):
     def withdraw_vip(self, vip: VirtualIP) -> None:
         """Stop announcing a VIP.  Refused while connections still use it
         (drain them first, as an operator would withdraw BGP gradually)."""
-        if any(
-            not state.dead and state.vip == vip for state in self._states.values()
-        ):
+        if self._live_by_vip.get(vip):
             raise ValueError(f"cannot withdraw {vip}: connections still active")
         if self.coordinator.phase(vip) is not Phase.IDLE:
             raise ValueError(f"cannot withdraw {vip}: update in flight")
         self.vip_table.withdraw(vip)
         self.dip_pools.remove_vip(vip)
+        self._live_by_vip.pop(vip, None)
 
     # ------------------------------------------------------------------
     # LoadBalancer interface
@@ -201,7 +239,7 @@ class SilkRoadSwitch(LoadBalancer):
         batch = self.learning.offer(key, now, key_hash=key_hash)
         if batch is not None:
             self._cancel_poll()
-            self._cpu.submit_batch(batch)
+            self._deliver_batch(batch)
         self._arm_poll()
 
     def on_connection_end(self, conn: Connection) -> None:
@@ -210,6 +248,9 @@ class SilkRoadSwitch(LoadBalancer):
         if state is None:
             return
         state.dead = True
+        live = self._live_by_vip.get(state.vip)
+        if live is not None:
+            live.discard(key)
         self._drop_decision_index(state)
         if state.installed:
             # Entry ages out idle_timeout after the last packet.
@@ -232,9 +273,13 @@ class SilkRoadSwitch(LoadBalancer):
             self._execute_update(event)
 
     def finalize(self) -> None:
+        # Cancel the armed timeout poll first: the flush below empties the
+        # filter, and a timer left armed would later fire poll() against
+        # the already-flushed filter (or a refilled one, flushing it early).
+        self._cancel_poll()
         batch = self.learning.flush(self.queue.now)
         if batch is not None:
-            self._cpu.submit_batch(batch)
+            self._deliver_batch(batch)
 
     # ------------------------------------------------------------------
     # Admission: version decision for a brand-new connection (Figure 10)
@@ -256,6 +301,7 @@ class SilkRoadSwitch(LoadBalancer):
                     version = entry.current_version
                 else:
                     self.transit_fp_adopted += 1
+                    self.fp_adopted_keys.add(key)
                     assert entry.old_version is not None
                     version = entry.old_version
                     adopted_old = True
@@ -268,6 +314,7 @@ class SilkRoadSwitch(LoadBalancer):
         self._states[key] = state
         self.dip_pools.acquire(vip, version)
         self._pending_by_vip.setdefault(vip, set()).add(key)
+        self._live_by_vip.setdefault(vip, set()).add(key)
         # Step 1 of an in-flight update marks the connection.
         state.marked = self.coordinator.note_new_pending(vip, key)
         dip = self.dip_pools.select(vip, version, key, key_hash)
@@ -309,6 +356,7 @@ class SilkRoadSwitch(LoadBalancer):
                 # waiting for it (and never snapshot it again), or updates
                 # would stall forever.
                 state.overflowed = True
+                self.overflow_keys.add(key)
                 self.coordinator.on_pending_aborted(state.vip, key)
             return
         except DuplicateKey:
@@ -376,15 +424,23 @@ class SilkRoadSwitch(LoadBalancer):
         # Evict exactly this update's marks: overlapping updates of other
         # VIPs keep theirs, but no stale bit outlives its own update.
         self.transit.update_finished(self._transit_update_ids.pop(vip, None))
-        # Pending connections that adopted the old version through a Bloom
-        # false positive lose their protection when the filter clears: their
-        # next packets miss ConnTable and take the (new) current version.
+        # Pending connections lose their old-version protection when the
+        # filter clears: conns that adopted the old version through a Bloom
+        # false positive, and marked conns a step-2 watchdog force-finished
+        # past (at-risk).  Their next packets miss ConnTable and take the
+        # (new) current version.
         entry = self.vip_table.lookup(vip)
         for key in list(self._pending_by_vip.get(vip, ())):
             state = self._states.get(key)
-            if state is None or not state.adopted_old_via_fp or state.dead:
+            if state is None or state.dead:
                 continue
-            state.adopted_old_via_fp = False
+            if state.adopted_old_via_fp:
+                state.adopted_old_via_fp = False
+            elif state.at_risk and state.marked and not state.installed:
+                # The mark just got evicted with the rest of this update's.
+                state.marked = False
+            else:
+                continue
             dip = self.dip_pools.select(
                 vip, entry.current_version, key, state.conn.key_hash
             )
@@ -431,6 +487,111 @@ class SilkRoadSwitch(LoadBalancer):
         else:
             self.transit.mark(key)
 
+    def _on_at_risk(self, vip: VirtualIP, keys: Set[bytes], phase: Phase) -> None:
+        """A watchdog force-advanced past ``keys``: their protection window
+        closed early, so any PCC break they suffer is a predicted fault
+        outcome, not a model bug."""
+        self.at_risk_connections += len(keys)
+        self.at_risk_keys.update(keys)
+        for key in keys:
+            state = self._states.get(key)
+            if state is not None:
+                state.at_risk = True
+
+    # ------------------------------------------------------------------
+    # Slow-path failure handling (see repro.faults and docs/robustness.md)
+    # ------------------------------------------------------------------
+
+    def _deliver_batch(self, batch: Optional[LearnBatch]) -> None:
+        """Hand a learning-filter batch to the CPU — the notification hop
+        fault injection targets (loss and delay)."""
+        if batch is None:
+            return
+        if self._drop_notifications > 0:
+            self._drop_notifications -= 1
+            self.notifications_lost += 1
+            self._m_notifications_lost.value += 1.0
+            for event in batch.events:
+                self._schedule_relearn(event.key, event.metadata)
+            return
+        if self._delay_notifications > 0:
+            self._delay_notifications -= 1
+            self.notifications_delayed += 1
+            self._m_notifications_delayed.value += 1.0
+            self.queue.schedule_in(
+                self._notification_delay_s,
+                lambda: self._cpu.submit_batch(batch),
+                PRIO_INTERNAL,
+            )
+            return
+        self._cpu.submit_batch(batch)
+
+    def _on_job_dropped(self, key: bytes, metadata: Tuple) -> None:
+        """A slow-path job was shed, lost to a crash, or failed its write:
+        the connection is still unmatched in the data plane, so it will be
+        re-learned from its next packet."""
+        self._schedule_relearn(key, metadata)
+
+    def _schedule_relearn(self, key: bytes, metadata: Tuple) -> None:
+        state = self._states.get(key)
+        if state is None or state.dead or state.installed or state.overflowed:
+            return
+
+        def fire() -> None:
+            st = self._states.get(key)
+            if st is None or st.dead or st.installed or st.overflowed:
+                return
+            if self._cpu.down:
+                # No point depositing events the CPU cannot drain; try
+                # again next "packet".
+                self.queue.schedule_in(
+                    self.config.relearn_delay_s, fire, PRIO_INTERNAL
+                )
+                return
+            self.relearns += 1
+            self._m_relearns.value += 1.0
+            event = LearnEvent(
+                key=key,
+                metadata=metadata,
+                first_seen=self.queue.now,
+                key_hash=st.conn.key_hash,
+            )
+            batch = self.learning.rearm([event], self.queue.now)
+            if batch is not None:
+                self._cancel_poll()
+                self._deliver_batch(batch)
+            self._arm_poll()
+
+        self.queue.schedule_in(self.config.relearn_delay_s, fire, PRIO_INTERNAL)
+
+    def _on_cpu_restart(self) -> None:
+        """The crashed CPU came back: re-arm the learning-filter timer so
+        batches flow again (lost jobs re-learn via :meth:`_schedule_relearn`)."""
+        self._arm_poll()
+
+    # -- fault-injection surface (used by repro.faults.FaultInjector) ----
+
+    def inject_cpu_crash(self, restart_delay_s: float) -> int:
+        """Crash the switch CPU; returns the number of jobs lost."""
+        return len(self._cpu.crash(restart_delay_s))
+
+    def inject_cpu_stall(self, duration_s: float) -> None:
+        """Freeze the switch CPU for ``duration_s``."""
+        self._cpu.stall(duration_s)
+
+    def set_write_fault(self, fault: Optional[Callable[[bytes], bool]]) -> None:
+        """Install (or clear) the per-install PCI-E write-fault hook."""
+        self._cpu.write_fault = fault
+
+    def drop_notifications(self, count: int = 1) -> None:
+        """Lose the next ``count`` learning-filter notifications."""
+        self._drop_notifications += count
+
+    def delay_notifications(self, count: int, delay_s: float) -> None:
+        """Deliver the next ``count`` learning-filter batches late."""
+        self._delay_notifications += count
+        self._notification_delay_s = delay_s
+
     # ------------------------------------------------------------------
     # Decision bookkeeping
     # ------------------------------------------------------------------
@@ -474,7 +635,7 @@ class SilkRoadSwitch(LoadBalancer):
             self._poll_handle = None
             batch = self.learning.poll(self.queue.now)
             if batch is not None:
-                self._cpu.submit_batch(batch)
+                self._deliver_batch(batch)
             self._arm_poll()
 
         self._poll_handle = self.queue.schedule(deadline, fire, PRIO_INTERNAL)
@@ -495,7 +656,16 @@ class SilkRoadSwitch(LoadBalancer):
             insertion_rate_per_s=self.config.insertion_rate_per_s,
             on_installed=self._on_installed,
             metrics=self._cpu_metrics,
+            max_backlog=self.config.cpu_max_backlog,
+            retry_limit=self.config.install_retry_limit,
+            retry_backoff_s=self.config.install_retry_backoff_s,
         )
+        # Every way a job can leave the slow path without installing ends
+        # the same: the connection re-learns from its next packet.
+        self._cpu.on_shed = self._on_job_dropped
+        self._cpu.on_lost = self._on_job_dropped
+        self._cpu.on_install_failed = self._on_job_dropped
+        self._cpu.on_restart = self._on_cpu_restart
 
     def apply_update_now(self, event: UpdateEvent) -> None:
         """Convenience for library users driving the switch directly."""
@@ -546,5 +716,16 @@ class SilkRoadSwitch(LoadBalancer):
             "updates_requested": float(self.coordinator.updates_requested),
             "updates_completed": float(self.coordinator.updates_completed),
             "cpu_backlog": float(self._cpu.backlog if hasattr(self, "_cpu") else 0),
+            "cpu_jobs_shed": float(self._cpu.shed),
+            "cpu_jobs_lost": float(self._cpu.lost),
+            "cpu_install_retries": float(self._cpu.retries),
+            "cpu_install_failures": float(self._cpu.install_failures),
+            "cpu_crashes": float(self._cpu.crashes),
+            "cpu_stalls": float(self._cpu.stalls),
+            "notifications_lost": float(self.notifications_lost),
+            "notifications_delayed": float(self.notifications_delayed),
+            "relearns": float(self.relearns),
+            "at_risk_connections": float(self.at_risk_connections),
+            "watchdog_forced_steps": float(self.coordinator.watchdog_forced_steps),
             "sram_bytes": float(self.sram_bytes()),
         }

@@ -1,10 +1,18 @@
-"""Whole-switch invariant verification.
+"""Whole-switch invariant verification and runtime auditing.
 
 Deep consistency checks across a :class:`~repro.core.silkroad.SilkRoadSwitch`'s
 tables and bookkeeping — the kind of checker the paper's control-plane
 software would run in debug builds.  Used by the test suite after
-simulations, and callable by library users after driving a switch
-directly.
+simulations (including chaos runs with fault injection), and callable by
+library users after driving a switch directly.
+
+Two entry points:
+
+* :func:`audit_switch` runs every check, *collects* violations, and returns
+  an :class:`AuditReport` — the right tool after a chaos run, where you
+  want the full picture rather than the first failure.
+* :func:`verify_switch` raises :class:`InvariantViolation` on the first
+  collected violation (the original strict interface).
 
 Checked invariants:
 
@@ -13,33 +21,91 @@ Checked invariants:
 2. Every installed (non-overflow) live connection is resident in ConnTable
    with its pinned version; every pending connection is absent.
 3. DIPPoolTable refcounts equal the number of live connections pinned to
-   each (VIP, version).
+   each (VIP, version) — no leaked references.
 4. Every live connection's pinned version maps to an existing pool, and
    its recorded forwarding decision equals that pool's selection.
-5. The pending index contains exactly the un-installed live connections.
-6. No VIP is left mid-transition when its coordinator is idle.
+5. The pending index contains exactly the un-installed live connections
+   (no orphaned ``_pending_by_vip`` keys).
+6. The live-connections-per-VIP index (used by ``withdraw_vip``) contains
+   exactly the live connections.
+7. No VIP is left mid-transition when its coordinator is idle, and step 2
+   always has dual versions (VIPTable/coordinator phase agreement).
+8. With connections supplied: PCC violations occur *only* where the fault
+   model predicts them — connections a watchdog reclassified at-risk, that
+   overflowed a full ConnTable, or that adopted the old version through a
+   TransitTable false positive.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..netsim.flows import Connection
 from .pcc_update import Phase
 from .silkroad import SilkRoadSwitch
+
+Fail = Callable[[str], None]
 
 
 class InvariantViolation(AssertionError):
     """Raised when a switch's internal state is inconsistent."""
 
 
+@dataclass
+class AuditReport:
+    """Outcome of one :func:`audit_switch` pass."""
+
+    violations: List[str] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_failed(self) -> None:
+        if self.violations:
+            raise InvariantViolation(self.violations[0])
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"audit ok ({self.checks_run} checks)"
+        lines = "\n  ".join(self.violations)
+        return f"audit FAILED ({len(self.violations)} violations):\n  {lines}"
+
+
+def audit_switch(
+    switch: SilkRoadSwitch,
+    connections: Optional[Iterable[Connection]] = None,
+) -> AuditReport:
+    """Run every cross-table invariant, collecting all violations.
+
+    ``connections``, when given (every connection the workload produced,
+    live or finished), additionally checks that each PCC violation is
+    attributable to the fault model's predicted exposure sets.
+    """
+    report = AuditReport()
+    fail = report.violations.append
+    checks = [
+        lambda: _check_cuckoo(switch, fail),
+        lambda: _check_conn_residency(switch, fail),
+        lambda: _check_refcounts(switch, fail),
+        lambda: _check_decisions(switch, fail),
+        lambda: _check_pending_index(switch, fail),
+        lambda: _check_live_index(switch, fail),
+        lambda: _check_transitions(switch, fail),
+    ]
+    if connections is not None:
+        checks.append(lambda: _check_pcc_attribution(switch, connections, fail))
+    for check in checks:
+        check()
+        report.checks_run += 1
+    return report
+
+
 def verify_switch(switch: SilkRoadSwitch) -> None:
     """Run every cross-table invariant; raises on the first failure."""
-    switch.conn_table.check_invariants()
-    _check_conn_residency(switch)
-    _check_refcounts(switch)
-    _check_decisions(switch)
-    _check_pending_index(switch)
-    _check_transitions(switch)
+    audit_switch(switch).raise_if_failed()
 
 
 def _live_states(switch: SilkRoadSwitch):
@@ -50,27 +116,28 @@ def _live_states(switch: SilkRoadSwitch):
     }
 
 
-def _check_conn_residency(switch: SilkRoadSwitch) -> None:
+def _check_cuckoo(switch: SilkRoadSwitch, fail: Fail) -> None:
+    try:
+        switch.conn_table.check_invariants()
+    except AssertionError as exc:
+        fail(f"ConnTable cuckoo invariants: {exc}")
+
+
+def _check_conn_residency(switch: SilkRoadSwitch, fail: Fail) -> None:
     overflowed = switch.table_full_events > 0
     for key, state in _live_states(switch).items():
         resident = key in switch.conn_table
         if state.installed and not resident and not overflowed:
-            raise InvariantViolation(
-                f"installed connection missing from ConnTable: {key!r}"
-            )
+            fail(f"installed connection missing from ConnTable: {key!r}")
         if resident:
             stored = switch.conn_table.get_exact(key)
             if stored != state.version:
-                raise InvariantViolation(
-                    f"ConnTable version {stored} != pinned {state.version}"
-                )
+                fail(f"ConnTable version {stored} != pinned {state.version}")
         if not state.installed and resident:
-            raise InvariantViolation(
-                f"pending connection already resident: {key!r}"
-            )
+            fail(f"pending connection already resident: {key!r}")
 
 
-def _check_refcounts(switch: SilkRoadSwitch) -> None:
+def _check_refcounts(switch: SilkRoadSwitch, fail: Fail) -> None:
     expected: Dict[Tuple[object, int], int] = {}
     for state in switch._states.values():
         # Dead-but-installed connections hold their version until the
@@ -85,16 +152,17 @@ def _check_refcounts(switch: SilkRoadSwitch) -> None:
             actual = switch.dip_pools.refcount(vip, version)
             want = expected.get((vip, version), 0)
             if actual != want:
-                raise InvariantViolation(
+                fail(
                     f"refcount mismatch for {vip} v{version}: "
                     f"table says {actual}, states say {want}"
                 )
 
 
-def _check_decisions(switch: SilkRoadSwitch) -> None:
+def _check_decisions(switch: SilkRoadSwitch, fail: Fail) -> None:
     for key, state in _live_states(switch).items():
         if state.current_dip is None:
-            raise InvariantViolation(f"live connection without a decision: {key!r}")
+            fail(f"live connection without a decision: {key!r}")
+            continue
         if state.conn.broken_by_removal:
             # Version reuse may have substituted this connection's slot
             # (its DIP went down); its stale decision is expected.
@@ -105,17 +173,15 @@ def _check_decisions(switch: SilkRoadSwitch) -> None:
         if state.installed and not state.adopted_old_via_fp:
             expected = switch.dip_pools.select(state.vip, state.version, key)
             if state.current_dip != expected:
-                raise InvariantViolation(
+                fail(
                     f"decision {state.current_dip} != pinned pool choice "
                     f"{expected} for {key!r}"
                 )
         if state.current_dip not in pool and state.installed:
-            raise InvariantViolation(
-                f"decision {state.current_dip} not in pinned pool for {key!r}"
-            )
+            fail(f"decision {state.current_dip} not in pinned pool for {key!r}")
 
 
-def _check_pending_index(switch: SilkRoadSwitch) -> None:
+def _check_pending_index(switch: SilkRoadSwitch, fail: Fail) -> None:
     indexed = {
         key
         for keys in switch._pending_by_vip.values()
@@ -128,7 +194,7 @@ def _check_pending_index(switch: SilkRoadSwitch) -> None:
     }
     missing = live_pending - indexed
     if missing:
-        raise InvariantViolation(f"pending connections missing from index: {len(missing)}")
+        fail(f"pending connections missing from index: {len(missing)}")
     stale = {
         key
         for key in indexed
@@ -136,14 +202,62 @@ def _check_pending_index(switch: SilkRoadSwitch) -> None:
         or switch._states[key].installed
     }
     if stale:
-        raise InvariantViolation(f"stale keys in pending index: {len(stale)}")
+        fail(f"stale keys in pending index: {len(stale)}")
 
 
-def _check_transitions(switch: SilkRoadSwitch) -> None:
+def _check_live_index(switch: SilkRoadSwitch, fail: Fail) -> None:
+    indexed = {
+        key
+        for keys in switch._live_by_vip.values()
+        for key in keys
+    }
+    live = set(_live_states(switch))
+    missing = live - indexed
+    if missing:
+        fail(f"live connections missing from live-by-VIP index: {len(missing)}")
+    stale = indexed - live
+    if stale:
+        fail(f"dead keys in live-by-VIP index: {len(stale)}")
+    for vip, keys in switch._live_by_vip.items():
+        wrong = {key for key in keys if switch._states[key].vip != vip}
+        if wrong:
+            fail(f"live-by-VIP index misfiles {len(wrong)} keys under {vip}")
+
+
+def _check_transitions(switch: SilkRoadSwitch, fail: Fail) -> None:
     for vip in switch.vip_table.vips():
         entry = switch.vip_table.lookup(vip)
         phase = switch.coordinator.phase(vip)
         if entry.in_transition and phase is Phase.IDLE:
-            raise InvariantViolation(f"{vip} stuck mid-transition")
+            fail(f"{vip} stuck mid-transition")
         if phase is Phase.STEP2 and not entry.in_transition:
-            raise InvariantViolation(f"{vip} in step 2 without dual versions")
+            fail(f"{vip} in step 2 without dual versions")
+
+
+def _check_pcc_attribution(
+    switch: SilkRoadSwitch,
+    connections: Iterable[Connection],
+    fail: Fail,
+) -> None:
+    """Every PCC violation must be one the fault model predicted.
+
+    The predicted exposure sets (persisted on the switch past connection
+    death) are: watchdog at-risk reclassifications, ConnTable overflows
+    left on the slow path, and step-2 TransitTable false-positive
+    adoptions.  Without the TransitTable the whole mechanism is ablated
+    and violations are expected everywhere, so the check is skipped.
+    """
+    if not switch.config.use_transit_table:
+        return
+    predicted = (
+        switch.at_risk_keys | switch.overflow_keys | switch.fp_adopted_keys
+    )
+    unattributed = 0
+    for conn in connections:
+        if conn.pcc_violated and conn.key not in predicted:
+            unattributed += 1
+    if unattributed:
+        fail(
+            f"{unattributed} PCC violations not attributable to the fault "
+            f"model (at-risk/overflow/Bloom-FP sets)"
+        )

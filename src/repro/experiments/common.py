@@ -49,13 +49,15 @@ class PccWorkload:
     updates_per_min: float
 
     def replay(
-        self, lb_factory: Callable[[], object]
+        self, lb_factory: Callable[[], object], faults: Optional[object] = None
     ) -> Tuple[SimulationReport, List[Connection], object]:
         """Run a fresh LB instance over a *fresh copy* of the workload.
 
         Connections are stateful (decision logs), so each replay clones
-        them; update events are immutable and shared.  Returns the report,
-        the replayed connections, and the LB instance (for its counters).
+        them; update events are immutable and shared.  ``faults`` is an
+        optional :class:`~repro.faults.injector.FaultInjector` attached to
+        the run.  Returns the report, the replayed connections, and the LB
+        instance (for its counters).
         """
         conns = [
             Connection(
@@ -71,7 +73,9 @@ class PccWorkload:
         lb = lb_factory()
         for service in self.cluster.services:
             lb.announce_vip(service.vip, service.dips)
-        report = FlowSimulator(lb).run(conns, self.updates, horizon_s=self.horizon_s)
+        report = FlowSimulator(lb, faults=faults).run(
+            conns, self.updates, horizon_s=self.horizon_s
+        )
         return report, conns, lb
 
 

@@ -6,6 +6,12 @@ an *older* pool version (their ConnTable state died with the switch and
 the survivors re-hash them under the current pool) — the same exposure as
 losing an SLB.  The scenario runs twice, with and without a DIP-pool
 update shortly before the failure, to show the old-version exposure appear.
+
+A second scenario attacks the *slow path* of a single switch instead:
+seeded chaos runs (CPU crashes/stalls, failing table writes, lost
+notifications — see :mod:`repro.faults`) against the hardened
+configuration, verifying that every invariant audit passes and PCC
+violations stay attributable to the injected faults.
 """
 
 from __future__ import annotations
@@ -87,6 +93,51 @@ def run(
     return points
 
 
+@dataclass(frozen=True)
+class ChaosPoint:
+    fault_seed: int
+    faults_injected: int
+    crashes: int
+    relearns: int
+    at_risk: int
+    watchdog_forced: int
+    pcc_violations: int
+    updates_completed: int
+    audit_ok: bool
+
+
+def run_slow_path_chaos(
+    seed: int = 7,
+    fault_seeds: tuple = (101, 202, 303),
+    scale: float = 0.05,
+    horizon_s: float = 20.0,
+) -> List[ChaosPoint]:
+    """Sweep fault seeds over the hardened slow path; every run must audit
+    clean regardless of what the plan injected."""
+    from ..faults import run_chaos
+
+    points: List[ChaosPoint] = []
+    for fault_seed in fault_seeds:
+        result = run_chaos(
+            seed=seed, fault_seed=fault_seed, scale=scale, horizon_s=horizon_s
+        )
+        counters = result.switch.report()
+        points.append(
+            ChaosPoint(
+                fault_seed=fault_seed,
+                faults_injected=len(result.plan),
+                crashes=int(counters["cpu_crashes"]),
+                relearns=int(counters["relearns"]),
+                at_risk=int(counters["at_risk_connections"]),
+                watchdog_forced=int(counters["watchdog_forced_steps"]),
+                pcc_violations=result.report.pcc_violations,
+                updates_completed=int(counters["updates_completed"]),
+                audit_ok=result.ok,
+            )
+        )
+    return points
+
+
 def main(seed: int = 7) -> str:
     from ..analysis import format_table
 
@@ -110,10 +161,49 @@ def main(seed: int = 7) -> str:
         rows,
         title="§7 switch failure: only old-version connections break",
     )
-    return table + (
-        "\nexpectation: without a preceding update every moved connection "
-        "re-hashes identically (same VIPTable) and survives; with one, the "
-        "old-version connections are exposed"
+    chaos_points = run_slow_path_chaos(seed=seed)
+    chaos_rows = [
+        (
+            p.fault_seed,
+            p.faults_injected,
+            p.crashes,
+            p.relearns,
+            p.at_risk,
+            p.watchdog_forced,
+            p.pcc_violations,
+            p.updates_completed,
+            "ok" if p.audit_ok else "FAILED",
+        )
+        for p in chaos_points
+    ]
+    chaos_table = format_table(
+        (
+            "fault seed",
+            "faults",
+            "crashes",
+            "relearns",
+            "at-risk",
+            "forced steps",
+            "PCC broken",
+            "updates done",
+            "audit",
+        ),
+        chaos_rows,
+        title="slow-path chaos: hardened switch under seeded fault injection",
+    )
+    return (
+        table
+        + (
+            "\nexpectation: without a preceding update every moved connection "
+            "re-hashes identically (same VIPTable) and survives; with one, the "
+            "old-version connections are exposed"
+        )
+        + "\n\n"
+        + chaos_table
+        + (
+            "\nexpectation: every audit passes; violations, if any, are "
+            "attributable to watchdog-forced (at-risk) connections"
+        )
     )
 
 

@@ -1,0 +1,157 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a frozen, seed-derived schedule of fault events to
+inject into a running simulation: switch-CPU crashes and stalls, windows of
+failing PCI-E ConnTable writes, lost or delayed learning-filter
+notifications.  Plans are *data* — generating one performs no injection —
+so the same plan can be replayed against different switch configurations,
+printed, or embedded in a regression test.
+
+Determinism is the whole point: :meth:`FaultPlan.generate` drives a private
+``random.Random(seed)``, so the same seed always yields the same schedule,
+and two simulation runs with the same workload seed and fault seed must
+produce identical metrics (the chaos tests assert this bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Sequence, Tuple
+
+
+class FaultKind(Enum):
+    """The failure modes the slow-path hardening defends against."""
+
+    #: CPU process dies; queued and in-flight jobs lost; restarts after
+    #: ``duration_s``.
+    CPU_CRASH = "cpu_crash"
+    #: CPU freezes for ``duration_s`` (GC pause, PCI-E contention); nothing
+    #: is lost but every completion slips.
+    CPU_STALL = "cpu_stall"
+    #: For ``duration_s`` after the event, each ConnTable write fails with
+    #: ``probability`` (exercises the ack/retry/backoff path).
+    INSTALL_FAIL_WINDOW = "install_fail_window"
+    #: The next ``count`` learning-filter notifications are lost before
+    #: reaching the CPU (their connections re-learn).
+    NOTIFICATION_LOSS = "notification_loss"
+    #: The next ``count`` learning-filter batches are delivered ``delay_s``
+    #: late.
+    BATCH_DELAY = "batch_delay"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.  Which fields matter depends on ``kind``."""
+
+    time: float
+    kind: FaultKind
+    #: crash restart delay / stall length / install-fail window length.
+    duration_s: float = 0.0
+    #: per-write failure probability inside an install-fail window.
+    probability: float = 1.0
+    #: notifications affected by loss/delay events.
+    count: int = 1
+    #: lateness of delayed batches.
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.count <= 0:
+            raise ValueError("count must be positive")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+
+
+#: Default mix when generating a random plan (uniform over kinds).
+ALL_KINDS: Tuple[FaultKind, ...] = tuple(FaultKind)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen schedule of fault events, sorted by time."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: e.time))
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def kinds(self) -> Tuple[FaultKind, ...]:
+        return tuple(e.kind for e in self.events)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        horizon_s: float,
+        faults_per_min: float = 6.0,
+        kinds: Sequence[FaultKind] = ALL_KINDS,
+        crash_restart_s: Tuple[float, float] = (5e-3, 5e-2),
+        stall_s: Tuple[float, float] = (1e-3, 1e-2),
+        fail_window_s: Tuple[float, float] = (1e-3, 1e-2),
+        fail_probability: Tuple[float, float] = (0.2, 0.9),
+        loss_count: Tuple[int, int] = (1, 3),
+        batch_delay_s: Tuple[float, float] = (1e-3, 5e-3),
+    ) -> "FaultPlan":
+        """Draw a deterministic Poisson-ish schedule from ``seed``.
+
+        Event count is ``round(faults_per_min * horizon_s / 60)`` (at least
+        one for a positive rate); times are uniform over ``(0, horizon_s)``;
+        per-kind magnitudes are uniform over the given ranges.  Same seed,
+        same arguments -> identical plan, always.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if faults_per_min < 0:
+            raise ValueError("faults_per_min must be non-negative")
+        if not kinds:
+            raise ValueError("kinds must be non-empty")
+        rng = random.Random(seed)
+        n = int(round(faults_per_min * horizon_s / 60.0))
+        if faults_per_min > 0:
+            n = max(n, 1)
+        events = []
+        for _ in range(n):
+            time = rng.uniform(0.0, horizon_s)
+            kind = rng.choice(list(kinds))
+            if kind is FaultKind.CPU_CRASH:
+                events.append(FaultEvent(
+                    time=time, kind=kind, duration_s=rng.uniform(*crash_restart_s)
+                ))
+            elif kind is FaultKind.CPU_STALL:
+                events.append(FaultEvent(
+                    time=time, kind=kind, duration_s=rng.uniform(*stall_s)
+                ))
+            elif kind is FaultKind.INSTALL_FAIL_WINDOW:
+                events.append(FaultEvent(
+                    time=time,
+                    kind=kind,
+                    duration_s=rng.uniform(*fail_window_s),
+                    probability=rng.uniform(*fail_probability),
+                ))
+            elif kind is FaultKind.NOTIFICATION_LOSS:
+                events.append(FaultEvent(
+                    time=time, kind=kind, count=rng.randint(*loss_count)
+                ))
+            else:  # BATCH_DELAY
+                events.append(FaultEvent(
+                    time=time,
+                    kind=kind,
+                    count=rng.randint(*loss_count),
+                    delay_s=rng.uniform(*batch_delay_s),
+                ))
+        return cls(events=tuple(events), seed=seed)

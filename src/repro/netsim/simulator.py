@@ -106,10 +106,17 @@ class SimulationReport:
 
 
 class FlowSimulator:
-    """Runs one load balancer against a workload and an update stream."""
+    """Runs one load balancer against a workload and an update stream.
 
-    def __init__(self, lb: LoadBalancer) -> None:
+    ``faults``, when given, is duck-typed as a
+    :class:`~repro.faults.injector.FaultInjector`: after the load balancer
+    is bound to the event queue, ``faults.attach(lb, queue)`` schedules the
+    fault plan's events alongside the workload.
+    """
+
+    def __init__(self, lb: LoadBalancer, faults: Optional[object] = None) -> None:
         self.lb = lb
+        self.faults = faults
         self.queue = EventQueue()
 
     def run(
@@ -137,6 +144,9 @@ class FlowSimulator:
         # shares one time frame.
         earliest = min((c.start for c in connections), default=0.0)
         queue.now = min(earliest, 0.0)
+
+        if self.faults is not None:
+            self.faults.attach(lb, queue)
 
         def make_arrival(conn: Connection):
             return lambda: lb.on_connection_arrival(conn)

@@ -22,6 +22,7 @@ to a new event queue) without losing or double-registering state.
 
 from __future__ import annotations
 
+import hashlib
 from bisect import bisect_left
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -405,6 +406,25 @@ class MetricRegistry:
             else:
                 out[name] = float(instrument.value)
         return out
+
+    def fingerprint(self) -> str:
+        """Deterministic digest of every instrument's exact state.
+
+        Two runs of the same seeded simulation must produce identical
+        fingerprints — the chaos tests assert exactly that.  Includes
+        per-bucket histogram counts (not just count/sum/mean), using
+        ``repr`` of floats so the digest is bit-exact.
+        """
+        hasher = hashlib.sha256()
+        for name, instrument in self.instruments():
+            if isinstance(instrument, Histogram):
+                parts = [repr(c) for c in instrument.bucket_counts]
+                parts.append(repr(instrument.sum))
+                parts.append(repr(instrument.count))
+                hasher.update(f"{name}={','.join(parts)}\n".encode())
+            else:
+                hasher.update(f"{name}={float(instrument.value)!r}\n".encode())
+        return hasher.hexdigest()
 
 
 class Scope:

@@ -133,3 +133,135 @@ class TestQueueing:
         h.request()
         h.coord.on_installed(other, b"old")  # different VIP: no effect
         assert h.coord.phase(VIP) is Phase.STEP1
+
+
+class _FakeTimer:
+    def __init__(self, delay, action):
+        self.delay = delay
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class WatchdogHarness:
+    """Coordinator with a per-step deadline and a hand-cranked scheduler."""
+
+    def __init__(self, pending: Set[bytes] = frozenset(), deadline: float = 1.0):
+        self.pending = set(pending)
+        self.executed: List[UpdateEvent] = []
+        self.finished: List[VirtualIP] = []
+        self.at_risk: List[tuple] = []
+        self.timers: List[_FakeTimer] = []
+        self.clock = 0.0
+        self.coord = UpdateCoordinator(
+            pending_keys=lambda vip: set(self.pending),
+            execute=self.executed.append,
+            finish=self.finished.append,
+            mark=lambda key: None,
+            now=lambda: self.clock,
+            step_deadline_s=deadline,
+            schedule=self._schedule,
+            on_at_risk=lambda vip, keys, phase: self.at_risk.append(
+                (vip, set(keys), phase)
+            ),
+        )
+
+    def _schedule(self, delay, action):
+        timer = _FakeTimer(delay, action)
+        self.timers.append(timer)
+        return timer
+
+    def request(self, time=0.0):
+        self.clock = time
+        self.coord.request(UpdateEvent(time, VIP, UpdateKind.REMOVE, DIP))
+
+    def fire_latest(self):
+        timer = self.timers[-1]
+        assert not timer.cancelled, "firing a cancelled watchdog"
+        self.clock += timer.delay
+        timer.action()
+
+
+class TestWatchdogs:
+    def test_requires_schedule_callback(self):
+        with pytest.raises(ValueError, match="schedule"):
+            UpdateCoordinator(
+                pending_keys=lambda vip: set(),
+                execute=lambda e: None,
+                finish=lambda v: None,
+                mark=lambda k: None,
+                now=lambda: 0.0,
+                step_deadline_s=1.0,
+            )
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ValueError, match="step_deadline_s"):
+            UpdateCoordinator(
+                pending_keys=lambda vip: set(),
+                execute=lambda e: None,
+                finish=lambda v: None,
+                mark=lambda k: None,
+                now=lambda: 0.0,
+                step_deadline_s=0.0,
+                schedule=lambda d, a: None,
+            )
+
+    def test_step1_deadline_forces_exec(self):
+        h = WatchdogHarness(pending={b"stuck-1", b"stuck-2"})
+        h.request()
+        assert h.coord.phase(VIP) is Phase.STEP1
+        h.fire_latest()
+        # Forced past step 1: executed, nothing marked, so finished too.
+        assert h.executed and h.finished == [VIP]
+        assert h.coord.phase(VIP) is Phase.IDLE
+        assert h.at_risk == [(VIP, {b"stuck-1", b"stuck-2"}, Phase.STEP1)]
+        assert h.coord.watchdog_forced_steps == 1
+        assert h.coord.at_risk_reclassified == 2
+
+    def test_step2_deadline_forces_finish(self):
+        h = WatchdogHarness(pending={b"old"})
+        h.request()
+        h.coord.note_new_pending(VIP, b"marked")
+        h.coord.on_installed(VIP, b"old")
+        assert h.coord.phase(VIP) is Phase.STEP2
+        h.fire_latest()
+        assert h.finished == [VIP]
+        assert h.at_risk == [(VIP, {b"marked"}, Phase.STEP2)]
+
+    def test_completed_step_cancels_watchdog(self):
+        h = WatchdogHarness(pending={b"old"})
+        h.request()
+        h.coord.on_installed(VIP, b"old")  # step 1 completes normally
+        assert h.coord.phase(VIP) is Phase.IDLE
+        assert all(t.cancelled for t in h.timers)
+        assert h.coord.watchdog_forced_steps == 0
+
+    def test_stale_timer_is_ignored(self):
+        h = WatchdogHarness(pending={b"old"})
+        h.request()
+        step1_timer = h.timers[-1]
+        h.coord.note_new_pending(VIP, b"marked")
+        h.coord.on_installed(VIP, b"old")  # now in STEP2, new timer armed
+        assert h.coord.phase(VIP) is Phase.STEP2
+        # Fire the (cancelled) step-1 timer anyway: must be a no-op.
+        step1_timer.action()
+        assert h.coord.phase(VIP) is Phase.STEP2
+        assert h.coord.watchdog_forced_steps == 0
+
+    def test_queued_update_proceeds_after_forced_finish(self):
+        h = WatchdogHarness(pending={b"stuck"})
+        h.request()
+        h.coord.request(UpdateEvent(0.1, VIP, UpdateKind.ADD, DIP))
+        assert h.coord.queue_depth(VIP) == 1
+        h.pending.clear()
+        h.fire_latest()
+        # Forced past the stuck key; the queued update then ran through.
+        assert len(h.executed) == 2
+        assert h.coord.updates_completed == 2
+
+    def test_no_deadline_never_schedules(self):
+        h = Harness(pending={b"old"})
+        h.request()
+        assert h.coord.step_deadline_s is None

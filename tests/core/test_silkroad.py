@@ -214,3 +214,162 @@ class TestTableOverflow:
             config, updates_per_min=0.0, conns_per_min=20_000.0, horizon=30.0
         )
         assert switch.table_full_events > 0
+
+
+class TestWithdrawRefusals:
+    def test_refused_while_update_in_flight(self, vip, dips):
+        from repro.core import Phase
+
+        switch = SilkRoadSwitch(small_config())
+        switch.announce_vip(vip, dips)
+        # Put the coordinator mid-update with no live connections (a state
+        # normal traffic can only pass through transiently), so the
+        # drained-VIP check passes and the in-flight check must refuse.
+        state = switch.coordinator._state(vip)
+        state.phase = Phase.STEP1
+        with pytest.raises(ValueError, match="update in flight"):
+            switch.withdraw_vip(vip)
+        state.phase = Phase.IDLE
+        switch.withdraw_vip(vip)
+        assert vip not in switch.vip_table
+
+    def test_live_index_tracks_arrivals_and_ends(self, vip, dips, tuples):
+        from repro.netsim.flows import Connection
+
+        switch = SilkRoadSwitch(small_config())
+        switch.announce_vip(vip, dips)
+        conns = [
+            Connection(conn_id=i, five_tuple=tuples.next_for(vip), vip=vip,
+                       start=0.0, duration=100.0)
+            for i in range(3)
+        ]
+        for conn in conns:
+            switch.on_connection_arrival(conn)
+        assert switch._live_by_vip[vip] == {c.key for c in conns}
+        for conn in conns:
+            switch.on_connection_end(conn)
+        assert not switch._live_by_vip.get(vip)
+        switch.queue.run_until(switch.queue.now + 10.0)
+        switch.withdraw_vip(vip)
+        assert vip not in switch._live_by_vip
+
+
+class TestFinalizePollCancel:
+    def test_finalize_cancels_armed_poll(self, vip, dips, tuples):
+        from repro.netsim.flows import Connection
+
+        switch = SilkRoadSwitch(small_config())
+        switch.announce_vip(vip, dips)
+        conn = Connection(conn_id=1, five_tuple=tuples.next_for(vip), vip=vip,
+                          start=0.0, duration=100.0)
+        switch.on_connection_arrival(conn)
+        assert switch._poll_handle is not None
+        assert not switch._poll_handle.cancelled
+        switch.finalize()
+        # The armed timer is gone and the flush reached the CPU.
+        assert switch._poll_handle is None
+        assert switch.learning.occupancy == 0
+        assert switch.cpu.batches == 1
+
+    def test_post_finalize_arrival_gets_fresh_timer(self, vip, dips, tuples):
+        # Regression: finalize used to leave the old timeout timer armed,
+        # so an event deposited afterwards was flushed at the *stale*
+        # deadline instead of its own.
+        from repro.netsim.flows import Connection
+
+        config = small_config()
+        switch = SilkRoadSwitch(config)
+        switch.announce_vip(vip, dips)
+        first = Connection(conn_id=1, five_tuple=tuples.next_for(vip), vip=vip,
+                           start=0.0, duration=100.0)
+        switch.on_connection_arrival(first)  # timer armed at timeout
+        switch.finalize()
+        # A connection learned shortly after the finalize flush:
+        switch.queue.run_until(0.0004)
+        second = Connection(conn_id=2, five_tuple=tuples.next_for(vip), vip=vip,
+                            start=0.0004, duration=100.0)
+        switch.on_connection_arrival(second)
+        expected = 0.0004 + config.learning_filter_timeout_s
+        assert switch._poll_handle is not None
+        assert switch._poll_handle.time == pytest.approx(expected)
+
+
+class TestOverflowDuringUpdate:
+    def _fill_switch(self, vip, dips, tuples, capacity=64):
+        from repro.netsim.flows import Connection
+
+        switch = SilkRoadSwitch(small_config(conn_table_capacity=capacity))
+        switch.announce_vip(vip, dips[:6])
+        conns = [
+            Connection(conn_id=i, five_tuple=tuples.next_for(vip), vip=vip,
+                       start=0.0, duration=1000.0)
+            for i in range(2 * capacity)
+        ]
+        for conn in conns:
+            switch.on_connection_arrival(conn)
+        switch.queue.run_until(1.0)  # install everything that fits
+        assert switch.table_full_events > 0
+        return switch, conns
+
+    def test_update_not_stalled_by_overflow(self, vip, dips, tuples):
+        from repro.netsim.flows import Connection
+
+        switch, _conns = self._fill_switch(vip, dips, tuples)
+        # Fresh pre-request pending connections that can only overflow.
+        fresh = [
+            Connection(conn_id=1000 + i, five_tuple=tuples.next_for(vip),
+                       vip=vip, start=1.0, duration=1000.0)
+            for i in range(4)
+        ]
+        for conn in fresh:
+            switch.on_connection_arrival(conn)
+        switch.apply_update(UpdateEvent(1.0, vip, UpdateKind.ADD, dips[6]))
+        from repro.core import Phase
+
+        assert switch.coordinator.phase(vip) is Phase.STEP1
+        switch.queue.run_until(2.0)
+        # Every fresh connection overflowed, aborted its pending wait, and
+        # the update completed instead of stalling forever.
+        assert switch.coordinator.phase(vip) is Phase.IDLE
+        assert switch.coordinator.updates_completed == 1
+        for conn in fresh:
+            state = switch._states[conn.key]
+            assert state.overflowed and not state.installed
+            assert conn.key in switch.overflow_keys
+
+    def test_overflowed_conns_rehash_at_next_flip(self, vip, dips, tuples):
+        from repro.netsim.flows import Connection
+
+        switch, _conns = self._fill_switch(vip, dips, tuples)
+        fresh = [
+            Connection(conn_id=2000 + i, five_tuple=tuples.next_for(vip),
+                       vip=vip, start=1.0, duration=1000.0)
+            for i in range(4)
+        ]
+        for conn in fresh:
+            switch.on_connection_arrival(conn)
+        switch.apply_update(UpdateEvent(1.0, vip, UpdateKind.ADD, dips[6]))
+        switch.queue.run_until(2.0)
+        assert switch.coordinator.updates_completed == 1
+        # Second flip: overflowed (slow-path) connections re-hash under the
+        # new current version, exactly like any ConnTable miss would.
+        switch.apply_update(UpdateEvent(2.0, vip, UpdateKind.ADD, dips[7]))
+        switch.queue.run_until(3.0)
+        assert switch.coordinator.updates_completed == 2
+        current = switch.dip_pools.current_version(vip)
+        for conn in fresh:
+            state = switch._states[conn.key]
+            expected = switch.dip_pools.select(
+                vip, current, conn.key, conn.key_hash
+            )
+            assert state.current_dip == expected
+
+    def test_table_full_events_pinned_to_overflow_count(self, vip, dips, tuples):
+        switch, conns = self._fill_switch(vip, dips, tuples)
+        overflowed = [
+            c for c in conns if switch._states[c.key].overflowed
+        ]
+        # One TableFull per overflowing install attempt, no retries, no
+        # double counting.
+        assert switch.table_full_events == len(overflowed)
+        assert switch.overflow_keys == {c.key for c in overflowed}

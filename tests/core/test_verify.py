@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.core import SilkRoadConfig, SilkRoadSwitch
-from repro.core.verify import InvariantViolation, verify_switch
+from repro.core.verify import (
+    AuditReport,
+    InvariantViolation,
+    audit_switch,
+    verify_switch,
+)
 from repro.netsim import (
     ArrivalGenerator,
     FlowSimulator,
@@ -99,3 +104,109 @@ class TestVerifyCatchesCorruption:
         switch._pending_by_vip.setdefault(vip, set()).add(b"ghost-key")
         with pytest.raises(InvariantViolation):
             verify_switch(switch)
+
+
+class TestAuditReport:
+    def test_clean_switch_audits_ok(self):
+        switch, _sim = run_busy_switch()
+        report = audit_switch(switch)
+        assert report.ok
+        assert report.violations == []
+        assert report.checks_run == 7
+        report.raise_if_failed()  # no-op when clean
+        assert "ok" in str(report)
+
+    def test_collects_instead_of_raising(self):
+        switch, _sim = run_busy_switch(horizon=30.0)
+        vip = switch.vip_table.vips()[0]
+        version = switch.dip_pools.current_version(vip)
+        switch.dip_pools.acquire(vip, version)  # phantom reference
+        switch._pending_by_vip.setdefault(vip, set()).add(b"ghost-key")
+        report = audit_switch(switch)  # does not raise
+        assert not report.ok
+        assert len(report.violations) >= 2
+        assert "FAILED" in str(report)
+        with pytest.raises(InvariantViolation):
+            report.raise_if_failed()
+
+    def test_detects_live_index_drift(self):
+        switch, _sim = run_busy_switch(horizon=30.0, updates_per_min=0.0)
+        vip = switch.vip_table.vips()[0]
+        live = switch._live_by_vip[vip]
+        assert live
+        removed = next(iter(live))
+        live.discard(removed)  # a live connection vanishes from the index
+        report = audit_switch(switch)
+        assert any("live-by-VIP" in v for v in report.violations)
+
+    def test_detects_dead_key_in_live_index(self):
+        switch, _sim = run_busy_switch(horizon=30.0, updates_per_min=0.0)
+        vip = switch.vip_table.vips()[0]
+        key = next(iter(switch._live_by_vip[vip]))
+        switch._states[key].dead = True  # died without index cleanup
+        report = audit_switch(switch)
+        assert any("live-by-VIP" in v or "dead keys" in v for v in report.violations)
+
+
+class TestPccAttribution:
+    def test_attributed_violations_pass(self):
+        switch, sim = run_busy_switch(horizon=30.0)
+        from repro.netsim.flows import Connection
+        from repro.netsim.packet import DirectIP, TupleFactory
+
+        vip = switch.vip_table.vips()[0]
+        conn = Connection(
+            conn_id=999_999, five_tuple=TupleFactory().next_for(vip), vip=vip,
+            start=0.0, duration=5.0,
+        )
+        conn.record_decision(0.0, DirectIP.parse("10.9.9.1:80"))
+        conn.record_decision(1.0, DirectIP.parse("10.9.9.2:80"))
+        assert conn.pcc_violated
+        # Unattributed: the fault model never predicted this key.
+        report = audit_switch(switch, connections=[conn])
+        assert any("not attributable" in v for v in report.violations)
+        # Attributed as watchdog at-risk: accepted.
+        switch.at_risk_keys.add(conn.key)
+        assert audit_switch(switch, connections=[conn]).ok
+        # Overflow and Bloom-FP exposure count as predictions too.
+        switch.at_risk_keys.discard(conn.key)
+        switch.overflow_keys.add(conn.key)
+        assert audit_switch(switch, connections=[conn]).ok
+
+    def test_broken_by_removal_not_counted(self):
+        switch, _sim = run_busy_switch(horizon=30.0)
+        from repro.netsim.flows import Connection
+        from repro.netsim.packet import DirectIP, TupleFactory
+
+        vip = switch.vip_table.vips()[0]
+        conn = Connection(
+            conn_id=999_998, five_tuple=TupleFactory().next_for(vip), vip=vip,
+            start=0.0, duration=5.0,
+        )
+        conn.record_decision(0.0, DirectIP.parse("10.9.9.1:80"))
+        conn.record_decision(1.0, DirectIP.parse("10.9.9.2:80"))
+        conn.broken_by_removal = True  # its DIP went down: not an LB break
+        assert audit_switch(switch, connections=[conn]).ok
+
+    def test_skipped_without_transit_table(self):
+        cluster_switch = SilkRoadSwitch(
+            SilkRoadConfig(conn_table_capacity=1000, use_transit_table=False)
+        )
+        from repro.netsim import make_cluster
+
+        cluster = make_cluster(num_vips=1, dips_per_vip=4)
+        cluster_switch.announce_vip(
+            cluster.vips[0], cluster.services[0].dips
+        )
+        from repro.netsim.flows import Connection
+        from repro.netsim.packet import DirectIP, TupleFactory
+
+        conn = Connection(
+            conn_id=1, five_tuple=TupleFactory().next_for(cluster.vips[0]),
+            vip=cluster.vips[0], start=0.0, duration=5.0,
+        )
+        conn.record_decision(0.0, DirectIP.parse("10.9.9.1:80"))
+        conn.record_decision(1.0, DirectIP.parse("10.9.9.2:80"))
+        # Ablated TransitTable: violations are the expected behaviour, so
+        # attribution is not enforced.
+        assert audit_switch(cluster_switch, connections=[conn]).ok

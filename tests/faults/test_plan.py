@@ -1,0 +1,93 @@
+"""Tests for deterministic fault plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import ALL_KINDS, FaultEvent, FaultKind, FaultPlan
+
+
+class TestFaultEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=-1.0, kind=FaultKind.CPU_CRASH)
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, kind=FaultKind.CPU_STALL, duration_s=-0.1)
+        with pytest.raises(ValueError):
+            FaultEvent(
+                time=0.0, kind=FaultKind.INSTALL_FAIL_WINDOW, probability=1.5
+            )
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, kind=FaultKind.NOTIFICATION_LOSS, count=0)
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, kind=FaultKind.BATCH_DELAY, delay_s=-1.0)
+
+    def test_defaults_are_valid(self):
+        event = FaultEvent(time=1.0, kind=FaultKind.CPU_CRASH, duration_s=0.01)
+        assert event.probability == 1.0
+        assert event.count == 1
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        late = FaultEvent(time=5.0, kind=FaultKind.CPU_STALL, duration_s=0.01)
+        early = FaultEvent(time=1.0, kind=FaultKind.CPU_CRASH, duration_s=0.01)
+        plan = FaultPlan(events=(late, early))
+        assert [e.time for e in plan] == [1.0, 5.0]
+
+    def test_len_and_kinds(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=0.0, kind=FaultKind.NOTIFICATION_LOSS),
+            FaultEvent(time=1.0, kind=FaultKind.CPU_CRASH, duration_s=0.01),
+        ))
+        assert len(plan) == 2
+        assert plan.kinds() == (FaultKind.NOTIFICATION_LOSS, FaultKind.CPU_CRASH)
+
+    def test_empty_plan(self):
+        assert len(FaultPlan()) == 0
+
+
+class TestGenerate:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.generate(42, horizon_s=60.0)
+        b = FaultPlan.generate(42, horizon_s=60.0)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.generate(1, horizon_s=60.0)
+        b = FaultPlan.generate(2, horizon_s=60.0)
+        assert a != b
+
+    def test_event_count_follows_rate(self):
+        plan = FaultPlan.generate(7, horizon_s=60.0, faults_per_min=12.0)
+        assert len(plan) == 12
+
+    def test_positive_rate_yields_at_least_one(self):
+        plan = FaultPlan.generate(7, horizon_s=1.0, faults_per_min=0.5)
+        assert len(plan) == 1
+
+    def test_zero_rate_yields_empty_plan(self):
+        assert len(FaultPlan.generate(7, horizon_s=60.0, faults_per_min=0.0)) == 0
+
+    def test_times_within_horizon(self):
+        plan = FaultPlan.generate(3, horizon_s=30.0, faults_per_min=20.0)
+        assert all(0.0 <= e.time <= 30.0 for e in plan)
+
+    def test_restricted_kinds(self):
+        plan = FaultPlan.generate(
+            5, horizon_s=60.0, faults_per_min=10.0, kinds=(FaultKind.CPU_CRASH,)
+        )
+        assert set(plan.kinds()) == {FaultKind.CPU_CRASH}
+        assert all(e.duration_s > 0 for e in plan)
+
+    def test_all_kinds_eventually_drawn(self):
+        plan = FaultPlan.generate(11, horizon_s=600.0, faults_per_min=30.0)
+        assert set(plan.kinds()) == set(ALL_KINDS)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan.generate(1, horizon_s=0.0)
+        with pytest.raises(ValueError):
+            FaultPlan.generate(1, horizon_s=10.0, faults_per_min=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan.generate(1, horizon_s=10.0, kinds=())
