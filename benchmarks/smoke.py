@@ -12,10 +12,16 @@ calibration loop (pure-Python integer/dict work, independent of the code
 under test) run on the same machine.  The check fails when a normalized
 measurement exceeds the baseline by more than the tolerance (default 25%).
 
+With ``--workers N`` (N > 1) the script additionally runs a small
+sharded Figure 16 replay on an N-worker pool and on a single worker, and
+fails if the merged fingerprints differ — the CI guard for the parallel
+engine's bit-identity property.
+
 Usage::
 
     python benchmarks/smoke.py                  # compare against baseline
     python benchmarks/smoke.py --write-baseline # record a new baseline
+    python benchmarks/smoke.py --workers 2      # also check sharded identity
 """
 
 from __future__ import annotations
@@ -148,11 +154,56 @@ MEASUREMENTS = {
 
 
 # ----------------------------------------------------------------------
+# Sharded-replay identity check (--workers N)
+# ----------------------------------------------------------------------
+
+
+def check_sharded_identity(workers: int) -> bool:
+    """Run a small sharded fig16 pooled and serially; compare fingerprints.
+
+    Returns True when the merged results are bit-identical (the parallel
+    engine's contract — pool size must never move the result).
+    """
+    from repro.experiments.parallel import run_sharded
+
+    params = dict(
+        num_vips=4,
+        scale=0.1,
+        horizon_s=20.0,
+        warmup_s=3.0,
+        updates_per_min=20.0,
+        systems=("silkroad",),
+    )
+    pooled = run_sharded(
+        "fig16", num_shards=4, workers=workers, seed=16, params=dict(params)
+    )
+    serial = run_sharded(
+        "fig16", num_shards=4, workers=1, seed=16, params=dict(params)
+    )
+    ok = (
+        pooled.ok
+        and serial.ok
+        and pooled.fingerprint == serial.fingerprint
+        and pooled.counters == serial.counters
+    )
+    status = "ok" if ok else "MISMATCH"
+    print(
+        f"sharded_identity (workers={workers} vs 1): {status}\n"
+        f"  pooled {pooled.fingerprint[:16]}…  serial {serial.fingerprint[:16]}…"
+    )
+    return ok
+
+
+# ----------------------------------------------------------------------
 # Baseline compare / record
 # ----------------------------------------------------------------------
 
 
-def run(baseline_path: Path, write: bool, tolerance: float) -> int:
+def run(baseline_path: Path, write: bool, tolerance: float, workers: int = 1) -> int:
+    if workers > 1 and not check_sharded_identity(workers):
+        print("ERROR: sharded replay fingerprint differs from 1-worker run")
+        return 3
+
     calibration_s = calibrate()
     print(f"calibration: {calibration_s:.4f}s")
     normalized = {}
@@ -198,8 +249,14 @@ def main() -> int:
     parser.add_argument("--write-baseline", action="store_true")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="also check sharded-replay fingerprint identity on this pool size",
+    )
     args = parser.parse_args()
-    return run(args.baseline, args.write_baseline, args.tolerance)
+    return run(args.baseline, args.write_baseline, args.tolerance, args.workers)
 
 
 if __name__ == "__main__":

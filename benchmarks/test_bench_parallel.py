@@ -1,0 +1,55 @@
+"""Benchmark for the sharded parallel replay engine.
+
+Measures the wall-clock speedup of a pooled Figure-16 run over the same
+run on one worker, and — regardless of speedup — asserts the engine's
+core property: the merged fingerprint is bit-identical whatever the
+worker count.  The speedup assertion only applies on hosts with enough
+cores to make it meaningful (CI runners are often 1–2 vCPUs, where a
+process pool can only add overhead).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments.parallel import run_sharded
+
+#: A fig16 slice sized so four shards each carry a non-trivial replay:
+#: the per-shard work must dwarf spawn overhead (~0.1s/worker) for the
+#: speedup measurement to say anything about the engine.
+PARAMS = dict(
+    num_vips=8,
+    scale=0.4,
+    horizon_s=120.0,
+    warmup_s=10.0,
+    updates_per_min=60.0,
+    systems=("silkroad",),
+)
+NUM_SHARDS = 4
+
+
+def _timed(workers):
+    t0 = time.perf_counter()
+    result = run_sharded(
+        "fig16", num_shards=NUM_SHARDS, workers=workers, seed=16, params=dict(PARAMS)
+    )
+    return result, time.perf_counter() - t0
+
+
+def test_bench_parallel_fig16(once):
+    serial, serial_s = _timed(1)
+    pooled, pooled_s = once(lambda: _timed(min(NUM_SHARDS, os.cpu_count() or 1)))
+
+    assert serial.ok and pooled.ok
+    # The invariant that makes sharding safe to use at all: pool size
+    # must never move the merged result.
+    assert pooled.fingerprint == serial.fingerprint
+    assert pooled.counters == serial.counters
+
+    speedup = serial_s / pooled_s if pooled_s > 0 else float("inf")
+    print(f"\nserial {serial_s:.2f}s, pooled {pooled_s:.2f}s, speedup {speedup:.2f}x")
+    if (os.cpu_count() or 1) >= 4:
+        # Four independent shards on four cores: at least 2x after
+        # spawn/merge overhead (the ISSUE's acceptance bar).
+        assert speedup >= 2.0, f"expected >=2x speedup on 4+ cores, got {speedup:.2f}x"

@@ -47,20 +47,35 @@ class TrTcmMeter:
 
     ``mark(size, now)`` consumes tokens and returns the packet color; the
     token buckets refill continuously at CIR/EIR.
+
+    Timestamps may arrive *out of order*: fault injection (and, in real
+    deployments, delayed slow-path notifications) can reorder meter
+    updates, so an equal-or-earlier ``now`` must not crash the run.  The
+    meter clamps the negative elapsed time to zero — no tokens refill, the
+    packet is still marked against the current buckets — and counts the
+    occurrence in ``time_skew_events`` (exported as
+    ``meter_time_skew_total`` when a metrics scope is wired in).
     """
 
-    def __init__(self, config: MeterConfig) -> None:
+    def __init__(self, config: MeterConfig, skew_counter=None) -> None:
         self.config = config
         self._tc = float(config.cbs_bytes)  # committed bucket (bytes)
         self._te = float(config.ebs_bytes)  # excess bucket (bytes)
         self._last = 0.0
         self.marked = {Color.GREEN: 0, Color.YELLOW: 0, Color.RED: 0}
         self.marked_bytes = {Color.GREEN: 0, Color.YELLOW: 0, Color.RED: 0}
+        #: updates whose timestamp was earlier than the meter clock.
+        self.time_skew_events = 0
+        self._skew_counter = skew_counter
 
     def _refill(self, now: float) -> None:
-        if now < self._last:
-            raise ValueError("time went backwards")
         elapsed = now - self._last
+        if elapsed < 0.0:
+            # Reordered update: hold the clock, refill nothing.
+            self.time_skew_events += 1
+            if self._skew_counter is not None:
+                self._skew_counter.inc()
+            return
         self._last = now
         self._tc = min(
             self.config.cbs_bytes, self._tc + elapsed * self.config.cir_bps / 8.0
@@ -105,11 +120,25 @@ class MeterBank:
 
     BYTES_PER_METER = 16
 
-    def __init__(self) -> None:
+    def __init__(self, metrics=None) -> None:
         self._meters: dict = {}
+        # One shared skew counter for the whole bank: skew is a property of
+        # the update stream reaching the bank, not of one VIP's meter.
+        self._skew_counter = (
+            metrics.counter(
+                "meter_time_skew_total",
+                help="meter updates whose timestamp ran backwards (clamped)",
+            )
+            if metrics is not None
+            else None
+        )
+
+    @property
+    def time_skew_events(self) -> int:
+        return sum(m.time_skew_events for m in self._meters.values())
 
     def install(self, vip, config: MeterConfig) -> TrTcmMeter:
-        meter = TrTcmMeter(config)
+        meter = TrTcmMeter(config, skew_counter=self._skew_counter)
         self._meters[vip] = meter
         return meter
 

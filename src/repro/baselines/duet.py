@@ -61,7 +61,10 @@ class DuetLoadBalancer(LoadBalancer):
         # keyspace — the disruption model behind Figure 5's magnitudes.
         self._tables: Dict[VirtualIP, ResilientHashTable] = {}
         self._pools: Dict[VirtualIP, List[DirectIP]] = {}
-        self._at_slb: Set[VirtualIP] = set()
+        # Insertion-ordered (dict-as-set): periodic migrate-back and
+        # finalize() iterate this, and a hash-randomized set would reorder
+        # re-hash decisions across processes under sharded replay.
+        self._at_slb: Dict[VirtualIP, None] = {}
         self._slb_since: Dict[VirtualIP, float] = {}
         self._slb_intervals: Dict[VirtualIP, List[Tuple[float, float]]] = {}
         self._pinned: Dict[VirtualIP, Dict[bytes, DirectIP]] = {}
@@ -166,7 +169,7 @@ class DuetLoadBalancer(LoadBalancer):
 
     def _migrate_to_slb(self, vip: VirtualIP, now: float) -> None:
         self.migrations_to_slb += 1
-        self._at_slb.add(vip)
+        self._at_slb[vip] = None
         self._slb_since[vip] = now
         # The SLB observes (ideally, cf. footnote 2 of the paper) one packet
         # from every ongoing connection and pins it where it currently goes.
@@ -178,7 +181,7 @@ class DuetLoadBalancer(LoadBalancer):
 
     def _migrate_back(self, vip: VirtualIP, now: float) -> None:
         self.migrations_back += 1
-        self._at_slb.discard(vip)
+        self._at_slb.pop(vip, None)
         self._slb_intervals[vip].append((self._slb_since.pop(vip), now))
         # Back at the switches, every flow re-hashes over the current pool;
         # flows pinned under an older pool may land elsewhere: PCC breaks.

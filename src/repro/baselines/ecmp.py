@@ -16,7 +16,7 @@ Two switch-only baselines that keep **no per-connection state**:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..asicsim.hashing import HashUnit
 from ..netsim.flows import Connection
@@ -32,7 +32,10 @@ class EcmpLoadBalancer(LoadBalancer):
         self.name = name
         self._unit = HashUnit(seed=seed)
         self._pools: Dict[VirtualIP, List[DirectIP]] = {}
-        self._active: Dict[VirtualIP, Set[Connection]] = {}
+        # Keyed by connection key, not a Set[Connection]: sets iterate in
+        # id()-dependent order, which varies across processes and would make
+        # re-hash decision timestamps nondeterministic under sharded replay.
+        self._active: Dict[VirtualIP, Dict[bytes, Connection]] = {}
 
     def announce_vip(self, vip: VirtualIP, dips) -> None:
         if vip in self._pools:
@@ -50,10 +53,10 @@ class EcmpLoadBalancer(LoadBalancer):
     def on_connection_arrival(self, conn: Connection) -> None:
         dip = self.select(conn.vip, conn.key, conn.key_hash)
         conn.record_decision(self.queue.now, dip)
-        self._active.setdefault(conn.vip, set()).add(conn)
+        self._active.setdefault(conn.vip, {})[conn.key] = conn
 
     def on_connection_end(self, conn: Connection) -> None:
-        self._active.get(conn.vip, set()).discard(conn)
+        self._active.get(conn.vip, {}).pop(conn.key, None)
 
     def apply_update(self, event: UpdateEvent) -> None:
         now = self.queue.now
@@ -68,7 +71,8 @@ class EcmpLoadBalancer(LoadBalancer):
             pool.append(event.dip)
         if not pool:
             raise RuntimeError(f"pool of {event.vip} drained empty")
-        for conn in self._active.get(event.vip, ()):  # every flow re-hashes
+        # Insertion order: every flow re-hashes, deterministically.
+        for conn in self._active.get(event.vip, {}).values():
             new_dip = self.select(event.vip, conn.key, conn.key_hash)
             if event.kind is UpdateKind.REMOVE and conn.decisions:
                 last = conn.decisions[-1][1]
@@ -160,7 +164,8 @@ class ResilientEcmpLoadBalancer(LoadBalancer):
         self.num_slots = num_slots
         self._seed = seed
         self._tables: Dict[VirtualIP, ResilientHashTable] = {}
-        self._active: Dict[VirtualIP, Set[Connection]] = {}
+        # Insertion-ordered, like EcmpLoadBalancer (see comment there).
+        self._active: Dict[VirtualIP, Dict[bytes, Connection]] = {}
 
     def announce_vip(self, vip: VirtualIP, dips) -> None:
         if vip in self._tables:
@@ -177,10 +182,10 @@ class ResilientEcmpLoadBalancer(LoadBalancer):
     def on_connection_arrival(self, conn: Connection) -> None:
         dip = self.select(conn.vip, conn.key, conn.key_hash)
         conn.record_decision(self.queue.now, dip)
-        self._active.setdefault(conn.vip, set()).add(conn)
+        self._active.setdefault(conn.vip, {})[conn.key] = conn
 
     def on_connection_end(self, conn: Connection) -> None:
-        self._active.get(conn.vip, set()).discard(conn)
+        self._active.get(conn.vip, {}).pop(conn.key, None)
 
     def apply_update(self, event: UpdateEvent) -> None:
         now = self.queue.now
@@ -193,7 +198,8 @@ class ResilientEcmpLoadBalancer(LoadBalancer):
             if event.dip in table.members:
                 return
             table.add(event.dip)
-        for conn in self._active.get(event.vip, ()):  # only moved slots change
+        # Only moved slots change; iterate in insertion order.
+        for conn in self._active.get(event.vip, {}).values():
             new_dip = table.lookup(conn.key, conn.key_hash)
             if event.kind is UpdateKind.REMOVE and conn.decisions:
                 if conn.decisions[-1][1] == event.dip:

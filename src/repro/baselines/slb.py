@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 from ..asicsim.hashing import HashUnit
 from ..netsim.flows import Connection
@@ -113,7 +113,9 @@ class SoftwareLoadBalancer(LoadBalancer):
         self._pools: Dict[VirtualIP, List[DirectIP]] = {}
         self._tables: Dict[VirtualIP, MaglevTable] = {}
         self._conn_table: Dict[bytes, DirectIP] = {}
-        self._active: Dict[VirtualIP, Set[Connection]] = {}
+        # Keyed by connection key: insertion-ordered iteration keeps the
+        # REMOVE-branch breakage sweep deterministic across processes.
+        self._active: Dict[VirtualIP, Dict[bytes, Connection]] = {}
         self.packets_estimated = 0.0
         self.peak_connections = 0
 
@@ -140,12 +142,12 @@ class SoftwareLoadBalancer(LoadBalancer):
         dip = self.select(conn.vip, conn.key, conn.key_hash)
         self._conn_table[conn.key] = dip
         conn.record_decision(self.queue.now, dip)
-        self._active.setdefault(conn.vip, set()).add(conn)
+        self._active.setdefault(conn.vip, {})[conn.key] = conn
         self.peak_connections = max(self.peak_connections, len(self._conn_table))
 
     def on_connection_end(self, conn: Connection) -> None:
         self._conn_table.pop(conn.key, None)
-        self._active.get(conn.vip, set()).discard(conn)
+        self._active.get(conn.vip, {}).pop(conn.key, None)
 
     def apply_update(self, event: UpdateEvent) -> None:
         pool = self._pools[event.vip]
@@ -154,7 +156,7 @@ class SoftwareLoadBalancer(LoadBalancer):
                 return
             pool.remove(event.dip)
             # Connections on the removed DIP break with the server.
-            for conn in self._active.get(event.vip, ()):
+            for conn in self._active.get(event.vip, {}).values():
                 if self._conn_table.get(conn.key) == event.dip:
                     conn.broken_by_removal = True
         else:

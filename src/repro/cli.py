@@ -14,7 +14,11 @@ Commands:
   (JSON, JSONL, Prometheus text, or a human-readable table).
 * ``chaos`` — run a seeded fault-injection simulation against the hardened
   slow path, audit every invariant, and exit non-zero on violations (the
-  CI chaos smoke step).
+  CI chaos smoke step).  ``--workers N`` fans the run out over derived
+  seeds via the sharded replay engine.
+* ``run`` — run one shardable experiment (``fig16``, ``fig18``,
+  ``chaos``) through the sharded parallel replay engine; ``--workers N``
+  sizes the process pool without changing the merged result.
 """
 
 from __future__ import annotations
@@ -213,6 +217,8 @@ def _cmd_forward(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.workers > 1 or args.num_shards > 1:
+        return _cmd_chaos_sharded(args)
     from .faults import run_chaos
 
     result = run_chaos(
@@ -245,6 +251,82 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 f"watchdog budget",
                 file=sys.stderr,
             )
+        return 1
+    return 0
+
+
+def _cmd_chaos_sharded(args: argparse.Namespace) -> int:
+    from .faults import run_chaos_sharded
+
+    def once():
+        return run_chaos_sharded(
+            num_shards=args.num_shards,
+            workers=args.workers,
+            seed=args.seed,
+            scale=args.scale,
+            horizon_s=args.horizon,
+            updates_per_min=args.updates_per_min,
+            faults_per_min=args.faults_per_min,
+        )
+
+    result = once()
+    print(result.summary())
+    if args.check_determinism:
+        # The second pass runs serial: a pool-size change must not move
+        # the merged fingerprint, so this checks both repeatability and
+        # worker-count independence at once.
+        again = run_chaos_sharded(
+            num_shards=args.num_shards,
+            workers=1,
+            seed=args.seed,
+            scale=args.scale,
+            horizon_s=args.horizon,
+            updates_per_min=args.updates_per_min,
+            faults_per_min=args.faults_per_min,
+        )
+        if again.fingerprint != result.fingerprint:
+            print("FAIL: same-seed sharded runs diverged", file=sys.stderr)
+            return 1
+        print(f"determinism ok (fingerprint {result.fingerprint[:16]})")
+    if not result.ok:
+        print(str(result.audit), file=sys.stderr)
+        for failure in result.failed:
+            print(f"shard {failure.shard_id} FAILED: {failure.reason}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .experiments.parallel import run_sharded
+    from .experiments.runner import PARALLEL_TASKS
+
+    seed = args.seed if args.seed is not None else PARALLEL_TASKS[args.task]
+    params = {}
+    if args.scale is not None:
+        params["scale"] = args.scale
+    if args.horizon is not None:
+        params["horizon_s"] = args.horizon
+    if args.updates_per_min is not None:
+        params["updates_per_min"] = args.updates_per_min
+    if args.num_vips is not None and args.task == "fig16":
+        params["num_vips"] = args.num_vips
+    result = run_sharded(
+        args.task,
+        num_shards=args.num_shards,
+        workers=args.workers,
+        seed=seed,
+        params=params,
+    )
+    print(result.summary())
+    for key in sorted(result.counters):
+        print(f"  {key}: {result.counters[key]:g}")
+    if args.fingerprint_out:
+        with open(args.fingerprint_out, "w") as fh:
+            fh.write(result.fingerprint + "\n")
+    if not result.ok:
+        print(str(result.audit), file=sys.stderr)
+        for failure in result.failed:
+            print(f"shard {failure.shard_id} FAILED: {failure.reason}", file=sys.stderr)
         return 1
     return 0
 
@@ -329,7 +411,51 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run twice and require identical metric fingerprints",
     )
+    p_chaos.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for a sharded chaos run (1 = in-process)",
+    )
+    p_chaos.add_argument(
+        "--num-shards",
+        type=int,
+        default=1,
+        help="independent derived-seed shards (fixes the merged result)",
+    )
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_run = sub.add_parser(
+        "run", help="run a shardable experiment on the parallel replay engine"
+    )
+    p_run.add_argument("task", choices=("fig16", "fig18", "chaos"))
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: min(num_shards, CPU count))",
+    )
+    p_run.add_argument(
+        "--num-shards",
+        type=int,
+        default=4,
+        help="deterministic shard count; fixes the merged fingerprint",
+    )
+    p_run.add_argument(
+        "--seed", type=int, default=None, help="default: the figure's seed"
+    )
+    p_run.add_argument("--scale", type=float, default=None)
+    p_run.add_argument("--horizon", type=float, default=None)
+    p_run.add_argument("--updates-per-min", type=float, default=None)
+    p_run.add_argument(
+        "--num-vips", type=int, default=None, help="fig16 only: VIPs to shard"
+    )
+    p_run.add_argument(
+        "--fingerprint-out",
+        metavar="PATH",
+        help="write the merged registry fingerprint to PATH",
+    )
+    p_run.set_defaults(fn=_cmd_run)
 
     return parser
 

@@ -93,7 +93,7 @@ class SilkRoadSwitch(LoadBalancer):
             num_hashes=config.transit_hash_ways,
             metrics=self.metrics.scope("transit_table"),
         )
-        self.meters = MeterBank()
+        self.meters = MeterBank(metrics=self.metrics.scope("meters"))
         self.learning = LearningFilter(
             capacity=config.learning_filter_capacity,
             timeout=config.learning_filter_timeout_s,

@@ -67,6 +67,27 @@ class AuditReport:
         if self.violations:
             raise InvariantViolation(self.violations[0])
 
+    def merge(self, other: "AuditReport", label: Optional[str] = None) -> "AuditReport":
+        """Fold another audit into this one, in place; returns ``self``.
+
+        The sharded replay engine audits every worker's switch
+        independently and merges the reports in shard order, so the fleet
+        view keeps each violation's text (prefixed with ``label``, e.g.
+        ``shard-3``) and the total number of checks that ran.
+        """
+        prefix = f"[{label}] " if label else ""
+        self.violations.extend(prefix + v for v in other.violations)
+        self.checks_run += other.checks_run
+        return self
+
+    @classmethod
+    def merged(cls, reports: Iterable["AuditReport"]) -> "AuditReport":
+        """A fresh report holding the fold of ``reports`` in order."""
+        out = cls()
+        for report in reports:
+            out.merge(report)
+        return out
+
     def __str__(self) -> str:
         if self.ok:
             return f"audit ok ({self.checks_run} checks)"

@@ -27,6 +27,7 @@ from . import (  # noqa: F401
     latency,
     meter_accuracy,
     multi_digest,
+    parallel,
     switch_failure,
     table1,
     table2,
@@ -54,6 +55,7 @@ __all__ = [
     "latency",
     "meter_accuracy",
     "multi_digest",
+    "parallel",
     "switch_failure",
     "table1",
     "table2",

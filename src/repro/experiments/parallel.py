@@ -1,0 +1,595 @@
+"""Sharded parallel experiment replay with lossless metric merge.
+
+The paper's evaluation replays hour-long PoP traces; at laptop scale a
+single-process replay is the wall-clock bottleneck of the whole harness.
+This module splits one seeded experiment into **deterministic shards** —
+by (cluster, VIP) slice for the workload replays, by grid cell for the
+TransitTable sweep, by derived seed for chaos runs — farms the shards out
+to ``spawn``-ed worker processes, and merges the per-shard
+:class:`~repro.obs.metrics.MetricRegistry` and
+:class:`~repro.core.verify.AuditReport` objects back into one fleet view.
+
+Design invariants, asserted by the test suite:
+
+* **Shard layout is fixed by ``num_shards``**, never by ``workers``: the
+  worker count only sizes the process pool.  An N-shard run therefore
+  produces bit-identical merged fingerprints whether it ran on 1 or 8
+  workers, and repeated runs with the same seeds are bit-identical.
+* **Per-shard seeds are derived**, not shared: shard *i* replays with
+  ``derive_shard_seed(seed, i)`` (a splitmix64 mix), so shards are
+  statistically independent slices of the same experiment, and the union
+  is statistically equivalent to — not a permutation of — the unsharded
+  run.
+* **Merges happen in shard order** (ascending ``shard_id``), so float
+  accumulation is reproducible regardless of worker completion order.
+* **Workers are expendable**: a crashed or failing shard is retried once
+  (fresh process), then reported in ``failed`` without sinking the run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import multiprocessing.connection
+import os
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..asicsim.hashing import mix64
+from ..core.silkroad import SilkRoadSwitch
+from ..core.verify import AuditReport, audit_switch
+from ..obs.metrics import Gauge, Histogram, MetricRegistry
+
+__all__ = [
+    "FailedShard",
+    "ShardResult",
+    "ShardSpec",
+    "ShardedRunResult",
+    "derive_shard_seed",
+    "make_shards",
+    "run_sharded",
+]
+
+#: Salt so shard seeds never collide with the base seed itself.
+_SHARD_SEED_SALT = 0x51AB_D5EE_D000_0000
+
+
+def derive_shard_seed(seed: int, shard_id: int) -> int:
+    """A well-separated 63-bit seed for one shard of a seeded run.
+
+    Splitmix64-mixes ``(seed, shard_id)`` so neighbouring shards (and
+    neighbouring base seeds) get uncorrelated generator streams — the
+    correlated-collision hazard the single-pass hash pipeline work already
+    established for table hashing applies equally to workload RNGs.
+    """
+    if shard_id < 0:
+        raise ValueError("shard_id must be non-negative")
+    return mix64(shard_id ^ _SHARD_SEED_SALT, seed) >> 1
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a sharded run; picklable, fully self-describing.
+
+    ``params`` is a flat tuple of ``(key, value)`` pairs (primitives and
+    tuples only) so the spec survives the spawn pickle boundary and can be
+    hashed/compared in tests.
+    """
+
+    task: str
+    shard_id: int
+    num_shards: int
+    seed: int
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def param_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+
+@dataclass
+class ShardResult:
+    """What one worker sends back: mergeable state only, no live objects."""
+
+    shard_id: int
+    registry: MetricRegistry
+    audit: AuditReport
+    counters: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FailedShard:
+    shard_id: int
+    reason: str
+
+
+@dataclass
+class ShardedRunResult:
+    """The merged fleet view of one sharded run."""
+
+    task: str
+    seed: int
+    num_shards: int
+    workers: int
+    shards: List[ShardResult]
+    failed: List[FailedShard]
+    registry: MetricRegistry
+    audit: AuditReport
+    counters: Dict[str, float]
+
+    @property
+    def fingerprint(self) -> str:
+        return self.registry.fingerprint()
+
+    @property
+    def ok(self) -> bool:
+        return self.audit.ok and not self.failed
+
+    def summary(self) -> str:
+        state = "ok" if self.ok else "FAILED"
+        failed = (
+            f", {len(self.failed)} shards failed" if self.failed else ""
+        )
+        return (
+            f"{self.task}[seed={self.seed}]: {len(self.shards)}/"
+            f"{self.num_shards} shards on {self.workers} workers {state}"
+            f" ({self.audit.checks_run} checks, "
+            f"{len(self.audit.violations)} violations{failed}), "
+            f"fingerprint {self.fingerprint[:16]}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Shard bodies (run inside worker processes; must be module-level so the
+# spawn start method can re-import them)
+# ----------------------------------------------------------------------
+
+
+def _fold_prefixed(
+    target: MetricRegistry, source: MetricRegistry, prefix: str
+) -> None:
+    """Fold ``source`` into ``target`` under a name prefix.
+
+    Used to keep two systems' switches (e.g. ``silkroad`` and
+    ``silkroad-no-transittable``) from colliding on identical instrument
+    names inside one shard registry.
+    """
+    for name, theirs in source.instruments():
+        pname = f"{prefix}.{name}"
+        if isinstance(theirs, Histogram):
+            ours = target.histogram(pname, buckets=theirs.bounds, help=theirs.help)
+        elif isinstance(theirs, Gauge):
+            ours = target.gauge(pname, help=theirs.help)
+        else:
+            ours = target.counter(pname, help=theirs.help)
+        ours.merge_from(theirs)
+
+
+def _shard_registry(spec: ShardSpec) -> MetricRegistry:
+    return MetricRegistry(
+        labels={"task": spec.task, "shard": str(spec.shard_id)}
+    )
+
+
+def _run_fig16_shard(spec: ShardSpec) -> ShardResult:
+    """Replay this shard's VIP slice of a Figure-16-style workload.
+
+    Both workload generators take *total* rates that they split across
+    VIPs, so a shard holding ``k`` of ``V`` VIPs scales both the arrival
+    knob (``scale``) and the update rate by ``k/V`` — the union of all
+    shards then carries the full experiment's load.
+    """
+    from . import fig16
+    from .common import build_workload
+
+    p = spec.param_dict()
+    total_vips = int(p["total_vips"])
+    shard_vips = int(p["shard_vips"])
+    frac = shard_vips / total_vips
+    systems = tuple(p.get("systems", ("duet", "silkroad-no-transittable", "silkroad")))
+    workload = build_workload(
+        updates_per_min=float(p.get("updates_per_min", 10.0)) * frac,
+        scale=float(p.get("scale", 1.0)) * frac,
+        seed=spec.seed,
+        horizon_s=float(p.get("horizon_s", 120.0)),
+        warmup_s=float(p.get("warmup_s", 20.0)),
+        num_vips=shard_vips,
+    )
+    factories = fig16.default_systems(
+        insertion_rate_per_s=float(p.get("insertion_rate_per_s", 20_000.0))
+    )
+    registry = _shard_registry(spec)
+    audit = AuditReport()
+    counters: Dict[str, float] = {}
+    for name in systems:
+        report, conns, lb = workload.replay(factories[name])
+        scope = registry.scope(name)
+        scope.counter(
+            "pcc_violations_total", help="connections that broke PCC"
+        ).inc(report.pcc_violations)
+        scope.counter(
+            "measured_connections_total", help="connections in the window"
+        ).inc(report.measured_connections)
+        scope.counter(
+            "connections_total", help="all replayed connections"
+        ).inc(report.total_connections)
+        counters[f"{name}.pcc_violations"] = float(report.pcc_violations)
+        counters[f"{name}.measured_connections"] = float(
+            report.measured_connections
+        )
+        if isinstance(lb, SilkRoadSwitch):
+            audit.merge(audit_switch(lb, connections=conns), label=name)
+            _fold_prefixed(registry, lb.metrics, name)
+    return ShardResult(
+        shard_id=spec.shard_id, registry=registry, audit=audit, counters=counters
+    )
+
+
+def _run_fig18_shard(spec: ShardSpec) -> ShardResult:
+    """Run this shard's cells of the (filter size x timeout) grid.
+
+    Each cell is seeded by its index in the *full* grid, so the merged
+    result does not depend on how cells were grouped into shards.
+    """
+    from .common import build_workload, silkroad_factory
+
+    p = spec.param_dict()
+    registry = _shard_registry(spec)
+    audit = AuditReport()
+    counters: Dict[str, float] = {}
+    for cell_index, size, timeout_s in p["cells"]:
+        workload = build_workload(
+            updates_per_min=float(p.get("updates_per_min", 30.0)),
+            scale=float(p.get("scale", 1.0)),
+            seed=derive_shard_seed(spec.seed, 1_000 + int(cell_index)),
+            horizon_s=float(p.get("horizon_s", 60.0)),
+            warmup_s=float(p.get("warmup_s", 10.0)),
+            arrival_scale=float(p.get("arrival_scale", 16.0)),
+            num_vips=int(p.get("num_vips", 2)),
+        )
+        factory = silkroad_factory(
+            use_transit_table=True,
+            transit_table_bytes=int(size),
+            learning_timeout_s=float(timeout_s),
+            insertion_rate_per_s=float(p.get("insertion_rate_per_s", 50_000.0)),
+            conn_table_capacity=int(p.get("conn_table_capacity", 600_000)),
+            name=f"silkroad-{int(size)}B",
+        )
+        report, conns, lb = workload.replay(factory)
+        cell = f"cell{int(cell_index):02d}"
+        scope = registry.scope(cell)
+        scope.counter(
+            "pcc_violations_total", help="connections that broke PCC"
+        ).inc(report.pcc_violations)
+        scope.counter(
+            "transit_fp_adopted_total", help="old-version adoptions via Bloom FP"
+        ).inc(float(lb.transit_fp_adopted))
+        counters[f"{cell}.pcc_violations"] = float(report.pcc_violations)
+        counters[f"{cell}.transit_fp_adopted"] = float(lb.transit_fp_adopted)
+        audit.merge(audit_switch(lb, connections=conns), label=cell)
+        _fold_prefixed(registry, lb.metrics, cell)
+    return ShardResult(
+        shard_id=spec.shard_id, registry=registry, audit=audit, counters=counters
+    )
+
+
+def _run_chaos_shard(spec: ShardSpec) -> ShardResult:
+    """One independent chaos run under this shard's derived seed."""
+    from ..faults.chaos import run_chaos
+
+    p = spec.param_dict()
+    result = run_chaos(
+        seed=spec.seed,
+        scale=float(p.get("scale", 0.05)),
+        horizon_s=float(p.get("horizon_s", 20.0)),
+        warmup_s=float(p.get("warmup_s", 2.0)),
+        updates_per_min=float(p.get("updates_per_min", 60.0)),
+        faults_per_min=float(p.get("faults_per_min", 30.0)),
+    )
+    registry = _shard_registry(spec)
+    scope = registry.scope("chaos")
+    scope.counter("faults_injected_total", help="faults in the plan").inc(
+        len(result.plan)
+    )
+    scope.counter(
+        "pcc_violations_total", help="connections that broke PCC"
+    ).inc(result.report.pcc_violations)
+    scope.counter(
+        "overdue_updates_total", help="updates that overran the watchdog"
+    ).inc(result.overdue_updates)
+    registry.merge(result.switch.metrics)
+    counters = {
+        "faults_injected": float(len(result.plan)),
+        "pcc_violations": float(result.report.pcc_violations),
+        "overdue_updates": float(result.overdue_updates),
+    }
+    return ShardResult(
+        shard_id=spec.shard_id,
+        registry=registry,
+        audit=result.audit,
+        counters=counters,
+    )
+
+
+def _run_crashy_shard(spec: ShardSpec) -> ShardResult:
+    """Test-only task exercising the fault-tolerance path.
+
+    ``crash_once_marker`` names a file: on the first attempt the worker
+    creates it and dies without a word (``os._exit``), on the retry it
+    succeeds — so tests can pin the retry-once contract.  With
+    ``always_fail`` the shard raises every time and must end up in
+    ``failed``.
+    """
+    p = spec.param_dict()
+    if p.get("always_fail"):
+        raise RuntimeError(f"shard {spec.shard_id} told to fail")
+    marker = p.get("crash_once_marker")
+    if marker and not os.path.exists(str(marker)):
+        with open(str(marker), "w") as fh:
+            fh.write(str(spec.shard_id))
+        os._exit(3)
+    registry = _shard_registry(spec)
+    registry.counter("crashy.completions_total").inc()
+    return ShardResult(
+        shard_id=spec.shard_id,
+        registry=registry,
+        audit=AuditReport(),
+        counters={"completions": 1.0},
+    )
+
+
+_TASKS: Dict[str, Callable[[ShardSpec], ShardResult]] = {
+    "fig16": _run_fig16_shard,
+    "fig18": _run_fig18_shard,
+    "chaos": _run_chaos_shard,
+    "_crashy": _run_crashy_shard,
+}
+
+
+def run_shard(spec: ShardSpec) -> ShardResult:
+    """Execute one shard in the current process."""
+    try:
+        body = _TASKS[spec.task]
+    except KeyError:
+        raise ValueError(
+            f"unknown shard task {spec.task!r} (have {sorted(_TASKS)})"
+        ) from None
+    return body(spec)
+
+
+def _worker_main(spec: ShardSpec, conn) -> None:
+    """Spawned worker entrypoint: run one shard, ship the result back."""
+    try:
+        result = run_shard(spec)
+        conn.send(("ok", result))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Shard layout
+# ----------------------------------------------------------------------
+
+
+def _freeze_params(params: Dict[str, object]) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted(params.items()))
+
+
+def make_shards(
+    task: str,
+    num_shards: int,
+    seed: int,
+    params: Optional[Dict[str, object]] = None,
+) -> List[ShardSpec]:
+    """The deterministic shard layout of one run.
+
+    Depends only on ``(task, num_shards, seed, params)`` — never on worker
+    count or machine — which is what makes merged fingerprints comparable
+    across pool sizes.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    if task not in _TASKS:
+        raise ValueError(f"unknown shard task {task!r} (have {sorted(_TASKS)})")
+    params = dict(params or {})
+    specs: List[ShardSpec] = []
+    if task == "fig16":
+        total_vips = int(params.pop("num_vips", 8))
+        if num_shards > total_vips:
+            raise ValueError(
+                f"cannot split {total_vips} VIPs into {num_shards} shards"
+            )
+        base, extra = divmod(total_vips, num_shards)
+        for shard_id in range(num_shards):
+            shard_vips = base + (1 if shard_id < extra else 0)
+            shard_params = dict(
+                params, total_vips=total_vips, shard_vips=shard_vips
+            )
+            specs.append(
+                ShardSpec(
+                    task=task,
+                    shard_id=shard_id,
+                    num_shards=num_shards,
+                    seed=derive_shard_seed(seed, shard_id),
+                    params=_freeze_params(shard_params),
+                )
+            )
+    elif task == "fig18":
+        sizes = tuple(params.pop("sizes", (8, 64, 256)))
+        timeouts = tuple(params.pop("timeouts", (0.5e-3, 5e-3)))
+        cells = [
+            (index, int(size), float(timeout))
+            for index, (timeout, size) in enumerate(
+                (t, s) for t in timeouts for s in sizes
+            )
+        ]
+        if num_shards > len(cells):
+            raise ValueError(
+                f"cannot split {len(cells)} grid cells into {num_shards} shards"
+            )
+        base, extra = divmod(len(cells), num_shards)
+        offset = 0
+        for shard_id in range(num_shards):
+            take = base + (1 if shard_id < extra else 0)
+            shard_params = dict(
+                params, cells=tuple(cells[offset : offset + take])
+            )
+            offset += take
+            specs.append(
+                ShardSpec(
+                    task=task,
+                    shard_id=shard_id,
+                    num_shards=num_shards,
+                    seed=derive_shard_seed(seed, shard_id),
+                    params=_freeze_params(shard_params),
+                )
+            )
+    else:  # chaos and test tasks: one derived seed per shard
+        for shard_id in range(num_shards):
+            specs.append(
+                ShardSpec(
+                    task=task,
+                    shard_id=shard_id,
+                    num_shards=num_shards,
+                    seed=derive_shard_seed(seed, shard_id),
+                    params=_freeze_params(params),
+                )
+            )
+    return specs
+
+
+# ----------------------------------------------------------------------
+# The driver
+# ----------------------------------------------------------------------
+
+
+def _run_serial(
+    specs: Sequence[ShardSpec], retries: int
+) -> Tuple[List[ShardResult], List[FailedShard]]:
+    results: List[ShardResult] = []
+    failed: List[FailedShard] = []
+    for spec in specs:
+        last_error = "unknown error"
+        for _attempt in range(retries + 1):
+            try:
+                results.append(run_shard(spec))
+                break
+            except Exception:
+                last_error = traceback.format_exc()
+        else:
+            failed.append(FailedShard(spec.shard_id, last_error))
+    return results, failed
+
+
+def _run_parallel(
+    specs: Sequence[ShardSpec], workers: int, retries: int
+) -> Tuple[List[ShardResult], List[FailedShard]]:
+    """Run shards on a pool of spawned processes, one process per attempt.
+
+    ``spawn`` (not fork) so workers import a pristine interpreter — the
+    same environment the determinism tests pin — and a crashed worker
+    cannot corrupt shared state.  Each attempt gets a fresh process; a
+    shard whose worker dies (no result on the pipe) or raises is retried
+    ``retries`` times, then recorded as failed.
+    """
+    ctx = mp.get_context("spawn")
+    pending = deque(specs)
+    attempts: Dict[int, int] = {spec.shard_id: 0 for spec in specs}
+    live: Dict[object, Tuple[ShardSpec, object, object]] = {}
+    results: List[ShardResult] = []
+    failed: List[FailedShard] = []
+    while pending or live:
+        while pending and len(live) < workers:
+            spec = pending.popleft()
+            recv_end, send_end = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_worker_main, args=(spec, send_end), daemon=True
+            )
+            proc.start()
+            send_end.close()
+            live[proc.sentinel] = (spec, proc, recv_end)
+        ready = mp.connection.wait(list(live))
+        for sentinel in ready:
+            spec, proc, recv_end = live.pop(sentinel)
+            payload = None
+            try:
+                if recv_end.poll():
+                    payload = recv_end.recv()
+            except (EOFError, OSError):
+                payload = None
+            finally:
+                recv_end.close()
+            proc.join()
+            if payload is not None and payload[0] == "ok":
+                results.append(payload[1])
+                continue
+            attempts[spec.shard_id] += 1
+            if attempts[spec.shard_id] <= retries:
+                pending.append(spec)
+            else:
+                reason = (
+                    payload[1]
+                    if payload is not None
+                    else f"worker exited with code {proc.exitcode}"
+                )
+                failed.append(FailedShard(spec.shard_id, reason))
+    return results, failed
+
+
+def run_sharded(
+    task: str,
+    num_shards: int = 4,
+    workers: Optional[int] = None,
+    seed: int = 7,
+    retries: int = 1,
+    params: Optional[Dict[str, object]] = None,
+) -> ShardedRunResult:
+    """Run one experiment as ``num_shards`` deterministic shards.
+
+    ``workers`` sizes the process pool (default: ``min(num_shards,``
+    CPU count``)``); ``workers <= 1`` runs every shard in-process, which
+    produces byte-identical results to any parallel pool because the
+    shard layout and merge order are fixed by ``num_shards`` alone.
+    """
+    specs = make_shards(task, num_shards=num_shards, seed=seed, params=params)
+    if workers is None:
+        workers = min(num_shards, os.cpu_count() or 1)
+    if workers <= 1:
+        results, failed = _run_serial(specs, retries)
+    else:
+        results, failed = _run_parallel(specs, workers, retries)
+    results.sort(key=lambda r: r.shard_id)
+    failed.sort(key=lambda f: f.shard_id)
+    registry = MetricRegistry.merged(
+        (r.registry for r in results),
+        labels={"task": task, "seed": str(seed)},
+    )
+    registry.counter(
+        "parallel.shards_total", help="shards this run was split into"
+    ).inc(num_shards)
+    registry.counter(
+        "parallel.shards_failed_total", help="shards that failed after retry"
+    ).inc(len(failed))
+    audit = AuditReport()
+    for result in results:
+        audit.merge(result.audit, label=f"shard-{result.shard_id}")
+    counters: Dict[str, float] = {}
+    for result in results:
+        for key, value in result.counters.items():
+            counters[key] = counters.get(key, 0.0) + value
+    return ShardedRunResult(
+        task=task,
+        seed=seed,
+        num_shards=num_shards,
+        workers=workers,
+        shards=results,
+        failed=failed,
+        registry=registry,
+        audit=audit,
+        counters=counters,
+    )

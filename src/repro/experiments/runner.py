@@ -109,6 +109,52 @@ def run_all(names=None, stream=None, telemetry=None) -> str:
     return "\n\n".join(sections)
 
 
+#: Default base seeds of the shardable experiments (match the figures').
+PARALLEL_TASKS: Dict[str, int] = {"fig16": 16, "fig18": 18, "chaos": 7}
+
+
+def run_parallel(
+    task: str,
+    workers=None,
+    num_shards: int = 4,
+    seed=None,
+    params=None,
+    stream=None,
+) -> str:
+    """Run one shardable experiment via the sharded replay engine.
+
+    Returns the printable fleet summary (and streams it, like
+    :func:`run_all`); raises ``KeyError`` for tasks the engine does not
+    shard — ``PARALLEL_TASKS`` lists the supported ones with their default
+    seeds.
+    """
+    from .parallel import run_sharded
+
+    if task not in PARALLEL_TASKS:
+        raise KeyError(
+            f"task {task!r} is not shardable (have {sorted(PARALLEL_TASKS)})"
+        )
+    if seed is None:
+        seed = PARALLEL_TASKS[task]
+    start = time.time()
+    result = run_sharded(
+        task, num_shards=num_shards, workers=workers, seed=seed, params=params
+    )
+    elapsed = time.time() - start
+    lines = [f"==== {task} sharded ({elapsed:.1f}s) ====", result.summary()]
+    for key in sorted(result.counters):
+        lines.append(f"  {key}: {result.counters[key]:g}")
+    for failure in result.failed:
+        first = failure.reason.strip().splitlines()[-1] if failure.reason else ""
+        lines.append(f"  shard {failure.shard_id} FAILED: {first}")
+    if not result.audit.ok:
+        lines.append(f"  {result.audit}")
+    body = "\n".join(lines)
+    if stream is not None:
+        print(body, file=stream, flush=True)
+    return body
+
+
 def main() -> None:
     import sys
 

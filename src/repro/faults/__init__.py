@@ -13,10 +13,12 @@ docs/robustness.md) can be exercised reproducibly:
 * :class:`FaultInjector` — replays a plan against a switch through the
   shared simulation :class:`~repro.netsim.events.EventQueue`;
 * :func:`run_chaos` / :class:`ChaosResult` — the one-call chaos harness:
-  workload + faults + invariant audit + metrics fingerprint.
+  workload + faults + invariant audit + metrics fingerprint;
+* :func:`run_chaos_sharded` — the same harness fanned out over derived
+  seeds by the sharded replay engine, merged into one fleet view.
 """
 
-from .chaos import ChaosResult, chaos_config, run_chaos
+from .chaos import ChaosResult, chaos_config, run_chaos, run_chaos_sharded
 from .injector import FaultInjector
 from .plan import ALL_KINDS, FaultEvent, FaultKind, FaultPlan
 
@@ -29,4 +31,5 @@ __all__ = [
     "FaultPlan",
     "chaos_config",
     "run_chaos",
+    "run_chaos_sharded",
 ]

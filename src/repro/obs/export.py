@@ -140,6 +140,9 @@ def registry_to_dict(registry: MetricRegistry) -> Dict[str, object]:
     return {
         "namespace": registry.namespace,
         "labels": dict(registry.labels),
+        # The exact-state digest, so exported telemetry carries the run's
+        # identity and sharded runs can be compared without re-replaying.
+        "fingerprint": registry.fingerprint(),
         "metrics": metrics,
     }
 

@@ -18,6 +18,14 @@ enabled in the simulator hot path:
 Instruments are get-or-create: asking a registry twice for the same name
 returns the same object, so components may re-wire (e.g. a switch re-bound
 to a new event queue) without losing or double-registering state.
+
+Registries are also **mergeable**: the sharded replay engine
+(:mod:`repro.experiments.parallel`) runs one registry per worker process
+and folds them into a single fleet view with :meth:`MetricRegistry.merge`
+— counters and stored gauges add, histograms combine bucket-by-bucket, and
+P² quantile estimators merge by count-weighted marker interpolation.  Both
+sides of a merge must therefore be picklable; callback gauges serialize as
+their sampled value (the callback cannot cross a process boundary).
 """
 
 from __future__ import annotations
@@ -66,6 +74,10 @@ class Counter:
     def inc(self, amount: float = 1.0) -> None:
         self.value += amount
 
+    def merge_from(self, other: "Counter") -> None:
+        """Fold another shard's total into this one (totals add)."""
+        self.value += other.value
+
     def reset(self) -> None:
         self.value = 0.0
 
@@ -100,10 +112,34 @@ class Gauge:
             return float(self._fn())
         return self._value
 
+    def merge_from(self, other: "Gauge") -> None:
+        """Fold another shard's gauge into this one.
+
+        Gauges add: the instruments this registry gauges (occupancies,
+        backlogs, per-shard durations) are extensive quantities, so the
+        fleet value is the sum over shards.  A callback gauge on the
+        receiving side is materialized first — the merged registry is a
+        snapshot, no longer bound to live components.
+        """
+        merged = self.value + other.value
+        self._fn = None
+        self._value = merged
+
     def reset(self) -> None:
         # Callback gauges keep their source of truth; stored gauges zero.
         if self._fn is None:
             self._value = 0.0
+
+    def __getstate__(self):
+        # Callback gauges cannot cross a process boundary; pickle the
+        # sampled value instead (the sharded replay workers rely on this).
+        return {"name": self.name, "help": self.help, "value": self.value}
+
+    def __setstate__(self, state) -> None:
+        self.name = state["name"]
+        self.help = state["help"]
+        self._value = float(state["value"])
+        self._fn = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Gauge({self.name}={self.value})"
@@ -200,6 +236,49 @@ class P2Quantile:
         lo = int(rank)
         hi = min(lo + 1, len(ordered) - 1)
         return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
+
+    def merge_from(self, other: "P2Quantile") -> None:
+        """Fold another estimator of the *same* quantile into this one.
+
+        P² keeps five markers, not the observations, so an exact merge is
+        impossible; shards of one seeded workload are statistically
+        exchangeable slices, for which count-weighting the corresponding
+        marker heights (and adding marker positions) is the standard
+        approximation.  Sides still in their exact first-five phase replay
+        their raw observations, so small shards merge losslessly.
+        """
+        if self.p != other.p:
+            raise ValueError(
+                f"cannot merge p={other.p} estimator into p={self.p}"
+            )
+        if other.count == 0:
+            return
+        if not other._q:
+            # Other is still exact: replay its raw observations.
+            for x in other._initial:
+                self.observe(x)
+            return
+        if not self._q:
+            # Adopt other's converged marker state, then replay our own
+            # exact observations on top of it.
+            pending = list(self._initial)
+            self._initial = []
+            self._q = list(other._q)
+            self._n = list(other._n)
+            self._np = list(other._np)
+            self.count = other.count
+            for x in pending:
+                self.observe(x)
+            return
+        ours, theirs = self.count, other.count
+        total = ours + theirs
+        self._q = [
+            (a * ours + b * theirs) / total
+            for a, b in zip(self._q, other._q)
+        ]
+        self._n = [a + b for a, b in zip(self._n, other._n)]
+        self._np = [a + b for a, b in zip(self._np, other._np)]
+        self.count = total
 
     def reset(self) -> None:
         self._initial.clear()
@@ -300,6 +379,36 @@ class Histogram:
         out.append((float("inf"), self.count))
         return out
 
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another shard's histogram into this one.
+
+        Bucket layouts must match (both sides come from the same
+        instrumentation code, so a mismatch is a wiring bug, not data).
+        Bucket counts, sum and count add exactly; min/max combine; P²
+        estimators merge approximately (see :meth:`P2Quantile.merge_from`).
+        Quantiles tracked by only one side stay exact on that side.
+        """
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"histogram {self.name!r}: bucket bounds differ "
+                f"({self.bounds} vs {other.bounds})"
+            )
+        self.bucket_counts = [
+            a + b for a, b in zip(self.bucket_counts, other.bucket_counts)
+        ]
+        self.sum += other.sum
+        self.count += other.count
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for p, theirs in other._estimators.items():
+            ours = self._estimators.get(p)
+            if ours is None:
+                self._estimators[p] = estimator = P2Quantile(p)
+                estimator.merge_from(theirs)
+            else:
+                ours.merge_from(theirs)
+        self._est_tuple = tuple(self._estimators.values())
+
     def reset(self) -> None:
         self.bucket_counts = [0] * (len(self.bounds) + 1)
         self.sum = 0.0
@@ -393,6 +502,50 @@ class MetricRegistry:
         """
         for instrument in self._instruments.values():
             instrument.reset()
+
+    def merge(self, other: "MetricRegistry") -> "MetricRegistry":
+        """Fold another registry into this one, in place; returns ``self``.
+
+        Instruments are matched by name: counters and gauges add,
+        histograms combine bucket-by-bucket (see the ``merge_from``
+        methods), and instruments present only in ``other`` are copied in
+        as detached snapshots.  Merging is associative, so the sharded
+        replay engine folds worker registries in shard order and the
+        result — and its :meth:`fingerprint` — is independent of which
+        worker finished first.  A name registered with different
+        instrument types on the two sides raises ``TypeError``.
+        """
+        for name, theirs in other.instruments():
+            ours = self._instruments.get(name)
+            if ours is None:
+                # Register a zeroed twin, then fold; copying via the merge
+                # path detaches callback gauges and clones P2 state.
+                if isinstance(theirs, Histogram):
+                    ours = self.histogram(name, buckets=theirs.bounds, help=theirs.help)
+                elif isinstance(theirs, Gauge):
+                    ours = self.gauge(name, help=theirs.help)
+                else:
+                    ours = self.counter(name, help=theirs.help)
+            if type(ours) is not type(theirs):
+                raise TypeError(
+                    f"metric {name!r} is a {type(ours).__name__} here but a "
+                    f"{type(theirs).__name__} in the registry being merged"
+                )
+            ours.merge_from(theirs)
+        return self
+
+    @classmethod
+    def merged(
+        cls,
+        registries: Iterable["MetricRegistry"],
+        namespace: str = "repro",
+        labels: Optional[Dict[str, str]] = None,
+    ) -> "MetricRegistry":
+        """A fresh registry holding the fold of ``registries`` in order."""
+        out = cls(namespace=namespace, labels=labels)
+        for registry in registries:
+            out.merge(registry)
+        return out
 
     def snapshot(self) -> Dict[str, float]:
         """Flat name -> value view (histograms contribute count/sum/mean)."""

@@ -11,6 +11,7 @@ and enough for the reproduction's needs.
 from __future__ import annotations
 
 import struct
+from contextlib import contextmanager
 from pathlib import Path
 from typing import BinaryIO, Iterable, List, Tuple, Union
 
@@ -28,16 +29,27 @@ class PcapError(ValueError):
     """Raised on malformed capture files."""
 
 
+@contextmanager
 def _open_for(target: PathOrFile, mode: str):
+    """Yield a binary handle for ``target``; close it iff we opened it.
+
+    A context manager so the handle provably closes on every exit path —
+    including a :class:`PcapError` raised mid-parse.  Caller-supplied file
+    objects stay open (the caller owns their lifecycle).
+    """
     if isinstance(target, (str, Path)):
-        return open(target, mode), True
-    return target, False
+        handle = open(target, mode)
+        try:
+            yield handle
+        finally:
+            handle.close()
+    else:
+        yield target
 
 
 def write_pcap(target: PathOrFile, frames: Iterable[TimedFrame]) -> int:
     """Write ``(timestamp, frame)`` pairs; returns the frame count."""
-    handle, owned = _open_for(target, "wb")
-    try:
+    with _open_for(target, "wb") as handle:
         handle.write(
             struct.pack(
                 "<IHHiIII",
@@ -63,15 +75,11 @@ def write_pcap(target: PathOrFile, frames: Iterable[TimedFrame]) -> int:
             handle.write(frame)
             count += 1
         return count
-    finally:
-        if owned:
-            handle.close()
 
 
 def read_pcap(source: PathOrFile) -> List[TimedFrame]:
     """Read every frame of a classic pcap file."""
-    handle, owned = _open_for(source, "rb")
-    try:
+    with _open_for(source, "rb") as handle:
         header = handle.read(24)
         if len(header) < 24:
             raise PcapError("truncated pcap global header")
@@ -100,6 +108,3 @@ def read_pcap(source: PathOrFile) -> List[TimedFrame]:
                 raise PcapError("truncated pcap record body")
             frames.append((seconds + micros / 1e6, data))
         return frames
-    finally:
-        if owned:
-            handle.close()

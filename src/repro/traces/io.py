@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import csv
 import io
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterable, List, Sequence, TextIO, Union
 
@@ -50,10 +51,24 @@ class TraceFormatError(ValueError):
     """Raised on malformed trace files."""
 
 
+@contextmanager
 def _open_for(target: PathOrFile, mode: str):
+    """Yield a file handle for ``target``; close it iff we opened it.
+
+    A context manager rather than a ``(handle, owned)`` pair so the handle
+    provably closes on *every* exit path — including a
+    :class:`TraceFormatError` raised mid-parse — without each reader and
+    writer re-implementing the try/finally dance.  Caller-supplied file
+    objects stay open (the caller owns their lifecycle).
+    """
     if isinstance(target, (str, Path)):
-        return open(target, mode, newline=""), True
-    return target, False
+        handle = open(target, mode, newline="")
+        try:
+            yield handle
+        finally:
+            handle.close()
+    else:
+        yield target
 
 
 # ----------------------------------------------------------------------
@@ -63,8 +78,7 @@ def _open_for(target: PathOrFile, mode: str):
 
 def dump_fleet(profiles: Sequence[ClusterProfile], target: PathOrFile) -> None:
     """Write fleet profiles as CSV."""
-    handle, owned = _open_for(target, "w")
-    try:
+    with _open_for(target, "w") as handle:
         writer = csv.writer(handle)
         writer.writerow(FLEET_COLUMNS)
         for p in profiles:
@@ -85,16 +99,12 @@ def dump_fleet(profiles: Sequence[ClusterProfile], target: PathOrFile) -> None:
                     int(p.ipv6),
                 ]
             )
-    finally:
-        if owned:
-            handle.close()
 
 
 def load_fleet(source: PathOrFile) -> List[ClusterProfile]:
     """Read fleet profiles from CSV (as written by :func:`dump_fleet`,
     or hand-built from an operator's own measurements)."""
-    handle, owned = _open_for(source, "r")
-    try:
+    with _open_for(source, "r") as handle:
         reader = csv.DictReader(handle)
         missing = set(FLEET_COLUMNS) - set(reader.fieldnames or ())
         if missing:
@@ -126,9 +136,6 @@ def load_fleet(source: PathOrFile) -> List[ClusterProfile]:
             except (KeyError, ValueError) as exc:
                 raise TraceFormatError(f"bad fleet row at line {line_no}: {exc}") from exc
         return profiles
-    finally:
-        if owned:
-            handle.close()
 
 
 # ----------------------------------------------------------------------
@@ -138,8 +145,7 @@ def load_fleet(source: PathOrFile) -> List[ClusterProfile]:
 
 def dump_updates(events: Sequence[UpdateEvent], target: PathOrFile) -> None:
     """Write a DIP-pool update stream as CSV."""
-    handle, owned = _open_for(target, "w")
-    try:
+    with _open_for(target, "w") as handle:
         writer = csv.writer(handle)
         writer.writerow(UPDATE_COLUMNS)
         for event in events:
@@ -152,15 +158,11 @@ def dump_updates(events: Sequence[UpdateEvent], target: PathOrFile) -> None:
                     event.cause.value,
                 ]
             )
-    finally:
-        if owned:
-            handle.close()
 
 
 def load_updates(source: PathOrFile) -> List[UpdateEvent]:
     """Read a DIP-pool update stream from CSV."""
-    handle, owned = _open_for(source, "r")
-    try:
+    with _open_for(source, "r") as handle:
         reader = csv.DictReader(handle)
         missing = set(UPDATE_COLUMNS) - set(reader.fieldnames or ())
         if missing:
@@ -183,6 +185,3 @@ def load_updates(source: PathOrFile) -> List[UpdateEvent]:
                 ) from exc
         events.sort(key=lambda e: e.time)
         return events
-    finally:
-        if owned:
-            handle.close()

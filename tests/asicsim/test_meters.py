@@ -37,11 +37,43 @@ class TestTrTcmMeter:
         # 1 second at 8000 b/s = 1000 bytes refilled.
         assert meter.mark(1000, 1.0) is Color.GREEN
 
-    def test_time_must_not_go_backwards(self):
-        meter = TrTcmMeter(config())
-        meter.mark(100, 1.0)
-        with pytest.raises(ValueError):
-            meter.mark(100, 0.5)
+    def test_backwards_time_is_clamped_not_fatal(self):
+        # Regression: fault-injected notification delays can reorder meter
+        # updates; an earlier timestamp used to raise ValueError("time went
+        # backwards") and crash the run.  It must clamp instead.
+        meter = TrTcmMeter(config(cir=8000, eir=0, cbs=1000, ebs=0))
+        assert meter.mark(1000, 1.0) is Color.GREEN
+        color = meter.mark(100, 0.5)  # reordered update: no crash
+        assert color in (Color.GREEN, Color.RED)
+        assert meter.time_skew_events == 1
+
+    def test_backwards_time_refills_nothing(self):
+        # The clamp must not mint tokens: with the committed bucket drained
+        # at t=1.0, a reordered mark at t=0.0 sees an empty bucket.
+        meter = TrTcmMeter(config(cir=8000, eir=0, cbs=1000, ebs=0))
+        assert meter.mark(1000, 1.0) is Color.GREEN
+        assert meter.mark(1000, 0.0) is Color.RED
+        assert meter.time_skew_events == 1
+        # The meter clock held at 1.0, so refill resumes from there.
+        assert meter.mark(1000, 2.0) is Color.GREEN
+
+    def test_equal_timestamps_are_not_skew(self):
+        meter = TrTcmMeter(config(cir=8000, eir=8000, cbs=1000, ebs=1000))
+        meter.mark(500, 1.0)
+        meter.mark(500, 1.0)
+        assert meter.time_skew_events == 0
+
+    def test_skew_counter_reaches_registry(self):
+        from repro.obs import MetricRegistry
+
+        registry = MetricRegistry()
+        bank = MeterBank(metrics=registry.scope("meters"))
+        bank.install("vip-1", config())
+        bank.mark("vip-1", 100, 1.0)
+        bank.mark("vip-1", 100, 0.25)
+        bank.mark("vip-1", 100, 0.5)
+        assert bank.time_skew_events == 2
+        assert registry.get("meters.meter_time_skew_total").value == 2.0
 
     def test_rejects_nonpositive_packets(self):
         meter = TrTcmMeter(config())

@@ -1,0 +1,193 @@
+"""Tests for the sharded parallel replay engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.verify import AuditReport
+from repro.experiments.parallel import (
+    ShardSpec,
+    derive_shard_seed,
+    make_shards,
+    run_shard,
+    run_sharded,
+)
+
+#: A small fig16 slice: one system, few VIPs, short horizon — seconds, not
+#: minutes, while still exercising workload build + replay + audit + merge.
+FIG16_PARAMS = dict(
+    num_vips=4,
+    scale=0.1,
+    horizon_s=20.0,
+    warmup_s=3.0,
+    updates_per_min=20.0,
+    systems=("silkroad",),
+)
+
+CHAOS_PARAMS = dict(scale=0.03, horizon_s=10.0, updates_per_min=40.0)
+
+
+class TestSeedDerivation:
+    def test_distinct_per_shard(self):
+        seeds = [derive_shard_seed(7, i) for i in range(64)]
+        assert len(set(seeds)) == 64
+
+    def test_distinct_per_base_seed(self):
+        assert derive_shard_seed(7, 0) != derive_shard_seed(8, 0)
+
+    def test_deterministic(self):
+        assert derive_shard_seed(7, 3) == derive_shard_seed(7, 3)
+
+    def test_rejects_negative_shard(self):
+        with pytest.raises(ValueError):
+            derive_shard_seed(7, -1)
+
+
+class TestShardLayout:
+    def test_layout_is_deterministic(self):
+        a = make_shards("fig16", num_shards=3, seed=16, params=dict(FIG16_PARAMS))
+        b = make_shards("fig16", num_shards=3, seed=16, params=dict(FIG16_PARAMS))
+        assert a == b
+
+    def test_fig16_vips_partition_exactly(self):
+        specs = make_shards(
+            "fig16", num_shards=3, seed=16, params=dict(FIG16_PARAMS)
+        )
+        assert sum(s.param_dict()["shard_vips"] for s in specs) == 4
+        assert all(s.param_dict()["total_vips"] == 4 for s in specs)
+
+    def test_fig16_rejects_more_shards_than_vips(self):
+        with pytest.raises(ValueError):
+            make_shards("fig16", num_shards=5, seed=16, params=dict(FIG16_PARAMS))
+
+    def test_fig18_cells_partition_exactly(self):
+        specs = make_shards(
+            "fig18",
+            num_shards=3,
+            seed=18,
+            params=dict(sizes=(8, 64, 256), timeouts=(0.5e-3, 5e-3)),
+        )
+        cells = [c for s in specs for c in s.param_dict()["cells"]]
+        assert sorted(c[0] for c in cells) == list(range(6))
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            make_shards("nope", num_shards=2, seed=1)
+        with pytest.raises(ValueError):
+            run_shard(ShardSpec(task="nope", shard_id=0, num_shards=1, seed=1))
+
+
+class TestFingerprintEquivalence:
+    """The ISSUE's property: worker count must not move the merged result."""
+
+    def test_fig16_workers4_equals_workers1(self):
+        serial = run_sharded(
+            "fig16", num_shards=4, workers=1, seed=16, params=dict(FIG16_PARAMS)
+        )
+        pooled = run_sharded(
+            "fig16", num_shards=4, workers=4, seed=16, params=dict(FIG16_PARAMS)
+        )
+        assert serial.ok and pooled.ok
+        assert pooled.fingerprint == serial.fingerprint
+        assert pooled.counters == serial.counters
+        assert pooled.audit.checks_run == serial.audit.checks_run
+
+    def test_fig16_repeat_run_is_bit_identical(self):
+        a = run_sharded(
+            "fig16", num_shards=2, workers=1, seed=16, params=dict(FIG16_PARAMS)
+        )
+        b = run_sharded(
+            "fig16", num_shards=2, workers=1, seed=16, params=dict(FIG16_PARAMS)
+        )
+        assert a.fingerprint == b.fingerprint
+
+    def test_chaos_workers2_equals_workers1(self):
+        serial = run_sharded(
+            "chaos", num_shards=2, workers=1, seed=7, params=dict(CHAOS_PARAMS)
+        )
+        pooled = run_sharded(
+            "chaos", num_shards=2, workers=2, seed=7, params=dict(CHAOS_PARAMS)
+        )
+        assert serial.ok and pooled.ok
+        assert pooled.fingerprint == serial.fingerprint
+        assert pooled.counters["faults_injected"] > 0
+
+    def test_different_seed_moves_fingerprint(self):
+        a = run_sharded(
+            "fig16", num_shards=2, workers=1, seed=16, params=dict(FIG16_PARAMS)
+        )
+        b = run_sharded(
+            "fig16", num_shards=2, workers=1, seed=17, params=dict(FIG16_PARAMS)
+        )
+        assert a.fingerprint != b.fingerprint
+
+
+class TestMergedView:
+    def test_shards_carry_audits_and_metrics(self):
+        result = run_sharded(
+            "fig16", num_shards=2, workers=1, seed=16, params=dict(FIG16_PARAMS)
+        )
+        # Each shard audits its switch (8 checks with connections supplied).
+        assert result.audit.checks_run == 16
+        assert "silkroad.pcc_violations_total" in result.registry.names()
+        assert "parallel.shards_total" in result.registry.names()
+        assert result.registry.get("parallel.shards_total").value == 2.0
+        # Switch metrics folded under the system prefix.
+        assert any(
+            name.startswith("silkroad.conn_table.") for name in result.registry.names()
+        )
+
+    def test_audit_merge_labels_violations(self):
+        a = AuditReport(violations=["bad thing"], checks_run=3)
+        b = AuditReport(checks_run=2)
+        b.merge(a, label="shard-1")
+        assert b.violations == ["[shard-1] bad thing"]
+        assert b.checks_run == 5
+        assert not b.ok
+
+    def test_audit_merged_classmethod(self):
+        merged = AuditReport.merged(
+            [AuditReport(checks_run=1), AuditReport(violations=["x"], checks_run=2)]
+        )
+        assert merged.checks_run == 3
+        assert merged.violations == ["x"]
+
+
+class TestFaultTolerance:
+    def test_crashed_shard_is_retried_once_and_recovers(self, tmp_path):
+        marker = tmp_path / "crash-once"
+        result = run_sharded(
+            "_crashy",
+            num_shards=2,
+            workers=2,
+            seed=1,
+            params={"crash_once_marker": str(marker)},
+        )
+        # One shard died on its first attempt (os._exit, no message), was
+        # retried in a fresh process, and succeeded.
+        assert marker.exists()
+        assert not result.failed
+        assert result.counters["completions"] == 2.0
+
+    def test_persistently_failing_shard_is_reported_not_fatal(self):
+        result = run_sharded(
+            "_crashy",
+            num_shards=2,
+            workers=2,
+            seed=1,
+            params={"always_fail": True},
+        )
+        assert len(result.failed) == 2
+        assert not result.ok
+        assert all("told to fail" in f.reason for f in result.failed)
+        assert result.registry.get("parallel.shards_failed_total").value == 2.0
+
+    def test_serial_path_reports_failures_too(self):
+        result = run_sharded(
+            "_crashy",
+            num_shards=2,
+            workers=1,
+            seed=1,
+            params={"always_fail": True},
+        )
+        assert len(result.failed) == 2 and not result.ok

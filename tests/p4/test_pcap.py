@@ -81,3 +81,24 @@ class TestErrors:
         header = struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 113)
         with pytest.raises(PcapError):
             read_pcap(io.BytesIO(header))
+
+
+class TestHandleLifecycle:
+    def test_read_pcap_closes_on_malformed_file(self, tmp_path, monkeypatch):
+        # Regression: a PcapError raised mid-parse must not leak the handle.
+        import repro.p4.pcap as pcap_mod
+
+        handles = []
+        real_open = open
+
+        def tracking_open(*args, **kwargs):
+            handle = real_open(*args, **kwargs)
+            handles.append(handle)
+            return handle
+
+        monkeypatch.setattr(pcap_mod, "open", tracking_open, raising=False)
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 24)  # bad magic
+        with pytest.raises(PcapError):
+            read_pcap(path)
+        assert len(handles) == 1 and handles[0].closed

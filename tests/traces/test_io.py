@@ -92,6 +92,68 @@ class TestUpdateRoundTrip:
         with pytest.raises(TraceFormatError):
             load_updates(io.StringIO("time_s,vip\n"))
 
+class TestHandleLifecycle:
+    """The file handle must close on *every* exit path, including errors.
+
+    ``_open_for`` is a context manager precisely so a
+    :class:`TraceFormatError` raised mid-parse cannot leak the descriptor;
+    these tests pin that by capturing every handle the module opens.
+    """
+
+    @pytest.fixture
+    def opened(self, monkeypatch):
+        import repro.traces.io as trace_io
+
+        handles = []
+        real_open = open
+
+        def tracking_open(*args, **kwargs):
+            handle = real_open(*args, **kwargs)
+            handles.append(handle)
+            return handle
+
+        monkeypatch.setattr(trace_io, "open", tracking_open, raising=False)
+        return handles
+
+    def test_load_fleet_closes_on_malformed_csv(self, tmp_path, opened):
+        path = tmp_path / "bad-fleet.csv"
+        path.write_text("name,kind\npop-0,pop\n")  # missing columns
+        with pytest.raises(TraceFormatError):
+            load_fleet(path)
+        assert len(opened) == 1 and opened[0].closed
+
+    def test_load_fleet_closes_on_bad_row(self, tmp_path, opened):
+        fleet = FleetSynthesizer(seed=11).synthesize()
+        buffer = io.StringIO()
+        dump_fleet(fleet[:1], buffer)
+        path = tmp_path / "bad-row.csv"
+        path.write_text(buffer.getvalue().replace(",pop,", ",not-a-kind,", 1))
+        with pytest.raises(TraceFormatError):
+            load_fleet(path)
+        assert len(opened) == 1 and opened[0].closed
+
+    def test_load_updates_closes_on_malformed_csv(self, tmp_path, opened):
+        path = tmp_path / "bad-updates.csv"
+        path.write_text("time_s,vip,kind,dip,cause\nnot-a-float,x,y,z,w\n")
+        with pytest.raises(TraceFormatError):
+            load_updates(path)
+        assert len(opened) == 1 and opened[0].closed
+
+    def test_dump_and_load_close_on_success(self, tmp_path, opened):
+        fleet = FleetSynthesizer(seed=12).synthesize()
+        path = tmp_path / "fleet.csv"
+        dump_fleet(fleet, path)
+        load_fleet(path)
+        assert len(opened) == 2 and all(h.closed for h in opened)
+
+    def test_caller_supplied_handle_stays_open_on_error(self):
+        buffer = io.StringIO("name,kind\npop-0,pop\n")
+        with pytest.raises(TraceFormatError):
+            load_fleet(buffer)
+        assert not buffer.closed  # caller owns its lifecycle
+
+
+class TestUpdateRoundTripSimulator:
     def test_replayable_through_simulator(self):
         """A dumped+loaded stream drives the simulator identically."""
         from repro.baselines import SoftwareLoadBalancer
