@@ -17,11 +17,17 @@ sharded Figure 16 replay on an N-worker pool and on a single worker, and
 fails if the merged fingerprints differ — the CI guard for the parallel
 engine's bit-identity property.
 
+With ``--obs-out PATH`` it also measures the observability layer's
+overhead (the same replay bare vs with the flight recorder and timeline
+sampler attached) and writes the numbers as JSON — CI uploads this as the
+``BENCH_obs.json`` artifact.
+
 Usage::
 
     python benchmarks/smoke.py                  # compare against baseline
     python benchmarks/smoke.py --write-baseline # record a new baseline
     python benchmarks/smoke.py --workers 2      # also check sharded identity
+    python benchmarks/smoke.py --obs-out BENCH_obs.json
 """
 
 from __future__ import annotations
@@ -154,6 +160,71 @@ MEASUREMENTS = {
 
 
 # ----------------------------------------------------------------------
+# Observability overhead report (--obs-out)
+# ----------------------------------------------------------------------
+
+
+def measure_obs(rounds: int = 3) -> dict:
+    """Bare vs observability-armed replay of the same fig16-style slice.
+
+    Interleaves the two modes and keeps best-of-N of each — the effect
+    being measured (the ISSUE's 15% ceiling) is smaller than scheduler
+    noise on shared runners, so paired minima are the only stable
+    comparison.  Returns the document written to ``BENCH_obs.json``.
+    """
+    from repro.experiments.common import build_workload, silkroad_factory
+    from repro.obs import DEFAULT_RING_SIZE, FlightRecorder, TimelineSampler
+
+    workload_params = dict(
+        updates_per_min=60.0, scale=0.2, seed=16, horizon_s=60.0, warmup_s=5.0
+    )
+    last = {}
+
+    def replay_seconds(armed: bool) -> float:
+        workload = build_workload(**workload_params)
+        attach = None
+        if armed:
+            recorder = FlightRecorder(capacity=DEFAULT_RING_SIZE, source="smoke")
+            sampler_box = []
+
+            def attach(sim, lb):
+                lb.attach_recorder(recorder)
+                sampler = TimelineSampler(lb.metrics, 5.0)
+                sampler.attach(sim.queue, horizon_s=workload.horizon_s)
+                sampler_box.append(sampler)
+
+            last["recorder"] = recorder
+            last["samplers"] = sampler_box
+        t0 = time.perf_counter()
+        workload.replay(silkroad_factory(), attach=attach)
+        return time.perf_counter() - t0
+
+    bare_s = armed_s = float("inf")
+    for _ in range(rounds):
+        bare_s = min(bare_s, replay_seconds(armed=False))
+        armed_s = min(armed_s, replay_seconds(armed=True))
+
+    recorder = last["recorder"]
+    timeline = last["samplers"][0].timeline
+    return {
+        "bare_s": round(bare_s, 4),
+        "armed_s": round(armed_s, 4),
+        "overhead_frac": round(armed_s / bare_s - 1.0, 4),
+        "recorder": recorder.summary(),
+        "timeline": {
+            "epochs": len(timeline),
+            "columns": len(timeline.columns),
+            "fingerprint": timeline.fingerprint(),
+        },
+        "note": (
+            "Best-of-N interleaved wall clock for one fig16-style replay, "
+            "bare vs with flight recorder + timeline sampler attached. "
+            "Regenerate with: python benchmarks/smoke.py --obs-out ..."
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
 # Sharded-replay identity check (--workers N)
 # ----------------------------------------------------------------------
 
@@ -199,10 +270,24 @@ def check_sharded_identity(workers: int) -> bool:
 # ----------------------------------------------------------------------
 
 
-def run(baseline_path: Path, write: bool, tolerance: float, workers: int = 1) -> int:
+def run(
+    baseline_path: Path,
+    write: bool,
+    tolerance: float,
+    workers: int = 1,
+    obs_out: Path = None,
+) -> int:
     if workers > 1 and not check_sharded_identity(workers):
         print("ERROR: sharded replay fingerprint differs from 1-worker run")
         return 3
+
+    if obs_out is not None:
+        doc = measure_obs()
+        obs_out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(
+            f"obs overhead: bare {doc['bare_s']}s, armed {doc['armed_s']}s "
+            f"({doc['overhead_frac']:+.1%}); report written to {obs_out}"
+        )
 
     calibration_s = calibrate()
     print(f"calibration: {calibration_s:.4f}s")
@@ -255,8 +340,18 @@ def main() -> int:
         default=1,
         help="also check sharded-replay fingerprint identity on this pool size",
     )
+    parser.add_argument(
+        "--obs-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="measure observability-layer overhead and write the report here",
+    )
     args = parser.parse_args()
-    return run(args.baseline, args.write_baseline, args.tolerance, args.workers)
+    return run(
+        args.baseline, args.write_baseline, args.tolerance, args.workers,
+        obs_out=args.obs_out,
+    )
 
 
 if __name__ == "__main__":

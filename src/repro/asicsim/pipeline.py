@@ -93,10 +93,14 @@ class Pipeline:
         stage_template: StageResources = RMT_STAGE,
         word_bits: int = DEFAULT_WORD_BITS,
         block_words: int = DEFAULT_BLOCK_WORDS,
+        recorder=None,
     ) -> None:
         if num_stages <= 0:
             raise ValueError("num_stages must be positive")
         self.num_stages = num_stages
+        #: optional :class:`~repro.obs.recorder.FlightRecorder`; placement
+        #: is compile-time work, so events carry t=0.0.
+        self.recorder = recorder
         self.word_bits = word_bits
         self.block_words = block_words
         self._free: List[StageResources] = [
@@ -190,6 +194,11 @@ class Pipeline:
             self._free[stage_idx].subtract(demand)
         placement = TablePlacement(name=name, stages=chosen, per_stage_demand=demand)
         self.placements[name] = placement
+        if self.recorder is not None:
+            self.recorder.record(
+                0.0, "placement", "place", table=name,
+                stages=tuple(chosen), sram_blocks=demand.sram_blocks,
+            )
         return placement
 
     # ------------------------------------------------------------------

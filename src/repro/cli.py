@@ -19,6 +19,16 @@ Commands:
 * ``run`` — run one shardable experiment (``fig16``, ``fig18``,
   ``chaos``) through the sharded parallel replay engine; ``--workers N``
   sizes the process pool without changing the merged result.
+  ``--timeline`` / ``--record`` attach the time-resolved observability
+  layer (epoch-sampled metric timeline, flight-recorder event ring) and
+  ``--trace-out`` renders both to a Perfetto-loadable ``trace.json``.
+* ``trace`` — run one fault-injected scenario with the tracer, flight
+  recorder, and timeline sampler all armed, and write the merged
+  Chrome-trace/Perfetto document.
+* ``explain`` — PCC forensics: run a recorded chaos scenario and print
+  the causal timeline behind every PCC violation (``--require-complete``
+  exits non-zero unless every violation is attributed with recorder
+  evidence; the CI gate).
 """
 
 from __future__ import annotations
@@ -52,7 +62,7 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     from .experiments.common import build_workload, silkroad_factory
     from .netsim import FlowSimulator, Sampler, watch_switch
     from .netsim.flows import Connection
-    from .obs import iter_jsonl, to_prometheus_text, write_jsonl
+    from .obs import iter_jsonl, to_prometheus_text, tracer_stats, write_jsonl
 
     factory = silkroad_factory(
         use_transit_table=(args.system != "silkroad-no-tt"),
@@ -115,9 +125,17 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
                 records.append({"record": key, **doc[key]})
             write_jsonl(out, records)
         elif args.format == "prom":
-            out.write(to_prometheus_text(lb.metrics))
+            out.write(to_prometheus_text(lb.metrics, tracer=lb.tracer))
         else:  # text
             print(report.summary(), file=out)
+            stats = tracer_stats(lb.tracer)
+            print(
+                f"spans: {stats['spans_started']} started, "
+                f"{stats['spans_finished']} finished, "
+                f"{stats['spans_dropped']} dropped, "
+                f"{stats['spans_open']} open",
+                file=out,
+            )
             print(file=out)
             print(format_metrics(doc["metrics"]), file=out)
             print(file=out)
@@ -310,6 +328,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         params["updates_per_min"] = args.updates_per_min
     if args.num_vips is not None and args.task == "fig16":
         params["num_vips"] = args.num_vips
+    if args.systems is not None and args.task == "fig16":
+        params["systems"] = tuple(args.systems.split(","))
+    if args.timeline:
+        params["timeline_period_s"] = args.timeline_period
+    if args.record:
+        params["record"] = True
     result = run_sharded(
         args.task,
         num_shards=args.num_shards,
@@ -318,16 +342,161 @@ def _cmd_run(args: argparse.Namespace) -> int:
         params=params,
     )
     print(result.summary())
+    if result.timeline is not None:
+        print(
+            f"  timeline: {len(result.timeline)} epochs x "
+            f"{len(result.timeline.columns)} columns, "
+            f"fingerprint {result.timeline_fingerprint[:16]}"
+        )
+    if result.recorder is not None:
+        print(
+            f"  recorder: {len(result.recorder)} events retained, "
+            f"{result.recorder.total_dropped} dropped"
+        )
     for key in sorted(result.counters):
         print(f"  {key}: {result.counters[key]:g}")
+    if args.trace_out:
+        from .obs import validate_chrome_trace, to_chrome_trace, write_chrome_trace
+
+        doc = to_chrome_trace(
+            recorder=result.recorder,
+            timeline=result.timeline,
+            metadata={"task": args.task, "seed": seed},
+        )
+        problems = validate_chrome_trace(doc)
+        if problems:
+            for problem in problems:
+                print(f"trace schema: {problem}", file=sys.stderr)
+            return 1
+        count = write_chrome_trace(
+            args.trace_out,
+            recorder=result.recorder,
+            timeline=result.timeline,
+            metadata={"task": args.task, "seed": seed},
+        )
+        print(f"  wrote {count} trace events to {args.trace_out}")
     if args.fingerprint_out:
         with open(args.fingerprint_out, "w") as fh:
-            fh.write(result.fingerprint + "\n")
+            fh.write(f"registry {result.fingerprint}\n")
+            if result.timeline is not None:
+                fh.write(f"timeline {result.timeline_fingerprint}\n")
     if not result.ok:
         print(str(result.audit), file=sys.stderr)
         for failure in result.failed:
             print(f"shard {failure.shard_id} FAILED: {failure.reason}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .faults import run_chaos
+    from .obs import validate_chrome_trace, to_chrome_trace, write_chrome_trace
+
+    result = run_chaos(
+        seed=args.seed,
+        scale=args.scale,
+        horizon_s=args.horizon,
+        updates_per_min=args.updates_per_min,
+        faults_per_min=args.faults_per_min,
+        record=True,
+        timeline_period_s=args.period,
+    )
+    print(result.summary())
+    recorder = result.recorder
+    print(
+        f"recorder: {len(recorder)} events retained, "
+        f"{recorder.total_dropped} dropped"
+    )
+    print(
+        f"timeline: {len(result.timeline)} epochs x "
+        f"{len(result.timeline.columns)} columns"
+    )
+    doc = to_chrome_trace(
+        tracer=result.switch.tracer,
+        recorder=recorder,
+        timeline=result.timeline,
+        metadata={"scenario": "chaos", "seed": args.seed},
+    )
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for problem in problems:
+            print(f"trace schema: {problem}", file=sys.stderr)
+        return 1
+    count = write_chrome_trace(
+        args.out,
+        tracer=result.switch.tracer,
+        recorder=recorder,
+        timeline=result.timeline,
+        metadata={"scenario": "chaos", "seed": args.seed},
+    )
+    print(f"wrote {count} trace events to {args.out} (load in ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .faults import run_chaos
+    from .faults.chaos import chaos_config
+    from .obs import coverage, explain_violations, format_stories
+
+    config = None
+    if args.conn_table_capacity is not None or args.step_deadline is not None:
+        kwargs = {}
+        if args.conn_table_capacity is not None:
+            kwargs["conn_table_capacity"] = args.conn_table_capacity
+        if args.step_deadline is not None:
+            kwargs["step_deadline_s"] = args.step_deadline
+        config = chaos_config(**kwargs)
+    result = run_chaos(
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        scale=args.scale,
+        horizon_s=args.horizon,
+        updates_per_min=args.updates_per_min,
+        faults_per_min=args.faults_per_min,
+        config=config,
+        record=True,
+    )
+    stories = explain_violations(
+        result.switch, result.connections, recorder=result.recorder
+    )
+    print(result.summary())
+    print()
+    print(format_stories(stories, limit=args.limit))
+    stats = coverage(stories)
+    print()
+    print(
+        f"coverage: {stats['violations']} violation(s), "
+        f"{stats['attributed']} attributed, "
+        f"{stats['attributed_with_events']} with recorder evidence, "
+        f"{stats['unattributed']} unattributed"
+    )
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w") as fh:
+            json.dump(
+                {
+                    "coverage": stats,
+                    "stories": [story.to_dict() for story in stories],
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+            fh.write("\n")
+    if args.require_complete:
+        incomplete = (
+            stats["unattributed"] > 0
+            or stats["attributed_with_events"] < stats["attributed"]
+        )
+        if incomplete:
+            print(
+                "FAIL: not every PCC violation has an attributed causal "
+                "chain with recorder evidence",
+                file=sys.stderr,
+            )
+            return 1
+        print("explain coverage complete")
     return 0
 
 
@@ -451,11 +620,90 @@ def build_parser() -> argparse.ArgumentParser:
         "--num-vips", type=int, default=None, help="fig16 only: VIPs to shard"
     )
     p_run.add_argument(
+        "--systems",
+        default=None,
+        help="fig16 only: comma-separated systems to replay",
+    )
+    p_run.add_argument(
+        "--timeline",
+        action="store_true",
+        help="sample every shard's registry into a mergeable timeline",
+    )
+    p_run.add_argument(
+        "--timeline-period",
+        type=float,
+        default=5.0,
+        help="timeline epoch period in simulation seconds",
+    )
+    p_run.add_argument(
+        "--record",
+        action="store_true",
+        help="attach a flight recorder to every SilkRoad replay",
+    )
+    p_run.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write the merged recorder/timeline as Chrome trace JSON",
+    )
+    p_run.add_argument(
         "--fingerprint-out",
         metavar="PATH",
-        help="write the merged registry fingerprint to PATH",
+        help="write the merged registry (and timeline) fingerprints to PATH",
     )
     p_run.set_defaults(fn=_cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a fault-injected scenario and export a Perfetto trace"
+    )
+    p_trace.add_argument("--seed", type=int, default=7)
+    p_trace.add_argument("--scale", type=float, default=0.05)
+    p_trace.add_argument("--horizon", type=float, default=20.0)
+    p_trace.add_argument("--updates-per-min", type=float, default=60.0)
+    p_trace.add_argument("--faults-per-min", type=float, default=30.0)
+    p_trace.add_argument(
+        "--period", type=float, default=1.0, help="timeline epoch period (s)"
+    )
+    p_trace.add_argument(
+        "--out", default="trace.json", help="output path (default: trace.json)"
+    )
+    p_trace.set_defaults(fn=_cmd_trace)
+
+    p_explain = sub.add_parser(
+        "explain", help="causal timeline behind every PCC violation"
+    )
+    p_explain.add_argument("--seed", type=int, default=7)
+    p_explain.add_argument(
+        "--fault-seed", type=int, default=None, help="default: seed + 1000"
+    )
+    p_explain.add_argument("--scale", type=float, default=0.05)
+    p_explain.add_argument("--horizon", type=float, default=20.0)
+    p_explain.add_argument("--updates-per-min", type=float, default=60.0)
+    p_explain.add_argument("--faults-per-min", type=float, default=30.0)
+    p_explain.add_argument(
+        "--conn-table-capacity",
+        type=int,
+        default=None,
+        help="shrink the ConnTable to force overflow-attributed violations",
+    )
+    p_explain.add_argument(
+        "--step-deadline",
+        type=float,
+        default=None,
+        help="tighten the update watchdog (induces at-risk reclassification)",
+    )
+    p_explain.add_argument(
+        "--limit", type=int, default=None, help="print at most N stories"
+    )
+    p_explain.add_argument(
+        "--json-out", metavar="PATH", help="also dump stories + coverage as JSON"
+    )
+    p_explain.add_argument(
+        "--require-complete",
+        action="store_true",
+        help="exit non-zero unless every violation is attributed with "
+        "recorder evidence (the CI gate)",
+    )
+    p_explain.set_defaults(fn=_cmd_explain)
 
     return parser
 

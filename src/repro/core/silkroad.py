@@ -31,7 +31,7 @@ from ..netsim.flows import Connection
 from ..netsim.packet import DirectIP, VirtualIP
 from ..netsim.simulator import LoadBalancer, PRIO_INTERNAL
 from ..netsim.updates import UpdateEvent, UpdateKind
-from ..obs import MetricRegistry, Tracer, telemetry_to_dict
+from ..obs import FlightRecorder, MetricRegistry, Tracer, telemetry_to_dict
 from .config import SilkRoadConfig
 from .conn_table import ConnTable
 from .control_plane import SwitchCpu
@@ -71,9 +71,14 @@ class SilkRoadSwitch(LoadBalancer):
         name: str = "silkroad",
         registry: Optional[MetricRegistry] = None,
         tracer: Optional[Tracer] = None,
+        recorder: Optional[FlightRecorder] = None,
     ):
         self.name = name
         self.config = config
+        #: Optional flight recorder; ``None`` (the default) keeps every
+        #: record site to one attribute load + branch, so the hot path is
+        #: untouched unless forensics are requested (attach_recorder).
+        self.recorder = recorder
         # Every switch owns a metrics registry and a tracer (always-on, the
         # instruments are cheap); callers may inject shared ones instead.
         self.metrics = (
@@ -223,6 +228,9 @@ class SilkRoadSwitch(LoadBalancer):
         key = conn.key
         key_hash = conn.key_hash
         self.connections_seen += 1
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.record(now, "conn", "syn", key=key, vip=str(conn.vip))
         result = self.conn_table.lookup(key, key_hash)
         if result.hit:
             # New connections are unique, so a hit is a digest false
@@ -230,6 +238,8 @@ class SilkRoadSwitch(LoadBalancer):
             # the colliding entry and installs this connection directly.
             assert result.false_positive
             self.fp_syn_redirects += 1
+            if recorder is not None:
+                recorder.record(now, "conn", "fp_syn_redirect", key=key)
             state = self._admit(conn, now)
             self._cpu.submit_one(
                 key, ("fp",), extra_delay_s=self.config.fp_resolution_delay_s
@@ -248,6 +258,10 @@ class SilkRoadSwitch(LoadBalancer):
         if state is None:
             return
         state.dead = True
+        if self.recorder is not None:
+            self.recorder.record(
+                self.queue.now, "conn", "fin", key=key, installed=state.installed
+            )
         live = self._live_by_vip.get(state.vip)
         if live is not None:
             live.discard(key)
@@ -299,12 +313,19 @@ class SilkRoadSwitch(LoadBalancer):
                 if self.config.syn_redirect_on_transit_fp:
                     self.transit_fp_corrected += 1
                     version = entry.current_version
+                    if self.recorder is not None:
+                        self.recorder.record(now, "conn", "fp_corrected", key=key)
                 else:
                     self.transit_fp_adopted += 1
                     self.fp_adopted_keys.add(key)
                     assert entry.old_version is not None
                     version = entry.old_version
                     adopted_old = True
+                    if self.recorder is not None:
+                        self.recorder.record(
+                            now, "conn", "fp_adopted", key=key,
+                            vip=str(vip), old_version=entry.old_version,
+                        )
             else:
                 version = entry.current_version
         else:
@@ -317,6 +338,8 @@ class SilkRoadSwitch(LoadBalancer):
         self._live_by_vip.setdefault(vip, set()).add(key)
         # Step 1 of an in-flight update marks the connection.
         state.marked = self.coordinator.note_new_pending(vip, key)
+        if state.marked and self.recorder is not None:
+            self.recorder.record(now, "conn", "marked", key=key, vip=str(vip))
         dip = self.dip_pools.select(vip, version, key, key_hash)
         self._set_decision(state, dip, now)
         return state
@@ -337,7 +360,7 @@ class SilkRoadSwitch(LoadBalancer):
             # Redirected SYN: resolve the digest collision first.
             self.conn_table.relocate_colliding_entry(key, key_hash)
         try:
-            self.conn_table.insert(key, state.version, key_hash)
+            result = self.conn_table.insert(key, state.version, key_hash)
         except TableFull:
             self.table_full_events += 1
             if self.config.overflow_to_software:
@@ -350,6 +373,10 @@ class SilkRoadSwitch(LoadBalancer):
                 if pending is not None:
                     pending.discard(key)
                 self.coordinator.on_installed(state.vip, key)
+                if self.recorder is not None:
+                    self.recorder.record(
+                        now, "conn", "overflow", key=key, pinned=True
+                    )
             else:
                 # The connection stays on the slow path: it will re-hash
                 # at the next VIPTable flip.  Tell the coordinator to stop
@@ -358,10 +385,19 @@ class SilkRoadSwitch(LoadBalancer):
                 state.overflowed = True
                 self.overflow_keys.add(key)
                 self.coordinator.on_pending_aborted(state.vip, key)
+                if self.recorder is not None:
+                    self.recorder.record(
+                        now, "conn", "overflow", key=key, pinned=False
+                    )
             return
         except DuplicateKey:
             return
         state.installed = True
+        if self.recorder is not None:
+            self.recorder.record(
+                now, "conn", "install", key=key,
+                version=state.version, moves=result.moves,
+            )
         pending = self._pending_by_vip.get(state.vip)
         if pending is not None:
             pending.discard(key)
@@ -378,6 +414,8 @@ class SilkRoadSwitch(LoadBalancer):
             return
         if state.installed and key in self.conn_table:
             self.conn_table.delete(key)
+            if self.recorder is not None:
+                self.recorder.record(self.queue.now, "conn", "evict", key=key)
         self.dip_pools.release(state.vip, state.version)
 
     # ------------------------------------------------------------------
@@ -395,7 +433,17 @@ class SilkRoadSwitch(LoadBalancer):
                 new_version = self.dip_pools.add_dip(vip, event.dip)
         except VersionsExhausted:
             self.version_exhaustion_events += 1
+            if self.recorder is not None:
+                self.recorder.record(
+                    now, "update", "version_exhausted", vip=str(vip)
+                )
             return
+        if self.recorder is not None:
+            self.recorder.record(
+                now, "update", "t_exec", vip=str(vip),
+                kind=event.kind.name.lower(), dip=str(event.dip),
+                old_version=old_version, new_version=new_version,
+            )
         if event.kind is UpdateKind.REMOVE:
             self._break_connections_on(vip, event.dip)
         if self.config.use_transit_table:
@@ -420,6 +468,8 @@ class SilkRoadSwitch(LoadBalancer):
 
     def _finish_update(self, vip: VirtualIP) -> None:
         now = self.queue.now
+        if self.recorder is not None:
+            self.recorder.record(now, "update", "t_finish", vip=str(vip))
         self.vip_table.end_transition(vip)
         # Evict exactly this update's marks: overlapping updates of other
         # VIPs keep theirs, but no stale bit outlives its own update.
@@ -475,6 +525,11 @@ class SilkRoadSwitch(LoadBalancer):
         """Step 1 begins for ``vip``: reserve a TransitTable update id so
         the update's marks can be evicted precisely at its own step 3."""
         self._transit_update_ids[vip] = self.transit.update_started()
+        if self.recorder is not None:
+            self.recorder.record(
+                self.queue.now, "update", "t_req", vip=str(vip),
+                update_id=self._transit_update_ids[vip],
+            )
 
     def _mark_transit(self, key: bytes) -> None:
         state = self._states.get(key)
@@ -493,6 +548,18 @@ class SilkRoadSwitch(LoadBalancer):
         outcome, not a model bug."""
         self.at_risk_connections += len(keys)
         self.at_risk_keys.update(keys)
+        recorder = self.recorder
+        if recorder is not None:
+            now = self.queue.now
+            recorder.record(
+                now, "update", "watchdog_forced", vip=str(vip),
+                phase=phase.name, at_risk=len(keys),
+            )
+            for key in sorted(keys):
+                recorder.record(
+                    now, "conn", "at_risk", key=key,
+                    vip=str(vip), phase=phase.name,
+                )
         for key in keys:
             state = self._states.get(key)
             if state is not None:
@@ -507,10 +574,16 @@ class SilkRoadSwitch(LoadBalancer):
         fault injection targets (loss and delay)."""
         if batch is None:
             return
+        recorder = self.recorder
         if self._drop_notifications > 0:
             self._drop_notifications -= 1
             self.notifications_lost += 1
             self._m_notifications_lost.value += 1.0
+            if recorder is not None:
+                recorder.record(
+                    self.queue.now, "slowpath", "batch_lost",
+                    size=len(batch.events), reason=batch.reason,
+                )
             for event in batch.events:
                 self._schedule_relearn(event.key, event.metadata)
             return
@@ -518,18 +591,32 @@ class SilkRoadSwitch(LoadBalancer):
             self._delay_notifications -= 1
             self.notifications_delayed += 1
             self._m_notifications_delayed.value += 1.0
+            if recorder is not None:
+                recorder.record(
+                    self.queue.now, "slowpath", "batch_delayed",
+                    size=len(batch.events), delay_s=self._notification_delay_s,
+                )
             self.queue.schedule_in(
                 self._notification_delay_s,
                 lambda: self._cpu.submit_batch(batch),
                 PRIO_INTERNAL,
             )
             return
+        if recorder is not None:
+            recorder.record(
+                self.queue.now, "slowpath", "batch_delivered",
+                size=len(batch.events), reason=batch.reason,
+            )
         self._cpu.submit_batch(batch)
 
-    def _on_job_dropped(self, key: bytes, metadata: Tuple) -> None:
+    def _on_job_dropped(self, key: bytes, metadata: Tuple, reason: str) -> None:
         """A slow-path job was shed, lost to a crash, or failed its write:
         the connection is still unmatched in the data plane, so it will be
         re-learned from its next packet."""
+        if self.recorder is not None:
+            self.recorder.record(
+                self.queue.now, "slowpath", f"job_{reason}", key=key
+            )
         self._schedule_relearn(key, metadata)
 
     def _schedule_relearn(self, key: bytes, metadata: Tuple) -> None:
@@ -550,6 +637,10 @@ class SilkRoadSwitch(LoadBalancer):
                 return
             self.relearns += 1
             self._m_relearns.value += 1.0
+            if self.recorder is not None:
+                self.recorder.record(
+                    self.queue.now, "slowpath", "relearn", key=key
+                )
             event = LearnEvent(
                 key=key,
                 metadata=metadata,
@@ -567,16 +658,28 @@ class SilkRoadSwitch(LoadBalancer):
     def _on_cpu_restart(self) -> None:
         """The crashed CPU came back: re-arm the learning-filter timer so
         batches flow again (lost jobs re-learn via :meth:`_schedule_relearn`)."""
+        if self.recorder is not None:
+            self.recorder.record(self.queue.now, "slowpath", "cpu_restart")
         self._arm_poll()
 
     # -- fault-injection surface (used by repro.faults.FaultInjector) ----
 
     def inject_cpu_crash(self, restart_delay_s: float) -> int:
         """Crash the switch CPU; returns the number of jobs lost."""
-        return len(self._cpu.crash(restart_delay_s))
+        lost = len(self._cpu.crash(restart_delay_s))
+        if self.recorder is not None:
+            self.recorder.record(
+                self.queue.now, "slowpath", "cpu_crash",
+                jobs_lost=lost, restart_delay_s=restart_delay_s,
+            )
+        return lost
 
     def inject_cpu_stall(self, duration_s: float) -> None:
         """Freeze the switch CPU for ``duration_s``."""
+        if self.recorder is not None:
+            self.recorder.record(
+                self.queue.now, "slowpath", "cpu_stall", duration_s=duration_s
+            )
         self._cpu.stall(duration_s)
 
     def set_write_fault(self, fault: Optional[Callable[[bytes], bool]]) -> None:
@@ -661,11 +764,27 @@ class SilkRoadSwitch(LoadBalancer):
             retry_backoff_s=self.config.install_retry_backoff_s,
         )
         # Every way a job can leave the slow path without installing ends
-        # the same: the connection re-learns from its next packet.
-        self._cpu.on_shed = self._on_job_dropped
-        self._cpu.on_lost = self._on_job_dropped
-        self._cpu.on_install_failed = self._on_job_dropped
+        # the same: the connection re-learns from its next packet.  The
+        # reason tag only feeds the flight recorder's event stream.
+        self._cpu.on_shed = lambda key, meta: self._on_job_dropped(
+            key, meta, "shed"
+        )
+        self._cpu.on_lost = lambda key, meta: self._on_job_dropped(
+            key, meta, "lost"
+        )
+        self._cpu.on_install_failed = lambda key, meta: self._on_job_dropped(
+            key, meta, "install_failed"
+        )
         self._cpu.on_restart = self._on_cpu_restart
+
+    def attach_recorder(self, recorder: Optional[FlightRecorder]) -> None:
+        """Attach (or detach, with ``None``) a flight recorder.
+
+        Safe at any point — record sites read ``self.recorder`` on every
+        event, so a recorder attached between construction and the run
+        captures the whole simulation.
+        """
+        self.recorder = recorder
 
     def apply_update_now(self, event: UpdateEvent) -> None:
         """Convenience for library users driving the switch directly."""
@@ -695,11 +814,10 @@ class SilkRoadSwitch(LoadBalancer):
         """Machine-readable dump: every metric, every finished trace span,
         plus the legacy flat counters.  The shape matches what
         ``python -m repro.cli telemetry`` emits per switch."""
-        return telemetry_to_dict(
-            self.metrics,
-            self.tracer,
-            extra={"switch": self.name, "counters": self.report()},
-        )
+        extra: Dict[str, object] = {"switch": self.name, "counters": self.report()}
+        if self.recorder is not None:
+            extra["recorder"] = self.recorder.summary()
+        return telemetry_to_dict(self.metrics, self.tracer, extra=extra)
 
     def report(self) -> Dict[str, float]:
         return {

@@ -49,15 +49,23 @@ class PccWorkload:
     updates_per_min: float
 
     def replay(
-        self, lb_factory: Callable[[], object], faults: Optional[object] = None
+        self,
+        lb_factory: Callable[[], object],
+        faults: Optional[object] = None,
+        attach: Optional[Callable[[FlowSimulator, object], None]] = None,
     ) -> Tuple[SimulationReport, List[Connection], object]:
         """Run a fresh LB instance over a *fresh copy* of the workload.
 
         Connections are stateful (decision logs), so each replay clones
         them; update events are immutable and shared.  ``faults`` is an
         optional :class:`~repro.faults.injector.FaultInjector` attached to
-        the run.  Returns the report, the replayed connections, and the LB
-        instance (for its counters).
+        the run.  ``attach``, when given, is called as
+        ``attach(sim, lb)`` after the simulator is built but before it
+        runs — the hook observability uses to arm a
+        :class:`~repro.obs.timeline.TimelineSampler` on the event queue
+        and hand the LB a :class:`~repro.obs.recorder.FlightRecorder`.
+        Returns the report, the replayed connections, and the LB instance
+        (for its counters).
         """
         conns = [
             Connection(
@@ -73,9 +81,10 @@ class PccWorkload:
         lb = lb_factory()
         for service in self.cluster.services:
             lb.announce_vip(service.vip, service.dips)
-        report = FlowSimulator(lb, faults=faults).run(
-            conns, self.updates, horizon_s=self.horizon_s
-        )
+        sim = FlowSimulator(lb, faults=faults)
+        if attach is not None:
+            attach(sim, lb)
+        report = sim.run(conns, self.updates, horizon_s=self.horizon_s)
         return report, conns, lb
 
 

@@ -40,6 +40,8 @@ from ..asicsim.hashing import mix64
 from ..core.silkroad import SilkRoadSwitch
 from ..core.verify import AuditReport, audit_switch
 from ..obs.metrics import Gauge, Histogram, MetricRegistry
+from ..obs.recorder import FlightRecorder
+from ..obs.timeline import Timeline, TimelineSampler
 
 __all__ = [
     "FailedShard",
@@ -95,6 +97,10 @@ class ShardResult:
     registry: MetricRegistry
     audit: AuditReport
     counters: Dict[str, float] = field(default_factory=dict)
+    #: metric timeline, when the run asked for ``timeline_period_s``.
+    timeline: Optional[Timeline] = None
+    #: flight recorder, when the run asked for ``record``.
+    recorder: Optional[FlightRecorder] = None
 
 
 @dataclass(frozen=True)
@@ -116,10 +122,18 @@ class ShardedRunResult:
     registry: MetricRegistry
     audit: AuditReport
     counters: Dict[str, float]
+    #: fold of every shard's timeline (``None`` unless the run asked for one).
+    timeline: Optional[Timeline] = None
+    #: fold of every shard's recorder (``None`` unless the run asked for one).
+    recorder: Optional[FlightRecorder] = None
 
     @property
     def fingerprint(self) -> str:
         return self.registry.fingerprint()
+
+    @property
+    def timeline_fingerprint(self) -> Optional[str]:
+        return self.timeline.fingerprint() if self.timeline is not None else None
 
     @property
     def ok(self) -> bool:
@@ -171,6 +185,47 @@ def _shard_registry(spec: ShardSpec) -> MetricRegistry:
     )
 
 
+def _make_attach(
+    spec: ShardSpec,
+    scope: str,
+    horizon_s: float,
+    timeline_period_s: Optional[float],
+    record: bool,
+    samplers: List[TimelineSampler],
+    recorders: List[FlightRecorder],
+):
+    """Build the ``replay(attach=...)`` hook instrumenting one replay.
+
+    The hook duck-types the LB: recorders only attach to switches exposing
+    ``attach_recorder`` and samplers only arm when the LB carries a metric
+    registry (the Duet baseline has neither).  Samplers use ``scope.`` as
+    the column prefix — the same namespace :func:`_fold_prefixed` gives the
+    merged registry — and recorders are tagged ``s<shard>.<scope>`` so the
+    fleet-wide merge stays attributable.  Returns ``None`` when nothing
+    was requested, keeping the replay hook-free (and the hot path
+    untouched).
+    """
+    if timeline_period_s is None and not record:
+        return None
+    recorder = (
+        FlightRecorder(source=f"s{spec.shard_id}.{scope}") if record else None
+    )
+
+    def attach(sim, lb) -> None:
+        if recorder is not None and hasattr(lb, "attach_recorder"):
+            lb.attach_recorder(recorder)
+            recorders.append(recorder)
+        metrics = getattr(lb, "metrics", None)
+        if timeline_period_s is not None and metrics is not None:
+            sampler = TimelineSampler(
+                metrics, float(timeline_period_s), prefix=f"{scope}."
+            )
+            sampler.attach(sim.queue, horizon_s=horizon_s)
+            samplers.append(sampler)
+
+    return attach
+
+
 def _run_fig16_shard(spec: ShardSpec) -> ShardResult:
     """Replay this shard's VIP slice of a Figure-16-style workload.
 
@@ -201,8 +256,21 @@ def _run_fig16_shard(spec: ShardSpec) -> ShardResult:
     registry = _shard_registry(spec)
     audit = AuditReport()
     counters: Dict[str, float] = {}
+    timeline_period = p.get("timeline_period_s")
+    record = bool(p.get("record", False))
+    samplers: List[TimelineSampler] = []
+    recorders: List[FlightRecorder] = []
     for name in systems:
-        report, conns, lb = workload.replay(factories[name])
+        attach = _make_attach(
+            spec,
+            name,
+            workload.horizon_s,
+            timeline_period,
+            record,
+            samplers,
+            recorders,
+        )
+        report, conns, lb = workload.replay(factories[name], attach=attach)
         scope = registry.scope(name)
         scope.counter(
             "pcc_violations_total", help="connections that broke PCC"
@@ -221,7 +289,12 @@ def _run_fig16_shard(spec: ShardSpec) -> ShardResult:
             audit.merge(audit_switch(lb, connections=conns), label=name)
             _fold_prefixed(registry, lb.metrics, name)
     return ShardResult(
-        shard_id=spec.shard_id, registry=registry, audit=audit, counters=counters
+        shard_id=spec.shard_id,
+        registry=registry,
+        audit=audit,
+        counters=counters,
+        timeline=Timeline.merged(s.timeline for s in samplers),
+        recorder=FlightRecorder.merged(recorders),
     )
 
 
@@ -237,6 +310,10 @@ def _run_fig18_shard(spec: ShardSpec) -> ShardResult:
     registry = _shard_registry(spec)
     audit = AuditReport()
     counters: Dict[str, float] = {}
+    timeline_period = p.get("timeline_period_s")
+    record = bool(p.get("record", False))
+    samplers: List[TimelineSampler] = []
+    recorders: List[FlightRecorder] = []
     for cell_index, size, timeout_s in p["cells"]:
         workload = build_workload(
             updates_per_min=float(p.get("updates_per_min", 30.0)),
@@ -255,8 +332,17 @@ def _run_fig18_shard(spec: ShardSpec) -> ShardResult:
             conn_table_capacity=int(p.get("conn_table_capacity", 600_000)),
             name=f"silkroad-{int(size)}B",
         )
-        report, conns, lb = workload.replay(factory)
         cell = f"cell{int(cell_index):02d}"
+        attach = _make_attach(
+            spec,
+            cell,
+            workload.horizon_s,
+            timeline_period,
+            record,
+            samplers,
+            recorders,
+        )
+        report, conns, lb = workload.replay(factory, attach=attach)
         scope = registry.scope(cell)
         scope.counter(
             "pcc_violations_total", help="connections that broke PCC"
@@ -269,7 +355,12 @@ def _run_fig18_shard(spec: ShardSpec) -> ShardResult:
         audit.merge(audit_switch(lb, connections=conns), label=cell)
         _fold_prefixed(registry, lb.metrics, cell)
     return ShardResult(
-        shard_id=spec.shard_id, registry=registry, audit=audit, counters=counters
+        shard_id=spec.shard_id,
+        registry=registry,
+        audit=audit,
+        counters=counters,
+        timeline=Timeline.merged(s.timeline for s in samplers),
+        recorder=FlightRecorder.merged(recorders),
     )
 
 
@@ -278,6 +369,7 @@ def _run_chaos_shard(spec: ShardSpec) -> ShardResult:
     from ..faults.chaos import run_chaos
 
     p = spec.param_dict()
+    timeline_period = p.get("timeline_period_s")
     result = run_chaos(
         seed=spec.seed,
         scale=float(p.get("scale", 0.05)),
@@ -285,6 +377,11 @@ def _run_chaos_shard(spec: ShardSpec) -> ShardResult:
         warmup_s=float(p.get("warmup_s", 2.0)),
         updates_per_min=float(p.get("updates_per_min", 60.0)),
         faults_per_min=float(p.get("faults_per_min", 30.0)),
+        record=bool(p.get("record", False)),
+        record_source=f"s{spec.shard_id}.chaos",
+        timeline_period_s=(
+            float(timeline_period) if timeline_period is not None else None
+        ),
     )
     registry = _shard_registry(spec)
     scope = registry.scope("chaos")
@@ -308,6 +405,8 @@ def _run_chaos_shard(spec: ShardSpec) -> ShardResult:
         registry=registry,
         audit=result.audit,
         counters=counters,
+        timeline=result.timeline,
+        recorder=result.recorder,
     )
 
 
@@ -496,6 +595,12 @@ def _run_parallel(
     cannot corrupt shared state.  Each attempt gets a fresh process; a
     shard whose worker dies (no result on the pipe) or raises is retried
     ``retries`` times, then recorded as failed.
+
+    The wait set holds each worker's result pipe *and* its process
+    sentinel: a payload bigger than the pipe buffer (recorders ship whole
+    event rings) blocks the child's ``send`` until the parent drains it,
+    so waiting on the sentinel alone would deadlock — the child cannot
+    exit before the parent reads, and the parent would never read.
     """
     ctx = mp.get_context("spawn")
     pending = deque(specs)
@@ -513,9 +618,16 @@ def _run_parallel(
             proc.start()
             send_end.close()
             live[proc.sentinel] = (spec, proc, recv_end)
-        ready = mp.connection.wait(list(live))
-        for sentinel in ready:
-            spec, proc, recv_end = live.pop(sentinel)
+        waitables: List[object] = []
+        for sentinel, (_spec, _proc, recv_end) in live.items():
+            waitables.append(recv_end)
+            waitables.append(sentinel)
+        ready = set(mp.connection.wait(waitables))
+        for sentinel in list(live):
+            spec, proc, recv_end = live[sentinel]
+            if sentinel not in ready and recv_end not in ready:
+                continue
+            del live[sentinel]
             payload = None
             try:
                 if recv_end.poll():
@@ -582,6 +694,12 @@ def run_sharded(
     for result in results:
         for key, value in result.counters.items():
             counters[key] = counters.get(key, 0.0) + value
+    timeline = Timeline.merged(
+        r.timeline for r in results if r.timeline is not None
+    )
+    recorder = FlightRecorder.merged(
+        r.recorder for r in results if r.recorder is not None
+    )
     return ShardedRunResult(
         task=task,
         seed=seed,
@@ -592,4 +710,6 @@ def run_sharded(
         registry=registry,
         audit=audit,
         counters=counters,
+        timeline=timeline,
+        recorder=recorder,
     )

@@ -27,6 +27,7 @@ from ..core import SilkRoadConfig, SilkRoadSwitch
 from ..core.verify import AuditReport, audit_switch
 from ..experiments.common import PccWorkload, build_workload
 from ..netsim import Connection, SimulationReport
+from ..obs import DEFAULT_RING_SIZE, FlightRecorder, Timeline, TimelineSampler
 from .injector import FaultInjector
 from .plan import FaultPlan
 
@@ -62,6 +63,10 @@ class ChaosResult:
     #: updates whose observed step durations exceeded the watchdog budget
     #: (plus scheduling slack); must be empty.
     overdue_updates: int
+    #: flight recorder, when the run was started with ``record=True``.
+    recorder: Optional[FlightRecorder] = None
+    #: metric timeline, when ``timeline_period_s`` was given.
+    timeline: Optional[Timeline] = None
 
     @property
     def ok(self) -> bool:
@@ -108,8 +113,21 @@ def run_chaos(
     config: Optional[SilkRoadConfig] = None,
     plan: Optional[FaultPlan] = None,
     workload: Optional[PccWorkload] = None,
+    record: bool = False,
+    record_capacity: int = DEFAULT_RING_SIZE,
+    record_source: str = "chaos",
+    timeline_period_s: Optional[float] = None,
 ) -> ChaosResult:
-    """One fully seeded chaos run; see the module docstring."""
+    """One fully seeded chaos run; see the module docstring.
+
+    ``record=True`` attaches a :class:`~repro.obs.FlightRecorder` to the
+    switch (exposed as ``result.recorder`` — the input ``repro explain``
+    joins against the audit).  ``timeline_period_s`` arms a
+    :class:`~repro.obs.TimelineSampler` over the switch's registry and
+    exposes the sampled :class:`~repro.obs.Timeline` as
+    ``result.timeline``.  Both are off by default and add nothing to the
+    hot path when off.
+    """
     if fault_seed is None:
         fault_seed = seed + 1000
     if workload is None:
@@ -127,8 +145,26 @@ def run_chaos(
     if config is None:
         config = chaos_config()
     injector = FaultInjector(plan)
+
+    recorder: Optional[FlightRecorder] = None
+    sampler: Optional[TimelineSampler] = None
+    attach = None
+    if record or timeline_period_s is not None:
+        if record:
+            recorder = FlightRecorder(capacity=record_capacity, source=record_source)
+
+        def attach(sim, lb):
+            nonlocal sampler
+            if recorder is not None:
+                lb.attach_recorder(recorder)
+            if timeline_period_s is not None:
+                sampler = TimelineSampler(lb.metrics, timeline_period_s)
+                sampler.attach(sim.queue, horizon_s=workload.horizon_s)
+
     report, connections, switch = workload.replay(
-        lambda: SilkRoadSwitch(config, name="silkroad-chaos"), faults=injector
+        lambda: SilkRoadSwitch(config, name="silkroad-chaos"),
+        faults=injector,
+        attach=attach,
     )
     audit = audit_switch(switch, connections=connections)
     return ChaosResult(
@@ -140,6 +176,8 @@ def run_chaos(
         audit=audit,
         fingerprint=switch.metrics.fingerprint(),
         overdue_updates=_count_overdue(switch, config.update_step_deadline_s),
+        recorder=recorder,
+        timeline=sampler.timeline if sampler is not None else None,
     )
 
 
@@ -152,6 +190,8 @@ def run_chaos_sharded(
     warmup_s: float = 2.0,
     updates_per_min: float = 60.0,
     faults_per_min: float = 30.0,
+    record: bool = False,
+    timeline_period_s: Optional[float] = None,
 ):
     """``num_shards`` independent chaos runs under derived seeds, merged.
 
@@ -175,5 +215,7 @@ def run_chaos_sharded(
             "warmup_s": warmup_s,
             "updates_per_min": updates_per_min,
             "faults_per_min": faults_per_min,
+            "record": record,
+            "timeline_period_s": timeline_period_s,
         },
     )

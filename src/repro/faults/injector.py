@@ -74,6 +74,17 @@ class FaultInjector:
     def _deliver(self, event: FaultEvent) -> None:
         self.injected[event.kind] += 1
         switch = self._switch
+        recorder = getattr(switch, "recorder", None)
+        if recorder is not None:
+            recorder.record(
+                self._queue.now,
+                "fault",
+                event.kind.name.lower(),
+                duration_s=event.duration_s,
+                count=event.count,
+                probability=event.probability,
+                delay_s=event.delay_s,
+            )
         if event.kind is FaultKind.CPU_CRASH:
             self.jobs_lost_to_crashes += switch.inject_cpu_crash(event.duration_s)
         elif event.kind is FaultKind.CPU_STALL:

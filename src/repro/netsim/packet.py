@@ -74,10 +74,15 @@ class VirtualIP:
         return cls(ip=ip, port=int(port), proto=proto, v6=v6)
 
     def __str__(self) -> str:
-        host = _format_ip(self.ip, self.v6)
-        if self.v6:
-            return f"[{host}]:{self.port}"
-        return f"{host}:{self.port}"
+        # Rendered per flight-recorder event; building an ipaddress object
+        # each time would dominate the record path, so cache like __hash__.
+        try:
+            return self._str
+        except AttributeError:
+            host = _format_ip(self.ip, self.v6)
+            text = f"[{host}]:{self.port}" if self.v6 else f"{host}:{self.port}"
+            object.__setattr__(self, "_str", text)
+            return text
 
 
 @dataclass(frozen=True)
@@ -111,10 +116,15 @@ class DirectIP:
         return cls(ip=ip, port=int(port), v6=v6)
 
     def __str__(self) -> str:
-        host = _format_ip(self.ip, self.v6)
-        if self.v6:
-            return f"[{host}]:{self.port}"
-        return f"{host}:{self.port}"
+        # Rendered per flight-recorder event; building an ipaddress object
+        # each time would dominate the record path, so cache like __hash__.
+        try:
+            return self._str
+        except AttributeError:
+            host = _format_ip(self.ip, self.v6)
+            text = f"[{host}]:{self.port}" if self.v6 else f"{host}:{self.port}"
+            object.__setattr__(self, "_str", text)
+            return text
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,16 @@ The measurement layer the rest of the reproduction reports through:
   its ``t_req`` / ``t_exec`` / ``t_finish`` marks (Figure 11).
 * :mod:`repro.obs.export` — Prometheus text format and JSON/JSONL dumps,
   plus the minimal parser the smoke tests round-trip through.
+* :mod:`repro.obs.timeline` — :class:`TimelineSampler` /
+  :class:`Timeline`: columnar registry snapshots at fixed sim-time epochs,
+  mergeable across shards with bit-identical fingerprints.
+* :mod:`repro.obs.recorder` — :class:`FlightRecorder`: a bounded
+  structured-event ring (connection lifecycle, slow path, updates, faults)
+  with per-category drop accounting.
+* :mod:`repro.obs.chrometrace` — Chrome Trace Event Format / Perfetto
+  export of spans + recorder events + timeline tracks.
+* :mod:`repro.obs.forensics` — ``repro explain``: the causal timeline
+  behind each PCC violation, joined from the recorder.
 
 Every :class:`~repro.core.silkroad.SilkRoadSwitch` owns a registry
 (``switch.metrics``) and a tracer (``switch.tracer``); the
@@ -30,33 +40,59 @@ from .metrics import (
 )
 from .tracing import SpanEvent, TraceSpan, Tracer
 from .export import (
+    GAUGE_ERROR_COUNTER,
     dump_json,
     iter_jsonl,
     parse_prometheus_text,
     registry_to_dict,
     telemetry_to_dict,
     to_prometheus_text,
+    tracer_stats,
     write_jsonl,
+)
+from .timeline import SAMPLE_PRIORITY, Timeline, TimelineSampler
+from .recorder import DEFAULT_RING_SIZE, FlightRecorder, RecorderEvent
+from .chrometrace import to_chrome_trace, validate_chrome_trace, write_chrome_trace
+from .forensics import (
+    ViolationStory,
+    coverage,
+    explain_violations,
+    format_stories,
 )
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_RING_SIZE",
+    "FlightRecorder",
+    "GAUGE_ERROR_COUNTER",
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS_S",
     "MetricRegistry",
     "P2Quantile",
+    "RecorderEvent",
+    "SAMPLE_PRIORITY",
     "Scope",
     "SpanEvent",
+    "Timeline",
+    "TimelineSampler",
     "TraceSpan",
     "Tracer",
+    "ViolationStory",
+    "coverage",
     "dump_json",
+    "explain_violations",
+    "format_stories",
     "get_default_registry",
     "iter_jsonl",
     "parse_prometheus_text",
     "registry_to_dict",
     "telemetry_to_dict",
+    "to_chrome_trace",
     "to_prometheus_text",
+    "tracer_stats",
+    "validate_chrome_trace",
+    "write_chrome_trace",
     "write_jsonl",
 ]

@@ -24,14 +24,53 @@ from .metrics import Counter, Gauge, Histogram, MetricRegistry
 from .tracing import Tracer
 
 __all__ = [
+    "GAUGE_ERROR_COUNTER",
     "to_prometheus_text",
     "parse_prometheus_text",
     "registry_to_dict",
     "telemetry_to_dict",
+    "tracer_stats",
     "dump_json",
     "iter_jsonl",
     "write_jsonl",
 ]
+
+#: Counter bumped (in the exported registry itself) whenever a callback
+#: gauge raises during an export — one bad probe must not abort the dump.
+GAUGE_ERROR_COUNTER = "obs.gauge_callback_errors_total"
+
+
+def _safe_value(instrument, errors: List[str]) -> float:
+    """Read ``instrument.value``, mapping a raising callback gauge to NaN.
+
+    The error is appended to ``errors`` so the caller can account for it;
+    NaN is the honest sample value for "the probe blew up".
+    """
+    try:
+        return float(instrument.value)
+    except Exception as exc:
+        errors.append(f"{instrument.name}: {type(exc).__name__}: {exc}")
+        return float("nan")
+
+
+def _note_gauge_errors(registry: MetricRegistry, errors: List[str]) -> Optional[Counter]:
+    if not errors:
+        return None
+    counter = registry.counter(
+        GAUGE_ERROR_COUNTER, help="callback gauges that raised during export"
+    )
+    counter.inc(len(errors))
+    return counter
+
+
+def tracer_stats(tracer: Tracer) -> Dict[str, int]:
+    """Span-loss accounting, surfaced so silent eviction is visible."""
+    return {
+        "spans_started": tracer.spans_started,
+        "spans_dropped": tracer.spans_dropped,
+        "spans_finished": len(tracer),
+        "spans_open": len(tracer.open_spans),
+    }
 
 
 def _prom_name(namespace: str, name: str) -> str:
@@ -55,23 +94,51 @@ def _fmt_value(value: float) -> str:
     return repr(float(value))
 
 
-def to_prometheus_text(registry: MetricRegistry) -> str:
-    """Render a registry in the Prometheus exposition text format."""
+def to_prometheus_text(
+    registry: MetricRegistry, tracer: Optional[Tracer] = None
+) -> str:
+    """Render a registry in the Prometheus exposition text format.
+
+    With a ``tracer``, its span-loss accounting is appended as
+    ``*_tracer_spans_started_total`` / ``*_tracer_spans_dropped_total``
+    counters and ``*_tracer_spans_open`` gauge.  A raising callback gauge
+    renders as NaN and bumps ``obs.gauge_callback_errors_total`` instead of
+    aborting the scrape.
+    """
     lines: List[str] = []
     labels = registry.labels
+    errors: List[str] = []
     for name, instrument in registry.instruments():
         prom = _prom_name(registry.namespace, name)
         if instrument.help:
             lines.append(f"# HELP {prom} {instrument.help}")
         lines.append(f"# TYPE {prom} {instrument.kind}")
         if isinstance(instrument, (Counter, Gauge)):
-            lines.append(f"{prom}{_labels_text(labels)} {_fmt_value(instrument.value)}")
+            value = _safe_value(instrument, errors)
+            lines.append(f"{prom}{_labels_text(labels)} {_fmt_value(value)}")
         elif isinstance(instrument, Histogram):
             for bound, cumulative in instrument.cumulative_buckets():
                 le = _labels_text(labels, (("le", _fmt_value(bound)),))
                 lines.append(f"{prom}_bucket{le} {cumulative}")
             lines.append(f"{prom}_sum{_labels_text(labels)} {_fmt_value(instrument.sum)}")
             lines.append(f"{prom}_count{_labels_text(labels)} {instrument.count}")
+    error_counter = _note_gauge_errors(registry, errors)
+    if error_counter is not None:
+        prom = _prom_name(registry.namespace, error_counter.name)
+        lines.append(f"# HELP {prom} {error_counter.help}")
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom}{_labels_text(labels)} {_fmt_value(error_counter.value)}")
+    if tracer is not None:
+        stats = tracer_stats(tracer)
+        for stat, kind in (
+            ("spans_started", "counter"),
+            ("spans_dropped", "counter"),
+            ("spans_open", "gauge"),
+        ):
+            suffix = "_total" if kind == "counter" else ""
+            prom = _prom_name(registry.namespace, f"tracer.{stat}{suffix}")
+            lines.append(f"# TYPE {prom} {kind}")
+            lines.append(f"{prom}{_labels_text(labels)} {stats[stat]}")
     return "\n".join(lines) + "\n"
 
 
@@ -130,14 +197,36 @@ def _histogram_dict(instrument: Histogram) -> Dict[str, object]:
 
 
 def registry_to_dict(registry: MetricRegistry) -> Dict[str, object]:
-    """One JSON-ready dict per instrument, keyed by dotted metric name."""
+    """One JSON-ready dict per instrument, keyed by dotted metric name.
+
+    A raising callback gauge does not abort the dump: its entry carries
+    ``"error"`` instead of a number, and the registry's
+    ``obs.gauge_callback_errors_total`` counter (created on first error)
+    records the failure for the next scrape.
+    """
     metrics: Dict[str, object] = {}
+    errors: List[str] = []
     for name, instrument in registry.instruments():
         if isinstance(instrument, Histogram):
             metrics[name] = _histogram_dict(instrument)
         else:
-            metrics[name] = {"type": instrument.kind, "value": instrument.value}
-    return {
+            before = len(errors)
+            value = _safe_value(instrument, errors)
+            if len(errors) > before:
+                metrics[name] = {
+                    "type": instrument.kind,
+                    "value": None,
+                    "error": errors[-1],
+                }
+            else:
+                metrics[name] = {"type": instrument.kind, "value": value}
+    error_counter = _note_gauge_errors(registry, errors)
+    if error_counter is not None:
+        metrics[error_counter.name] = {
+            "type": "counter",
+            "value": error_counter.value,
+        }
+    doc: Dict[str, object] = {
         "namespace": registry.namespace,
         "labels": dict(registry.labels),
         # The exact-state digest, so exported telemetry carries the run's
@@ -145,6 +234,9 @@ def registry_to_dict(registry: MetricRegistry) -> Dict[str, object]:
         "fingerprint": registry.fingerprint(),
         "metrics": metrics,
     }
+    if errors:
+        doc["gauge_errors"] = list(errors)
+    return doc
 
 
 def telemetry_to_dict(
@@ -153,9 +245,16 @@ def telemetry_to_dict(
     series: Optional[Dict[str, object]] = None,
     extra: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
-    """The full telemetry document: metrics + trace spans (+ time series)."""
+    """The full telemetry document: metrics + trace spans (+ time series).
+
+    The ``tracer`` block carries the span-loss accounting
+    (``spans_started`` / ``spans_dropped``) so eviction under
+    ``max_spans`` pressure is visible in every dump format.
+    """
     doc = registry_to_dict(registry)
     doc["spans"] = tracer.to_dicts() if tracer is not None else []
+    if tracer is not None:
+        doc["tracer"] = tracer_stats(tracer)
     if series is not None:
         doc["series"] = series
     if extra:

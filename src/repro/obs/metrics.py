@@ -547,6 +547,16 @@ class MetricRegistry:
             out.merge(registry)
         return out
 
+    @staticmethod
+    def _read(instrument) -> float:
+        """An instrument's value, with a raising callback gauge read as
+        NaN — exporters and fingerprints must survive one bad probe (the
+        export layer separately accounts the error)."""
+        try:
+            return float(instrument.value)
+        except Exception:
+            return float("nan")
+
     def snapshot(self) -> Dict[str, float]:
         """Flat name -> value view (histograms contribute count/sum/mean)."""
         out: Dict[str, float] = {}
@@ -557,7 +567,7 @@ class MetricRegistry:
                 if instrument.count:
                     out[f"{name}.mean"] = instrument.mean()
             else:
-                out[name] = float(instrument.value)
+                out[name] = self._read(instrument)
         return out
 
     def fingerprint(self) -> str:
@@ -576,7 +586,7 @@ class MetricRegistry:
                 parts.append(repr(instrument.count))
                 hasher.update(f"{name}={','.join(parts)}\n".encode())
             else:
-                hasher.update(f"{name}={float(instrument.value)!r}\n".encode())
+                hasher.update(f"{name}={self._read(instrument)!r}\n".encode())
         return hasher.hexdigest()
 
 

@@ -1,0 +1,245 @@
+"""Bounded structured-event ring: the :class:`FlightRecorder`.
+
+Metrics say *how many*, the timeline says *when in aggregate*; forensics
+("why did connection X break PCC?") needs the individual events.  The
+recorder is a fixed-capacity ring of :class:`RecorderEvent` records —
+connection lifecycle, slow-path operations, 3-step-update transitions,
+injected faults — cheap enough to leave attached through a whole chaos run
+and bounded enough that memory never grows past the ring.
+
+Events carry a ``category`` (``"conn"``, ``"slowpath"``, ``"update"``,
+``"fault"``, ...) and, for per-connection events, the connection ``key``
+the forensics engine joins on.  When the ring is full the *oldest* event is
+evicted and its category's drop counter incremented, so a saturated
+recorder reports exactly what kind of history it lost.
+
+Storage is *columnar*: parallel lists of scalars, written circularly.  A
+per-event record object (or tuple) would be one more tracked container on
+the cyclic-GC's young generation for every event retained, and tens of
+thousands of surviving containers measurably inflate every gen-0
+collection the simulation triggers — the dominant cost of leaving a
+recorder attached, dwarfing the append itself.  Scalars (floats, interned
+strings, bytes) are not GC-tracked, so the columnar ring keeps the armed
+run's collection count essentially at the bare run's level.
+:class:`RecorderEvent` views are materialized lazily by the query methods,
+which only run after the simulation.
+
+Recorders pickle (the sharded replay ships them back from workers) and
+merge: events concatenate ordered by ``(t, source, seq)`` and drop counts
+add, mirroring the registry/timeline merge contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["FlightRecorder", "RecorderEvent", "DEFAULT_RING_SIZE"]
+
+#: Default ring capacity; a laptop-scale chaos run emits a few thousand
+#: events, so the default keeps everything while staying a few MiB worst
+#: case at full scale.
+DEFAULT_RING_SIZE = 65_536
+
+#: Column order: ``(seq, t, category, name, key, source, attrs)``.
+_NUM_COLS = 7
+_SEQ, _T, _CATEGORY, _NAME, _KEY, _SOURCE, _ATTRS = range(_NUM_COLS)
+
+#: One event as a cross-column row, in the column order above.
+Row = Tuple[int, float, str, str, Optional[bytes], str, tuple]
+
+
+class RecorderEvent:
+    """One structured event.  Immutable by convention; ``attrs`` is a
+    tuple of ``(key, value)`` pairs so events hash/pickle cheaply."""
+
+    __slots__ = ("seq", "t", "category", "name", "key", "source", "attrs")
+
+    def __init__(
+        self,
+        seq: int,
+        t: float,
+        category: str,
+        name: str,
+        key: Optional[bytes] = None,
+        source: str = "",
+        attrs: Tuple[Tuple[str, object], ...] = (),
+    ) -> None:
+        self.seq = seq
+        self.t = t
+        self.category = category
+        self.name = name
+        self.key = key
+        self.source = source
+        self.attrs = attrs
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "seq": self.seq,
+            "t": self.t,
+            "category": self.category,
+            "name": self.name,
+        }
+        if self.key is not None:
+            out["key"] = self.key.hex()
+        if self.source:
+            out["source"] = self.source
+        out.update(self.attrs)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        key = f" key={self.key.hex()[:12]}" if self.key is not None else ""
+        return f"RecorderEvent({self.category}.{self.name} t={self.t:.6f}{key})"
+
+
+class FlightRecorder:
+    """Fixed-capacity event ring with per-category drop accounting."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_SIZE, source: str = "") -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.source = source
+        self._cols: Tuple[list, ...] = tuple([] for _ in range(_NUM_COLS))
+        #: Ring slot of the *oldest* retained event (0 until the first
+        #: eviction wraps the write cursor).
+        self._start = 0
+        self._seq = 0
+        #: events recorded, per category (including later-dropped ones).
+        self.recorded: Dict[str, int] = {}
+        #: events evicted from the ring, per category.
+        self.dropped: Dict[str, int] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def record(
+        self,
+        t: float,
+        category: str,
+        name: str,
+        key: Optional[bytes] = None,
+        **attrs: object,
+    ) -> None:
+        """Append one event, evicting the oldest if the ring is full."""
+        recorded = self.recorded
+        recorded[category] = recorded.get(category, 0) + 1
+        self._seq = seq = self._seq + 1
+        seqs, ts, cats, names, keys, sources, attr_col = self._cols
+        if len(seqs) < self.capacity:
+            seqs.append(seq)
+            ts.append(t)
+            cats.append(category)
+            names.append(name)
+            keys.append(key)
+            sources.append(self.source)
+            attr_col.append(tuple(attrs.items()))
+        else:
+            slot = self._start
+            self._start = slot + 1 if slot + 1 < self.capacity else 0
+            evicted = cats[slot]
+            self.dropped[evicted] = self.dropped.get(evicted, 0) + 1
+            seqs[slot] = seq
+            ts[slot] = t
+            cats[slot] = category
+            names[slot] = name
+            keys[slot] = key
+            sources[slot] = self.source
+            attr_col[slot] = tuple(attrs.items())
+
+    # -- accounting ----------------------------------------------------
+
+    @property
+    def total_recorded(self) -> int:
+        return sum(self.recorded.values())
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.dropped.values())
+
+    def __len__(self) -> int:
+        return len(self._cols[_SEQ])
+
+    # -- views ---------------------------------------------------------
+
+    def _rows(self) -> Iterator[Row]:
+        """Retained events as cross-column rows, oldest first."""
+        cols = self._cols
+        n = len(cols[_SEQ])
+        start = self._start
+        for i in range(n):
+            j = start + i
+            if j >= n:
+                j -= n
+            yield tuple(col[j] for col in cols)
+
+    def events(
+        self, category: Optional[str] = None, name: Optional[str] = None
+    ) -> List[RecorderEvent]:
+        """Retained events in record order, optionally filtered."""
+        out = []
+        for row in self._rows():
+            if category is not None and row[_CATEGORY] != category:
+                continue
+            if name is not None and row[_NAME] != name:
+                continue
+            out.append(RecorderEvent(*row))
+        return out
+
+    def events_for_key(self, key: bytes) -> List[RecorderEvent]:
+        """Every retained event tagged with connection ``key``."""
+        return [RecorderEvent(*row) for row in self._rows() if row[_KEY] == key]
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [RecorderEvent(*row).to_dict() for row in self._rows()]
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "retained": len(self),
+            "recorded": dict(sorted(self.recorded.items())),
+            "dropped": dict(sorted(self.dropped.items())),
+        }
+
+    # -- merge ---------------------------------------------------------
+
+    def merge(self, other: "FlightRecorder") -> "FlightRecorder":
+        """Fold another recorder in: events interleave by time, accounting
+        adds, capacity extends (the merged view is an archive, not a live
+        ring, so nothing is evicted by the merge itself)."""
+        rows = sorted(
+            list(self._rows()) + list(other._rows()),
+            key=lambda row: (row[_T], row[_SOURCE], row[_SEQ]),
+        )
+        self.capacity = self.capacity + other.capacity
+        cols: Tuple[list, ...] = tuple([] for _ in range(_NUM_COLS))
+        for row in rows:
+            for col, value in zip(cols, row):
+                col.append(value)
+        self._cols = cols
+        self._start = 0
+        self._seq = max(self._seq, other._seq)
+        for table, theirs in (
+            (self.recorded, other.recorded),
+            (self.dropped, other.dropped),
+        ):
+            for category, count in theirs.items():
+                table[category] = table.get(category, 0) + count
+        if self.source and other.source and self.source != other.source:
+            self.source = ""
+        elif not self.source:
+            self.source = other.source
+        return self
+
+    @classmethod
+    def merged(
+        cls, recorders: Iterable["FlightRecorder"]
+    ) -> Optional["FlightRecorder"]:
+        """A fresh recorder holding the fold of ``recorders`` in order."""
+        out: Optional[FlightRecorder] = None
+        for recorder in recorders:
+            if out is None:
+                out = cls(capacity=recorder.capacity, source=recorder.source)
+                out.merge(recorder)
+                out.capacity = recorder.capacity
+            else:
+                out.merge(recorder)
+        return out

@@ -122,6 +122,92 @@ class TestFingerprintEquivalence:
         assert a.fingerprint != b.fingerprint
 
 
+class TestTimelineAndRecorderSharding:
+    """The observability layer extends the sharded-replay invariant: the
+    merged Timeline fingerprint is bit-identical across worker counts."""
+
+    OBS_PARAMS = dict(FIG16_PARAMS, timeline_period_s=5.0, record=True)
+
+    def test_timeline_fingerprint_identical_across_1_2_4_workers(self):
+        results = {
+            workers: run_sharded(
+                "fig16",
+                num_shards=4,
+                workers=workers,
+                seed=16,
+                params=dict(self.OBS_PARAMS),
+            )
+            for workers in (1, 2, 4)
+        }
+        fingerprints = {
+            r.timeline_fingerprint for r in results.values()
+        }
+        assert len(fingerprints) == 1 and None not in fingerprints
+        # The recorder merge is deterministic too: same retained events in
+        # the same order regardless of pool size.
+        dumps = {
+            workers: r.recorder.to_dicts() for workers, r in results.items()
+        }
+        assert dumps[1] == dumps[2] == dumps[4]
+        assert results[1].fingerprint == results[4].fingerprint
+
+    def test_merged_timeline_shape_and_columns(self):
+        result = run_sharded(
+            "fig16",
+            num_shards=2,
+            workers=1,
+            seed=16,
+            params=dict(self.OBS_PARAMS),
+        )
+        tl = result.timeline
+        assert tl is not None
+        # horizon 20s at period 5s: epochs 0, 5, 10, 15, 20.
+        assert tl.epochs == [0.0, 5.0, 10.0, 15.0, 20.0]
+        # Columns are system-prefixed, matching the registry fold.
+        assert any(name.startswith("silkroad.") for name in tl.names())
+        # The final epoch's merged counter equals the merged registry's.
+        name = "silkroad.conn_table.inserts_total"
+        if name in tl:
+            assert tl.column(name)[-1] == result.registry.get(name).value
+
+    def test_recorder_events_tagged_by_shard_and_system(self):
+        result = run_sharded(
+            "fig16",
+            num_shards=2,
+            workers=1,
+            seed=16,
+            params=dict(self.OBS_PARAMS),
+        )
+        rec = result.recorder
+        assert rec is not None and len(rec) > 0
+        sources = {e.source for e in rec.events()}
+        assert sources == {"s0.silkroad", "s1.silkroad"}
+        # Events interleave chronologically after the merge.
+        times = [e.t for e in rec.events()]
+        assert times == sorted(times)
+
+    def test_chaos_shards_carry_timeline_and_recorder(self):
+        params = dict(CHAOS_PARAMS, timeline_period_s=2.0, record=True)
+        result = run_sharded(
+            "chaos", num_shards=2, workers=1, seed=7, params=params
+        )
+        assert result.timeline is not None
+        assert result.timeline.epochs == [0.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+        assert result.recorder is not None and len(result.recorder) > 0
+        assert {e.source for e in result.recorder.events()} == {
+            "s0.chaos",
+            "s1.chaos",
+        }
+
+    def test_disabled_by_default(self):
+        result = run_sharded(
+            "fig16", num_shards=2, workers=1, seed=16, params=dict(FIG16_PARAMS)
+        )
+        assert result.timeline is None
+        assert result.recorder is None
+        assert result.timeline_fingerprint is None
+
+
 class TestMergedView:
     def test_shards_carry_audits_and_metrics(self):
         result = run_sharded(

@@ -8,12 +8,14 @@ import math
 import pytest
 
 from repro.obs.export import (
+    GAUGE_ERROR_COUNTER,
     dump_json,
     iter_jsonl,
     parse_prometheus_text,
     registry_to_dict,
     telemetry_to_dict,
     to_prometheus_text,
+    tracer_stats,
 )
 from repro.obs.metrics import MetricRegistry
 from repro.obs.tracing import Tracer
@@ -83,6 +85,89 @@ class TestJson:
         doc = telemetry_to_dict(make_registry(), extra={"switch": "s1"})
         assert doc["switch"] == "s1"
         assert doc["spans"] == []
+
+
+def make_broken_registry() -> MetricRegistry:
+    registry = make_registry()
+
+    def boom():
+        raise RuntimeError("probe died")
+
+    registry.gauge("bad_probe").set_function(boom)
+    return registry
+
+
+class TestRaisingCallbackGauge:
+    def test_prometheus_export_survives_and_accounts(self):
+        registry = make_broken_registry()
+        samples = parse_prometheus_text(to_prometheus_text(registry))
+        sig = '{switch="s1"}'
+        # Healthy instruments still exported.
+        assert samples["repro_conn_table_inserts_total"][sig] == 42.0
+        # The bad probe renders as NaN rather than aborting the scrape.
+        assert math.isnan(samples["repro_bad_probe"][sig])
+        # ... and the error counter records it for the next scrape.
+        assert samples["repro_obs_gauge_callback_errors_total"][sig] == 1.0
+        assert registry.get(GAUGE_ERROR_COUNTER).value == 1.0
+
+    def test_registry_dict_survives_and_reports_error(self):
+        doc = registry_to_dict(make_broken_registry())
+        entry = doc["metrics"]["bad_probe"]
+        assert entry["value"] is None
+        assert "RuntimeError" in entry["error"]
+        assert doc["metrics"][GAUGE_ERROR_COUNTER]["value"] == 1.0
+        assert doc["gauge_errors"] and "bad_probe" in doc["gauge_errors"][0]
+        # Healthy instruments unharmed.
+        assert doc["metrics"]["conn_table.inserts_total"]["value"] == 42.0
+
+    def test_error_counter_accumulates_across_scrapes(self):
+        registry = make_broken_registry()
+        to_prometheus_text(registry)
+        registry_to_dict(registry)
+        assert registry.get(GAUGE_ERROR_COUNTER).value == 2.0
+
+    def test_fingerprint_survives_raising_gauge(self):
+        registry = make_broken_registry()
+        fp1 = registry.fingerprint()
+        fp2 = registry.fingerprint()
+        assert fp1 == fp2  # NaN repr is stable
+
+
+class TestTracerStats:
+    def make_tracer(self) -> Tracer:
+        tracer = Tracer(max_spans=2)
+        for i in range(3):
+            tracer.start_span("s", t=float(i)).finish(float(i))
+        tracer.start_span("open", t=9.0)
+        return tracer
+
+    def test_stats_shape(self):
+        stats = tracer_stats(self.make_tracer())
+        assert stats == {
+            "spans_started": 4,
+            "spans_dropped": 1,
+            "spans_finished": 2,
+            "spans_open": 1,
+        }
+
+    def test_prometheus_rendering_includes_span_loss(self):
+        samples = parse_prometheus_text(
+            to_prometheus_text(make_registry(), tracer=self.make_tracer())
+        )
+        sig = '{switch="s1"}'
+        assert samples["repro_tracer_spans_started_total"][sig] == 4.0
+        assert samples["repro_tracer_spans_dropped_total"][sig] == 1.0
+        assert samples["repro_tracer_spans_open"][sig] == 1.0
+
+    def test_telemetry_dict_carries_tracer_block(self):
+        doc = telemetry_to_dict(make_registry(), tracer=self.make_tracer())
+        assert doc["tracer"]["spans_started"] == 4
+        assert doc["tracer"]["spans_dropped"] == 1
+        assert len(doc["spans"]) == 2
+
+    def test_no_tracer_no_block(self):
+        doc = telemetry_to_dict(make_registry())
+        assert "tracer" not in doc
 
 
 class TestJsonl:

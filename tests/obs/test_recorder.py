@@ -1,0 +1,113 @@
+"""Tests for the FlightRecorder ring and its merge contract."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs.recorder import DEFAULT_RING_SIZE, FlightRecorder
+
+
+class TestRing:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_records_in_order_with_attrs(self):
+        rec = FlightRecorder(capacity=8, source="s0")
+        rec.record(1.0, "conn", "syn", key=b"k1", vip="v")
+        rec.record(2.0, "conn", "install", key=b"k1", moves=2)
+        events = rec.events()
+        assert [e.name for e in events] == ["syn", "install"]
+        assert events[0].source == "s0"
+        assert dict(events[1].attrs) == {"moves": 2}
+        assert events[0].to_dict()["key"] == b"k1".hex()
+
+    def test_full_ring_drops_oldest_and_accounts_by_category(self):
+        rec = FlightRecorder(capacity=3)
+        rec.record(0.0, "conn", "syn", key=b"a")
+        rec.record(1.0, "fault", "cpu_crash")
+        rec.record(2.0, "conn", "fin", key=b"a")
+        rec.record(3.0, "conn", "syn", key=b"b")  # evicts the t=0 conn event
+        rec.record(4.0, "update", "t_exec")  # evicts the t=1 fault event
+        assert len(rec) == 3
+        assert [e.t for e in rec.events()] == [2.0, 3.0, 4.0]
+        assert rec.dropped == {"conn": 1, "fault": 1}
+        # recorded counts include the dropped ones.
+        assert rec.recorded == {"conn": 3, "fault": 1, "update": 1}
+        assert rec.total_recorded == 5
+        assert rec.total_dropped == 2
+
+    def test_memory_bounded_by_capacity(self):
+        rec = FlightRecorder(capacity=16)
+        for i in range(1000):
+            rec.record(float(i), "conn", "syn", key=bytes([i % 256]))
+        assert len(rec) == 16
+        assert rec.total_recorded == 1000
+        assert rec.total_dropped == 984
+        assert rec.total_recorded == len(rec) + rec.total_dropped
+
+    def test_filters_and_key_join(self):
+        rec = FlightRecorder()
+        rec.record(0.0, "conn", "syn", key=b"a")
+        rec.record(1.0, "conn", "syn", key=b"b")
+        rec.record(2.0, "conn", "fin", key=b"a")
+        rec.record(3.0, "update", "t_req")
+        assert [e.t for e in rec.events(category="conn", name="syn")] == [0.0, 1.0]
+        assert [e.t for e in rec.events_for_key(b"a")] == [0.0, 2.0]
+        assert rec.events_for_key(b"zz") == []
+
+    def test_summary_shape(self):
+        rec = FlightRecorder(capacity=4)
+        rec.record(0.0, "conn", "syn")
+        summary = rec.summary()
+        assert summary["capacity"] == 4
+        assert summary["retained"] == 1
+        assert summary["recorded"] == {"conn": 1}
+        assert summary["dropped"] == {}
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_RING_SIZE
+
+
+class TestMerge:
+    def test_merge_interleaves_by_time_and_adds_accounting(self):
+        a = FlightRecorder(capacity=4, source="s0")
+        b = FlightRecorder(capacity=4, source="s1")
+        a.record(0.0, "conn", "syn")
+        a.record(2.0, "conn", "fin")
+        b.record(1.0, "fault", "cpu_crash")
+        a.merge(b)
+        assert [e.t for e in a.events()] == [0.0, 1.0, 2.0]
+        assert a.capacity == 8
+        assert a.recorded == {"conn": 2, "fault": 1}
+        # Mixed sources blank the merged recorder's own source tag but
+        # each event keeps its origin.
+        assert a.source == ""
+        assert {e.source for e in a.events()} == {"s0", "s1"}
+
+    def test_merged_classmethod_is_order_deterministic(self):
+        def build():
+            recs = []
+            for shard in range(3):
+                rec = FlightRecorder(source=f"s{shard}")
+                rec.record(1.0, "conn", "syn", key=bytes([shard]))
+                recs.append(rec)
+            return recs
+
+        out1 = FlightRecorder.merged(build())
+        out2 = FlightRecorder.merged(build())
+        assert [e.source for e in out1.events()] == [
+            e.source for e in out2.events()
+        ]
+        assert FlightRecorder.merged(()) is None
+
+    def test_pickle_round_trip(self):
+        rec = FlightRecorder(capacity=4, source="s0")
+        rec.record(0.5, "conn", "syn", key=b"k", vip="10.0.0.1:80")
+        clone = pickle.loads(pickle.dumps(rec))
+        assert clone.to_dicts() == rec.to_dicts()
+        assert clone.capacity == rec.capacity
+        clone.record(1.0, "conn", "fin")
+        assert len(clone) == 2

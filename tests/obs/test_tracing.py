@@ -45,6 +45,64 @@ class TestTraceSpan:
         assert tracer.spans_dropped == 1
         assert [s.start for s in tracer.finished_spans] == [1.0, 2.0]
 
+    def test_overflow_eviction_is_finish_ordered(self):
+        """Eviction follows *finish* order, not start order: a span that
+        started first but finished last survives longer."""
+        tracer = Tracer(max_spans=2)
+        early_start = tracer.start_span("late_finisher", t=0.0)
+        for i in range(3):
+            tracer.start_span("quick", t=float(i + 1)).finish(float(i + 1))
+        early_start.finish(10.0)
+        assert tracer.spans_dropped == 2
+        assert [s.name for s in tracer.finished_spans] == ["quick", "late_finisher"]
+        assert tracer.spans_started == 4
+
+    def test_to_dicts_include_open_marks_unfinished(self):
+        tracer = Tracer()
+        tracer.start_span("done", t=0.0).finish(1.0)
+        tracer.start_span("open", t=0.5)
+        docs = tracer.to_dicts(include_open=True)
+        by_name = {d["name"]: d for d in docs}
+        assert by_name["done"]["end"] == 1.0
+        assert by_name["open"]["end"] is None
+        assert by_name["open"]["duration"] is None
+        # Finished spans come first, so downstream consumers see stable order.
+        assert [d["name"] for d in docs] == ["done", "open"]
+
+    def test_reset_clears_spans_and_loss_counters(self):
+        tracer = Tracer(max_spans=1)
+        tracer.start_span("a", t=0.0).finish(1.0)
+        tracer.start_span("b", t=0.0).finish(1.0)  # evicts a
+        tracer.start_span("open", t=0.0)
+        assert (tracer.spans_started, tracer.spans_dropped) == (3, 1)
+        tracer.reset()
+        assert tracer.spans_started == 0
+        assert tracer.spans_dropped == 0
+        assert tracer.finished_spans == []
+        assert tracer.open_spans == []
+        # The tracer is reusable after reset.
+        tracer.start_span("fresh", t=0.0).finish(1.0)
+        assert tracer.spans_started == 1 and len(tracer) == 1
+
+    def test_chrome_trace_export_round_trip(self):
+        """Spans render to valid Trace Event Format with the documented
+        field contract (ph/ts/pid/tid, dur on complete events)."""
+        from repro.obs.chrometrace import to_chrome_trace, validate_chrome_trace
+
+        tracer = Tracer()
+        span = tracer.start_span("pcc_update", t=2.0, vip="v1")
+        span.mark("t_exec", 2.5)
+        span.finish(3.0)
+        doc = to_chrome_trace(tracer=tracer)
+        assert validate_chrome_trace(doc) == []
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        (event,) = complete
+        assert event["ts"] == pytest.approx(2.0e6)
+        assert event["dur"] == pytest.approx(1.0e6)
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        assert event["args"]["mark.t_exec"] == 2.5
+
 
 class TestSwitchSpans:
     def test_pcc_update_spans_from_real_run(self):

@@ -27,6 +27,25 @@ class TestParser:
         assert args.format == "json"
         assert args.out is None
 
+    def test_run_observability_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig16", "--timeline", "--record", "--trace-out", "t.json"]
+        )
+        assert args.timeline and args.record
+        assert args.timeline_period == 5.0
+        assert args.trace_out == "t.json"
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.out == "trace.json"
+        assert args.period == 1.0
+
+    def test_explain_defaults(self):
+        args = build_parser().parse_args(["explain"])
+        assert args.limit is None
+        assert not args.require_complete
+        assert args.conn_table_capacity is None
+
 
 class TestCommands:
     def test_experiments_list(self, capsys):
@@ -103,6 +122,71 @@ class TestCommands:
         records = [json.loads(line) for line in out.read_text().splitlines()]
         kinds = {r["record"] for r in records}
         assert {"metric", "span", "scenario", "report", "series"} <= kinds
+
+    def test_run_with_timeline_record_and_trace_out(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        fps = tmp_path / "fps.txt"
+        code = main(
+            [
+                "run", "fig16", "--num-shards", "2", "--workers", "1",
+                "--num-vips", "4", "--scale", "0.1", "--horizon", "20",
+                "--updates-per-min", "20", "--systems", "silkroad",
+                "--timeline", "--record",
+                "--trace-out", str(trace), "--fingerprint-out", str(fps),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timeline:" in out and "recorder:" in out
+        doc = json.loads(trace.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["traceEvents"]
+        lines = dict(
+            line.split(maxsplit=1) for line in fps.read_text().splitlines()
+        )
+        assert set(lines) == {"registry", "timeline"}
+        assert all(len(fp) == 64 for fp in lines.values())
+
+    def test_trace_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out = tmp_path / "trace.json"
+        code = main(
+            ["trace", "--scale", "0.03", "--horizon", "10", "--out", str(out)]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == []
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"i", "C", "M"} <= phases  # recorder lanes + timeline tracks
+
+    def test_explain_require_complete_gate(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "stories.json"
+        code = main(
+            [
+                "explain", "--seed", "1", "--scale", "0.1", "--horizon", "20",
+                "--updates-per-min", "200", "--faults-per-min", "90",
+                "--conn-table-capacity", "400", "--limit", "2",
+                "--json-out", str(out), "--require-complete",
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "explain coverage complete" in stdout
+        assert "cause:" in stdout
+        doc = json.loads(out.read_text())
+        assert doc["coverage"]["violations"] > 0
+        assert doc["coverage"]["unattributed"] == 0
+        assert len(doc["stories"]) == doc["coverage"]["violations"]
 
     def test_pcc_small_run(self, capsys):
         code = main(
