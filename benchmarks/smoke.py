@@ -1,16 +1,21 @@
 """CI benchmark smoke check: catch wall-clock regressions early.
 
-Times two representative workloads —
+Times three representative workloads —
 
-* the single-pass hashing fan-out (the per-packet hot path), and
-* a small Figure 16 configuration (the full switch model end to end) —
+* the single-pass hashing fan-out (the per-packet hot path),
+* a small Figure 16 configuration (the full switch model end to end),
+  in **both** replay modes: the batched chunked-arrival driver and the
+  scalar event-at-a-time oracle, and
+* the hardened slow path with fault injection disabled —
 
 and compares them against a checked-in baseline
 (``benchmarks/smoke_baseline.json``).  Raw seconds are useless across CI
 runners of different speeds, so every measurement is *normalized* by a
 calibration loop (pure-Python integer/dict work, independent of the code
 under test) run on the same machine.  The check fails when a normalized
-measurement exceeds the baseline by more than the tolerance (default 25%).
+measurement exceeds the baseline by more than the tolerance (default 25%),
+when the batched fig16 run's metric fingerprint diverges from the scalar
+oracle's, or when the batched speedup drops below ``MIN_FIG16_SPEEDUP``.
 
 With ``--workers N`` (N > 1) the script additionally runs a small
 sharded Figure 16 replay on an N-worker pool and on a single worker, and
@@ -101,25 +106,35 @@ def bench_hashing() -> float:
     return best
 
 
-def bench_fig16_small() -> float:
-    """A small Figure 16 configuration through the full SilkRoad model."""
+def bench_fig16_small(batched: bool = True, rounds: int = 2):
+    """A small Figure 16 configuration through the full SilkRoad model.
+
+    Runs the same workload through the chunked-arrival driver
+    (``batched=True``) or the scalar oracle, and returns
+    ``(best_seconds, registry_fingerprint)`` — the smoke gate times both
+    modes and fails the build if the fingerprints diverge (the CI-level
+    differential check) or if the batched speedup regresses.
+    """
     from repro.experiments import fig16
+    from repro.experiments.common import build_workload
 
     systems = fig16.default_systems(
         insertion_rate_per_s=10_000.0, duet_period_s=60.0
     )
-    t0 = time.perf_counter()
-    points = fig16.run(
-        rates=(50.0,),
-        scale=0.5,
-        seed=16,
-        horizon_s=60.0,
-        systems={"silkroad": systems["silkroad"]},
-    )
-    elapsed = time.perf_counter() - t0
-    # The run must stay correct, not just fast.
-    assert sum(p.violations for p in points) == 0, "smoke run broke PCC"
-    return elapsed
+    best = float("inf")
+    fingerprint = None
+    for _ in range(rounds):
+        # Same content fig16.run times: workload generation plus replay.
+        t0 = time.perf_counter()
+        workload = build_workload(
+            updates_per_min=50.0, scale=0.5, seed=16, horizon_s=60.0
+        )
+        report, _conns, lb = workload.replay(systems["silkroad"], batched=batched)
+        best = min(best, time.perf_counter() - t0)
+        # The run must stay correct, not just fast.
+        assert report.pcc_violations == 0, "smoke run broke PCC"
+        fingerprint = lb.metrics.fingerprint()
+    return best, fingerprint
 
 
 def bench_slow_path_no_faults() -> float:
@@ -154,9 +169,48 @@ def bench_slow_path_no_faults() -> float:
 
 MEASUREMENTS = {
     "hashing_fanout": bench_hashing,
-    "fig16_small": bench_fig16_small,
     "slow_path_no_faults": bench_slow_path_no_faults,
 }
+
+#: Minimum batched-over-scalar wall-clock speedup on the fig16_small
+#: workload.  Measured ~1.4-1.5x on the dev box; gated with slack for
+#: runner noise.  A failure here means the batched driver stopped paying
+#: for itself.
+MIN_FIG16_SPEEDUP = 1.15
+
+
+def measure_fig16_pair(normalized: dict, calibration_s: float) -> int:
+    """Run fig16_small in both modes; fail on divergence or lost speedup.
+
+    Fills ``normalized['fig16_small']`` (batched, the headline number)
+    and ``normalized['fig16_small_scalar']`` (the oracle).  Returns a
+    non-zero exit code on oracle divergence or speedup regression.
+    """
+    batched_s, batched_fp = bench_fig16_small(batched=True)
+    scalar_s, scalar_fp = bench_fig16_small(batched=False)
+    normalized["fig16_small"] = batched_s / calibration_s
+    normalized["fig16_small_scalar"] = scalar_s / calibration_s
+    print(
+        f"fig16_small: {batched_s:.4f}s batched / {scalar_s:.4f}s scalar "
+        f"({normalized['fig16_small']:.2f}x / "
+        f"{normalized['fig16_small_scalar']:.2f}x calibration)"
+    )
+    if batched_fp != scalar_fp:
+        print(
+            "ERROR: batched run diverged from the scalar oracle "
+            f"({batched_fp[:16]}… vs {scalar_fp[:16]}…)"
+        )
+        return 4
+    speedup = scalar_s / batched_s
+    status = "ok" if speedup >= MIN_FIG16_SPEEDUP else "REGRESSION"
+    print(
+        f"fig16_small speedup: {speedup:.2f}x over scalar "
+        f"({status}, floor {MIN_FIG16_SPEEDUP}x)"
+    )
+    if speedup < MIN_FIG16_SPEEDUP:
+        print("ERROR: batched driver lost its speedup over the scalar oracle")
+        return 5
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -296,6 +350,9 @@ def run(
         seconds = fn()
         normalized[name] = seconds / calibration_s
         print(f"{name}: {seconds:.4f}s  ({normalized[name]:.2f}x calibration)")
+    code = measure_fig16_pair(normalized, calibration_s)
+    if code:
+        return code
 
     if write:
         doc = {

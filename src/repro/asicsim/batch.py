@@ -1,0 +1,81 @@
+"""Columnar packet-batch representation for the batched hot path.
+
+The scalar simulator hands the switch one connection at a time; every
+layer then re-derives the same per-key facts (key bytes, the 64-bit base
+hash, per-stage profiles) on demand.  The batched execution mode instead
+materializes those facts *once per batch* as parallel columns — arrays of
+key bytes, cached base hashes, VIP ids and arrival timestamps — so the
+vectorized primitives (:func:`~repro.asicsim.hashing.base_hash_many`,
+:meth:`~repro.asicsim.cuckoo.CuckooTable.prime_profiles`,
+:meth:`~repro.asicsim.registers.BloomFilter.query_batch`) can run over
+whole batches while the per-element semantics stay bit-identical to the
+scalar oracle (see the intra-batch ordering rule in docs/architecture.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..netsim.flows import Connection
+from .hashing import base_hash_many
+
+
+class PacketBatch:
+    """One batch of connection arrivals in columnar (struct-of-arrays) form.
+
+    ``conns[i]``, ``keys[i]``, ``base_hashes[i]``, ``vips[i]`` and
+    ``starts[i]`` all describe the same arrival; the columns exist so batch
+    consumers iterate plain lists instead of chasing attributes object by
+    object.
+    """
+
+    __slots__ = ("conns", "keys", "base_hashes", "vips", "starts")
+
+    def __init__(self, conns, keys, base_hashes, vips, starts) -> None:
+        self.conns: List[Connection] = conns
+        self.keys: List[bytes] = keys
+        self.base_hashes: List[int] = base_hashes
+        self.vips: List = vips
+        self.starts: List[float] = starts
+
+    def __len__(self) -> int:
+        return len(self.conns)
+
+    @classmethod
+    def from_connections(cls, conns: Sequence[Connection]) -> "PacketBatch":
+        """Build the columns, computing and caching each conn's key facts.
+
+        Key bytes and base hashes are written back into the connections'
+        ``__dict__`` (the ``_lazy`` descriptors' cache slot), so any later
+        scalar-path access — a delegated arrival, a relearn, an audit —
+        reuses them instead of re-hashing.  Hashes for keys not yet cached
+        are derived in one :func:`base_hash_many` bulk pass, which keeps
+        the one-byte-pass-per-connection accounting identical to the
+        scalar path.
+        """
+        keys: List[bytes] = []
+        vips: List = []
+        starts: List[float] = []
+        hashes: List[int] = [0] * len(conns)
+        missing: List[int] = []
+        missing_keys: List[bytes] = []
+        for i, conn in enumerate(conns):
+            d = conn.__dict__
+            key = d.get("key")
+            if key is None:
+                key = conn.five_tuple.key_bytes()
+                d["key"] = key
+            keys.append(key)
+            vips.append(conn.vip)
+            starts.append(conn.start)
+            h = d.get("key_hash")
+            if h is None:
+                missing.append(i)
+                missing_keys.append(key)
+            else:
+                hashes[i] = h
+        if missing:
+            for i, h in zip(missing, base_hash_many(missing_keys)):
+                hashes[i] = h
+                conns[i].__dict__["key_hash"] = h
+        return cls(list(conns), keys, hashes, vips, starts)

@@ -32,11 +32,23 @@ from __future__ import annotations
 
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Set, Tuple
 
 from ..obs.metrics import Scope
-from .hashing import HashUnit, _splitmix64, base_hash, hash_family
+from .hashing import (
+    HashUnit,
+    _splitmix64,
+    base_hash,
+    hash_family,
+    splitmix64_many,
+    splitmix64_np,
+)
 from .sram import DEFAULT_WORD_BITS, bytes_for_entries
+
+try:  # numpy powers profile_many's vectorized path; scalar never needs it
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
 
 #: Packing overhead per entry (instruction + next-table address), §6 of paper.
 DEFAULT_OVERHEAD_BITS = 6
@@ -50,26 +62,31 @@ class DuplicateKey(KeyError):
     """Raised when inserting a key that is already resident."""
 
 
-@dataclass
 class Slot:
     """One occupied table slot (one packed entry in an SRAM word)."""
 
-    key: bytes
-    digest: int
-    value: int
+    __slots__ = ("key", "digest", "value")
+
+    def __init__(self, key: bytes, digest: int, value: int) -> None:
+        self.key = key
+        self.digest = digest
+        self.value = value
 
 
-@dataclass(frozen=True)
-class Location:
-    """Physical position of an entry: (stage, bucket, way)."""
+class Location(NamedTuple):
+    """Physical position of an entry: (stage, bucket, way).
+
+    A ``NamedTuple`` rather than a frozen dataclass: one is allocated per
+    insert (and per lookup hit), and tuple construction skips the
+    per-field ``object.__setattr__`` a frozen dataclass pays.
+    """
 
     stage: int
     bucket: int
     way: int
 
 
-@dataclass(frozen=True)
-class LookupResult:
+class LookupResult(NamedTuple):
     """Outcome of a data-plane lookup.
 
     ``hit`` is what the ASIC sees (digest matched).  ``false_positive`` is
@@ -83,8 +100,13 @@ class LookupResult:
     false_positive: bool = False
 
 
-@dataclass(frozen=True)
-class InsertResult:
+#: Shared miss result: lookups miss far more often than they hit on the
+#: arrival hot path, and the result is immutable, so one instance serves
+#: every miss without a per-call allocation.
+_MISS = LookupResult(hit=False)
+
+
+class InsertResult(NamedTuple):
     """Outcome of a software insertion."""
 
     location: Location
@@ -203,8 +225,17 @@ class CuckooTable:
             OrderedDict()
         )
         self.profile_cache_evictions = 0
-        # (stage, bucket, digest) -> set of resident keys with that candidate.
-        self._candidates: Dict[Tuple[int, int, int], Set[bytes]] = {}
+        # (stage, bucket, digest) -> set of resident keys with that
+        # candidate.  The triple is packed into one int —
+        # ``digest << shift | (stage * buckets + bucket)`` — because these
+        # dicts sit on the hottest paths (lookup fast-miss, register/
+        # unregister per insert/delete) and int keys hash far cheaper than
+        # tuples.
+        self._stage_offsets: List[int] = [
+            s * buckets_per_stage for s in range(stages)
+        ]
+        self._cand_shift = (stages * buckets_per_stage).bit_length()
+        self._candidates: Dict[int, Set[bytes]] = {}
         self.false_positive_lookups = 0
         self.total_lookups = 0
         self.failed_inserts = 0
@@ -371,6 +402,77 @@ class CuckooTable:
         cache[key] = profile
         return profile
 
+    def profile_many(self, bases: List[int]) -> List[Tuple[Tuple[int, int], ...]]:
+        """Candidate profiles for a batch of base hashes (vectorized).
+
+        Bit-identical to ``[_profile-style mixing for each base]``: the
+        per-stage derivations run through :func:`splitmix64_many`, which
+        matches the scalar splitmix64 rounds exactly, and the bucket modulo
+        / digest shift happen on plain Python ints.  Does not touch the
+        caches — see :meth:`prime_profiles` for the caching wrapper.
+        """
+        buckets = self.buckets_per_stage
+        per_stage: List[List[Tuple[int, int]]] = []
+        if _np is not None and len(bases) >= 16:
+            arr = _np.array(bases, dtype=_np.uint64)
+            nb = _np.uint64(buckets)
+            for index_mix, digest_mix, shift in self._stage_mixes:
+                idx = (splitmix64_np(arr ^ _np.uint64(index_mix)) % nb).tolist()
+                dig = (
+                    splitmix64_np(arr ^ _np.uint64(digest_mix))
+                    >> _np.uint64(shift)
+                ).tolist()
+                per_stage.append(list(zip(idx, dig)))
+        else:
+            for index_mix, digest_mix, shift in self._stage_mixes:
+                idx = splitmix64_many(bases, index_mix)
+                dig = splitmix64_many(bases, digest_mix)
+                per_stage.append(
+                    [(i % buckets, d >> shift) for i, d in zip(idx, dig)]
+                )
+        return list(zip(*per_stage))
+
+    def prime_profiles(
+        self, keys: List[bytes], key_hashes: List[Optional[int]]
+    ) -> None:
+        """Warm the profile caches for a batch of keys.
+
+        After this, ``lookup``/``insert`` on any of ``keys`` finds its
+        profile cached and performs zero hashing.  Cache discipline matches
+        the scalar path per key in list order (hits refresh LRU position,
+        misses insert with the same eviction rule), so cache state evolves
+        as if each key had been profiled individually.
+        """
+        profiles = self._profiles
+        cache = self._profile_cache
+        missing_keys: List[bytes] = []
+        missing_bases: List[int] = []
+        seen: Set[bytes] = set()
+        for key, base in zip(keys, key_hashes):
+            if key in profiles or key in cache or key in seen:
+                continue
+            seen.add(key)
+            missing_keys.append(key)
+            # A None hash means the caller has no cached base: byte-hash
+            # here, once, exactly as the scalar profile path would.
+            missing_bases.append(base_hash(key) if base is None else base)
+        computed = (
+            dict(zip(missing_keys, self.profile_many(missing_bases)))
+            if missing_keys
+            else {}
+        )
+        size = self.profile_cache_size
+        for key in keys:
+            if key in profiles:
+                continue
+            if key in cache:
+                cache.move_to_end(key)
+                continue
+            if len(cache) >= size:
+                cache.popitem(last=False)
+                self.profile_cache_evictions += 1
+            cache[key] = computed[key]
+
     # ------------------------------------------------------------------
     # Data-plane lookup
     # ------------------------------------------------------------------
@@ -393,11 +495,17 @@ class CuckooTable:
         # registered under the same (stage, bucket, digest) triple, so if
         # no such key exists in any stage the scan cannot hit.
         candidates = self._candidates
+        shift = self._cand_shift
+        offsets = self._stage_offsets
         for stage, (bucket, digest) in enumerate(profile):
-            if (stage, bucket, digest) in candidates:
-                break
-        else:
-            return LookupResult(hit=False)
+            if (digest << shift | (offsets[stage] + bucket)) in candidates:
+                return self._scan(key, profile)
+        return _MISS
+
+    def _scan(self, key: bytes, profile) -> LookupResult:
+        """The slot scan behind :meth:`lookup`, shared with the batch path
+        (counter for the lookup itself is the caller's job; false-positive
+        accounting happens here)."""
         for stage, (bucket, digest) in enumerate(profile):
             for way, slot in enumerate(self._slots[stage][bucket]):
                 if slot is not None and slot.digest == digest:
@@ -412,7 +520,44 @@ class CuckooTable:
                         location=Location(stage, bucket, way),
                         false_positive=fp,
                     )
-        return LookupResult(hit=False)
+        return _MISS
+
+    def lookup_batch(
+        self, keys: List[bytes], key_hashes: List[int]
+    ) -> List[LookupResult]:
+        """Data-plane lookups for a whole batch of keys.
+
+        Element ``i`` returns exactly ``lookup(keys[i], key_hashes[i])``
+        would, and all counters end at the same values; the profile
+        derivations are vectorized and the per-call increments are hoisted.
+        NOTE: batching lookups is only valid when no table mutation happens
+        between the batched elements — the caller owns that ordering rule
+        (see docs/architecture.md).
+        """
+        self.prime_profiles(keys, key_hashes)
+        n = len(keys)
+        self.total_lookups += n
+        if self._m_lookups is not None:
+            self._m_lookups.value += float(n)
+        profiles = self._profiles
+        cache = self._profile_cache
+        candidates = self._candidates
+        shift = self._cand_shift
+        offsets = self._stage_offsets
+        results: List[LookupResult] = []
+        append = results.append
+        scan = self._scan
+        for key in keys:
+            profile = profiles.get(key)
+            if profile is None:
+                profile = cache[key]
+            for stage, (bucket, digest) in enumerate(profile):
+                if (digest << shift | (offsets[stage] + bucket)) in candidates:
+                    append(scan(key, profile))
+                    break
+            else:
+                append(_MISS)
+        return results
 
     def get_exact(self, key: bytes) -> Optional[int]:
         """Software (full-key) lookup; no false positives."""
@@ -430,10 +575,32 @@ class CuckooTable:
     # Placement legality (software invariant)
     # ------------------------------------------------------------------
 
-    def _shadowed_by_resident(self, key: bytes, stage: int) -> bool:
+    def _cands(self, profile) -> List[int]:
+        """The encoded candidate key for every stage of ``profile``.
+
+        Insert-path helpers consult these repeatedly (twin check, shadow
+        checks, registration); computing the list once per insertion and
+        threading it through saves re-deriving the same integers.
+        """
+        shift = self._cand_shift
+        offsets = self._stage_offsets
+        return [
+            digest << shift | (offsets[s] + bucket)
+            for s, (bucket, digest) in enumerate(profile)
+        ]
+
+    def _shadowed_by_resident(self, key: bytes, stage: int, profile, cands) -> bool:
         """True if ``key`` placed at ``stage`` would be found *after* a false
         match on some resident entry in an earlier stage."""
-        profile = self._profile(key)
+        # Fast negative: a resident slot with a matching digest implies its
+        # owner is registered under that (stage, bucket, digest) candidate
+        # triple, so if none of the triples exist there is nothing to scan.
+        candidates = self._candidates
+        for t in range(stage + 1):
+            if cands[t] in candidates:
+                break
+        else:
+            return False
         for t in range(stage):
             bucket, digest = profile[t]
             for slot in self._slots[t][bucket]:
@@ -446,11 +613,11 @@ class CuckooTable:
                 return True
         return False
 
-    def _shadows_resident(self, key: bytes, stage: int) -> bool:
+    def _shadows_resident(self, key: bytes, stage: int, profile, cands) -> bool:
         """True if placing ``key`` at ``stage`` would sit in front of some
         resident entry stored in a *later* stage that digest-matches it."""
-        bucket, digest = self._profile(key)[stage]
-        for other in self._candidates.get((stage, bucket, digest), ()):  # resident keys
+        bucket = profile[stage][0]
+        for other in self._candidates.get(cands[stage], ()):  # resident keys
             if other == key:
                 continue
             other_loc = self._where[other]
@@ -460,41 +627,52 @@ class CuckooTable:
                 return True
         return False
 
-    def _placement_legal(self, key: bytes, stage: int) -> bool:
-        return not self._shadowed_by_resident(key, stage) and not self._shadows_resident(
-            key, stage
-        )
+    def _placement_legal(
+        self, key: bytes, stage: int, profile, cands=None
+    ) -> bool:
+        if cands is None:
+            cands = self._cands(profile)
+        return not self._shadowed_by_resident(
+            key, stage, profile, cands
+        ) and not self._shadows_resident(key, stage, profile, cands)
 
     # ------------------------------------------------------------------
     # Mutation primitives
     # ------------------------------------------------------------------
 
-    def _register(self, key: bytes, loc: Location) -> None:
-        profile = self._profile(key)
+    def _register(self, key: bytes, loc: Location, profile, cands=None) -> None:
         self._profiles[key] = profile
         self._where[key] = loc
         candidates = self._candidates
-        for s, (bucket, digest) in enumerate(profile):
-            bucket_set = candidates.get((s, bucket, digest))
+        if cands is None:
+            cands = self._cands(profile)
+        for cand in cands:
+            bucket_set = candidates.get(cand)
             if bucket_set is None:
-                candidates[(s, bucket, digest)] = {key}
+                candidates[cand] = {key}
             else:
                 bucket_set.add(key)
 
     def _unregister(self, key: bytes) -> None:
         profile = self._profiles.pop(key)
         del self._where[key]
+        candidates = self._candidates
+        shift = self._cand_shift
+        offsets = self._stage_offsets
         for s, (bucket, digest) in enumerate(profile):
-            bucket_set = self._candidates.get((s, bucket, digest))
+            cand = digest << shift | (offsets[s] + bucket)
+            bucket_set = candidates.get(cand)
             if bucket_set is not None:
                 bucket_set.discard(key)
                 if not bucket_set:
-                    del self._candidates[(s, bucket, digest)]
+                    del candidates[cand]
 
-    def _place(self, key: bytes, value: int, loc: Location) -> None:
-        digest = self._profile(key)[loc.stage][1]
+    def _place(
+        self, key: bytes, value: int, loc: Location, profile, cands=None
+    ) -> None:
+        digest = profile[loc.stage][1]
         self._slots[loc.stage][loc.bucket][loc.way] = Slot(key, digest, value)
-        self._register(key, loc)
+        self._register(key, loc, profile, cands)
 
     def _free_way(self, stage: int, bucket: int) -> Optional[int]:
         for way, slot in enumerate(self._slots[stage][bucket]):
@@ -533,12 +711,13 @@ class CuckooTable:
                 f"table effectively full ({len(self._where)}/{self.capacity})"
             )
         profile = self._profile(key, key_hash)
+        cands = self._cands(profile)
 
         # A resident digest twin in one of the key's candidate buckets
         # shadows every legal placement; the switch software resolves the
         # collision by relocating the resident entry to another stage (the
         # same fix the redirected-SYN path performs, §4.2).
-        for twin in self._digest_twins(key):
+        for twin in self._digest_twins(key, profile, cands):
             if self.relocate(twin):
                 self.collision_relocations += 1
                 if self._m_relocations is not None:
@@ -547,13 +726,16 @@ class CuckooTable:
         # Fast path: a free, legal slot in some candidate bucket.
         for stage, (bucket, _digest) in enumerate(profile):
             way = self._free_way(stage, bucket)
-            if way is not None and self._placement_legal(key, stage):
-                self._place(key, value, Location(stage, bucket, way))
+            if way is not None and self._placement_legal(
+                key, stage, profile, cands
+            ):
+                loc = Location(stage, bucket, way)
+                self._place(key, value, loc, profile, cands)
                 self._note_insert(0)
-                return InsertResult(Location(stage, bucket, way), moves=0)
+                return InsertResult(loc, moves=0)
 
         # BFS over move sequences.
-        path = self._bfs_find_path(key)
+        path = self._bfs_find_path(key, profile)
         if path is None:
             self.failed_inserts += 1
             if self._m_insert_failures is not None:
@@ -567,9 +749,32 @@ class CuckooTable:
         final_stage, final_bucket = path[0]
         way = self._free_way(final_stage, final_bucket)
         assert way is not None, "BFS path did not free a slot"
-        self._place(key, value, Location(final_stage, final_bucket, way))
+        self._place(key, value, Location(final_stage, final_bucket, way), profile)
         self._note_insert(moves)
         return InsertResult(Location(final_stage, final_bucket, way), moves=moves)
+
+    def insert_batch(self, items: List[Tuple[bytes, int, Optional[int]]]) -> List:
+        """Bulk insertion: ``items`` is ``(key, value, key_hash)`` triples.
+
+        Profiles for the whole batch are derived vectorized up front, then
+        each entry inserts in list order with full cuckoo semantics (the
+        BFS mutates the table, so insertions cannot themselves be
+        vectorized).  Per-item outcome is the :class:`InsertResult`, or the
+        raised :class:`TableFull` / :class:`DuplicateKey` instance — bulk
+        callers get complete coverage instead of stopping at the first
+        failure.
+        """
+        self.prime_profiles(
+            [key for key, _v, _h in items],
+            [h for _k, _v, h in items],
+        )
+        outcomes: List = []
+        for key, value, key_hash in items:
+            try:
+                outcomes.append(self.insert(key, value, key_hash))
+            except (TableFull, DuplicateKey) as exc:
+                outcomes.append(exc)
+        return outcomes
 
     def _note_insert(self, moves: int) -> None:
         if self._m_inserts is not None:
@@ -577,17 +782,24 @@ class CuckooTable:
             self._m_moves.value += moves
             self._m_moves_hist.observe(float(moves))
 
-    def _digest_twins(self, key: bytes) -> List[bytes]:
+    def _digest_twins(self, key: bytes, profile, cands=None) -> List[bytes]:
         """Resident keys whose stored digest collides with ``key`` in one of
         its candidate buckets (they would shadow any placement of it)."""
         twins: List[bytes] = []
-        for stage, (bucket, digest) in enumerate(self._profile(key)):
+        candidates = self._candidates
+        if cands is None:
+            cands = self._cands(profile)
+        for stage, (bucket, digest) in enumerate(profile):
+            # Same over-approximation as lookup's fast miss: a twin slot's
+            # owner is always registered under this candidate triple.
+            if cands[stage] not in candidates:
+                continue
             for slot in self._slots[stage][bucket]:
                 if slot is not None and slot.digest == digest and slot.key != key:
                     twins.append(slot.key)
         return twins
 
-    def _bfs_find_path(self, key: bytes):
+    def _bfs_find_path(self, key: bytes, profile):
         """Find a sequence of moves freeing a legal slot for ``key``.
 
         Returns a list of (stage, bucket) pairs from the key's entry bucket
@@ -595,13 +807,12 @@ class CuckooTable:
         to shift, encoded as a list of (stage, bucket, way, dest_stage,
         dest_bucket) moves in application order.  ``None`` if not found.
         """
-        profile = self._profile(key)
         # Each frontier node: (stage, bucket, parent_index, way_moved_from_parent)
         frontier: List[Tuple[int, int, int, Optional[int]]] = []
         seen: Set[Tuple[int, int]] = set()
         queue: deque = deque()
         for stage, (bucket, _d) in enumerate(profile):
-            if not self._placement_legal(key, stage):
+            if not self._placement_legal(key, stage, profile):
                 continue
             node = (stage, bucket, -1, None)
             frontier.append(node)
@@ -641,10 +852,11 @@ class CuckooTable:
         unambiguous (ignores its current location, which is being vacated)."""
         # Temporarily treat key as absent from its current slot for checks.
         loc = self._where[key]
+        profile = self._profiles[key]
         slot = self._slots[loc.stage][loc.bucket][loc.way]
         self._slots[loc.stage][loc.bucket][loc.way] = None
         try:
-            return self._placement_legal(key, dest_stage)
+            return self._placement_legal(key, dest_stage, profile)
         finally:
             self._slots[loc.stage][loc.bucket][loc.way] = slot
 

@@ -16,18 +16,20 @@ protect during DIP-pool updates.  Figure 18 sweeps the filter timeout between
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from ..obs.metrics import LATENCY_BUCKETS_S, Scope
 
 
-@dataclass(frozen=True)
-class LearnEvent:
+class LearnEvent(NamedTuple):
     """One deduplicated new-connection event.
 
     ``key_hash`` carries the connection's cached base hash (see
     :func:`repro.asicsim.hashing.base_hash`) from the data plane to the
     switch CPU, so the later cuckoo insertion never re-hashes the key bytes.
+    A ``NamedTuple`` rather than a frozen dataclass: one is allocated per
+    offered connection, and tuple construction skips the per-field
+    ``object.__setattr__`` a frozen dataclass pays.
     """
 
     key: bytes
@@ -42,7 +44,7 @@ class LearnBatch:
 
     events: List[LearnEvent]
     flushed_at: float
-    reason: str  # "full" or "timeout"
+    reason: str  # "full", "timeout" or "forced" (end-of-run drain)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -83,10 +85,12 @@ class LearningFilter:
         self.deduplicated = 0
         self.flushes_full = 0
         self.flushes_timeout = 0
+        self.flushes_forced = 0
         self.rearmed = 0
         if metrics is None:
             self._m_offered = self._m_dedup = None
             self._m_flushes_full = self._m_flushes_timeout = None
+            self._m_flushes_forced = None
             self._m_batch_size = self._m_drain_latency = None
             self._m_rearmed = None
         else:
@@ -101,6 +105,10 @@ class LearningFilter:
             )
             self._m_flushes_timeout = metrics.counter(
                 "flushes_timeout_total", "batches flushed on the notification timer"
+            )
+            self._m_flushes_forced = metrics.counter(
+                "flushes_forced_total",
+                "batches force-drained at end of run (not a timer expiry)",
             )
             self._m_batch_size = metrics.histogram(
                 "batch_size",
@@ -151,17 +159,85 @@ class LearningFilter:
             return self._flush(now, "full")
         return None
 
-    def rearm(self, events: List[LearnEvent], now: float) -> Optional[LearnBatch]:
+    def offer_batch(
+        self,
+        keys: List[bytes],
+        nows: List[float],
+        metadatas: Optional[List[Tuple]] = None,
+        key_hashes: Optional[List[Optional[int]]] = None,
+    ) -> List[Tuple[int, LearnBatch]]:
+        """Deposit many learn events in one call (batched hot path).
+
+        Element ``i`` behaves exactly like ``offer(keys[i], nows[i], ...)``;
+        events are processed in list order, so a buffer-full flush happens
+        at the same element boundary as under scalar execution.  Returns
+        ``(index, batch)`` pairs for every flush so the caller can deliver
+        each batch stamped with the triggering event's timestamp.
+
+        When the whole batch cannot fill the buffer (the common case —
+        occupancy stays far below capacity between timeout flushes) the
+        per-element capacity check is skipped entirely.
+        """
+        n = len(keys)
+        if metadatas is None:
+            metadatas = [()] * n
+        if key_hashes is None:
+            key_hashes = [None] * n
+        self.offered += n
+        if self._m_offered is not None:
+            self._m_offered.value += float(n)
+        pending = self._pending
+        flushes: List[Tuple[int, LearnBatch]] = []
+        if len(pending) + n < self.capacity:
+            for i in range(n):
+                key = keys[i]
+                if key in pending:
+                    self.deduplicated += 1
+                    if self._m_dedup is not None:
+                        self._m_dedup.value += 1.0
+                    continue
+                pending[key] = LearnEvent(
+                    key=key,
+                    metadata=metadatas[i],
+                    first_seen=nows[i],
+                    key_hash=key_hashes[i],
+                )
+                if self._oldest is None:
+                    self._oldest = nows[i]
+            return flushes
+        for i in range(n):
+            key = keys[i]
+            if key in pending:
+                self.deduplicated += 1
+                if self._m_dedup is not None:
+                    self._m_dedup.value += 1.0
+                continue
+            pending[key] = LearnEvent(
+                key=key,
+                metadata=metadatas[i],
+                first_seen=nows[i],
+                key_hash=key_hashes[i],
+            )
+            if self._oldest is None:
+                self._oldest = nows[i]
+            if len(pending) >= self.capacity:
+                flushes.append((i, self._flush(nows[i], "full")))
+        return flushes
+
+    def rearm(self, events: List[LearnEvent], now: float) -> List[LearnBatch]:
         """Re-deposit learn events whose slow-path jobs were lost.
 
         After a CPU crash, a shed job, or a lost notification the connection
         is still unmatched in ConnTable, so its next packet triggers a fresh
         learn event; this models that re-learning.  Metadata and cached key
         hashes are preserved, ``first_seen`` is stamped ``now`` (it *is* a
-        new event).  Keys already pending deduplicate as usual.  Returns a
-        batch if the re-arm filled the buffer.
+        new event).  Keys already pending deduplicate as usual.  Returns
+        every batch the re-arm filled, in flush order — re-arming more than
+        ``capacity`` events flushes several times, and suppressing the later
+        flushes (as an older version of this method did) would leave the
+        buffer pinned at capacity until the next offer or poll.
         """
-        batch: Optional[LearnBatch] = None
+        batches: List[LearnBatch] = []
         for event in events:
             if event.key in self._pending:
                 self.deduplicated += 1
@@ -179,9 +255,9 @@ class LearningFilter:
             )
             if self._oldest is None:
                 self._oldest = now
-            if len(self._pending) >= self.capacity and batch is None:
-                batch = self._flush(now, "full")
-        return batch
+            if len(self._pending) >= self.capacity:
+                batches.append(self._flush(now, "full"))
+        return batches
 
     def poll(self, now: float) -> Optional[LearnBatch]:
         """Flush on timeout; the CPU calls this on its notification timer.
@@ -206,6 +282,10 @@ class LearningFilter:
             self.flushes_full += 1
             if self._m_flushes_full is not None:
                 self._m_flushes_full.value += 1.0
+        elif reason == "forced":
+            self.flushes_forced += 1
+            if self._m_flushes_forced is not None:
+                self._m_flushes_forced.value += 1.0
         else:
             self.flushes_timeout += 1
             if self._m_flushes_timeout is not None:
@@ -222,10 +302,16 @@ class LearningFilter:
         return batch
 
     def flush(self, now: float) -> Optional[LearnBatch]:
-        """Force-drain (used at simulation end)."""
+        """Force-drain (used at simulation end).
+
+        Counted under its own ``"forced"`` reason: an end-of-run drain is
+        not a notification-timer expiry, and folding it into
+        ``flushes_timeout_total`` would skew the fig18 timeout-flush
+        accounting.
+        """
         if not self._pending:
             return None
-        return self._flush(now, "timeout")
+        return self._flush(now, "forced")
 
     @property
     def occupancy(self) -> int:

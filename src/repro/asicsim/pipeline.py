@@ -120,9 +120,21 @@ class Pipeline:
     # ------------------------------------------------------------------
 
     def sram_blocks_for_entries(self, num_entries: int, entry_bits: int) -> int:
-        """SRAM blocks needed for a packed exact-match table."""
-        per_word = max(self.word_bits // entry_bits, 1)
-        words = -(-num_entries // per_word)
+        """SRAM blocks needed for a packed exact-match table.
+
+        Entries narrower than a word pack ``word_bits // entry_bits`` per
+        word; entries *wider* than a word span ``ceil(entry_bits /
+        word_bits)`` whole words each (the compiler does not split one
+        entry's bits across other entries' words).
+        """
+        if entry_bits <= 0:
+            raise ValueError("entry_bits must be positive")
+        if entry_bits <= self.word_bits:
+            per_word = self.word_bits // entry_bits
+            words = -(-num_entries // per_word)
+        else:
+            words_per_entry = -(-entry_bits // self.word_bits)
+            words = num_entries * words_per_entry
         return -(-words // self.block_words)
 
     def place_exact_match(

@@ -164,7 +164,7 @@ def _cmd_pcc(args: argparse.Namespace) -> int:
         seed=args.seed,
         horizon_s=args.horizon,
     )
-    report, _conns, lb = workload.replay(factories[args.system])
+    report, _conns, lb = workload.replay(factories[args.system], batched=args.batched)
     print(report.summary())
     for key, value in sorted(report.extra.items()):
         print(f"  {key}: {value}")
@@ -246,9 +246,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         horizon_s=args.horizon,
         updates_per_min=args.updates_per_min,
         faults_per_min=args.faults_per_min,
+        batched=args.batched,
     )
     print(result.summary())
     if args.check_determinism:
+        # The second pass swaps drivers: same-seed batched and scalar runs
+        # must land on the same fingerprint (the differential contract).
         again = run_chaos(
             seed=args.seed,
             fault_seed=args.fault_seed,
@@ -256,6 +259,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             horizon_s=args.horizon,
             updates_per_min=args.updates_per_min,
             faults_per_min=args.faults_per_min,
+            batched=not args.batched,
         )
         if again.fingerprint != result.fingerprint:
             print("FAIL: same-seed runs diverged", file=sys.stderr)
@@ -285,6 +289,7 @@ def _cmd_chaos_sharded(args: argparse.Namespace) -> int:
             horizon_s=args.horizon,
             updates_per_min=args.updates_per_min,
             faults_per_min=args.faults_per_min,
+            batched=args.batched,
         )
 
     result = once()
@@ -301,6 +306,7 @@ def _cmd_chaos_sharded(args: argparse.Namespace) -> int:
             horizon_s=args.horizon,
             updates_per_min=args.updates_per_min,
             faults_per_min=args.faults_per_min,
+            batched=args.batched,
         )
         if again.fingerprint != result.fingerprint:
             print("FAIL: same-seed sharded runs diverged", file=sys.stderr)
@@ -334,6 +340,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         params["timeline_period_s"] = args.timeline_period
     if args.record:
         params["record"] = True
+    if not args.batched:
+        params["batched"] = False
     result = run_sharded(
         args.task,
         num_shards=args.num_shards,
@@ -500,6 +508,30 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_driver_flags(parser: argparse.ArgumentParser) -> None:
+    """``--batched`` / ``--scalar``: which replay driver to use.
+
+    Batched (the default) is the chunked-arrival
+    :class:`~repro.netsim.batchsim.BatchedFlowSimulator`; ``--scalar``
+    selects the event-at-a-time oracle.  Results are bit-identical either
+    way — the flag trades speed for the simpler driver.
+    """
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--batched",
+        dest="batched",
+        action="store_true",
+        default=True,
+        help="chunked-arrival replay driver (default)",
+    )
+    group.add_argument(
+        "--scalar",
+        dest="batched",
+        action="store_false",
+        help="scalar event-at-a-time oracle driver",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SilkRoad reproduction command line"
@@ -527,6 +559,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_pcc.add_argument("--horizon", type=float, default=120.0)
     p_pcc.add_argument("--seed", type=int, default=7)
     p_pcc.add_argument("--duet-period", type=float, default=120.0)
+    _add_driver_flags(p_pcc)
     p_pcc.set_defaults(fn=_cmd_pcc)
 
     p_fleet = sub.add_parser("fleet", help="dump the synthetic fleet as CSV")
@@ -592,6 +625,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="independent derived-seed shards (fixes the merged result)",
     )
+    _add_driver_flags(p_chaos)
     p_chaos.set_defaults(fn=_cmd_chaos)
 
     p_run = sub.add_parser(
@@ -650,6 +684,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the merged registry (and timeline) fingerprints to PATH",
     )
+    _add_driver_flags(p_run)
     p_run.set_defaults(fn=_cmd_run)
 
     p_trace = sub.add_parser(

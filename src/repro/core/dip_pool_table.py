@@ -23,7 +23,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..asicsim.hashing import HashUnit
+from ..asicsim.hashing import _MASK64, _splitmix64, HashUnit, base_hash
 from ..asicsim.sram import bytes_for_entries
 from ..netsim.packet import DirectIP, VirtualIP
 
@@ -238,9 +238,26 @@ class DipPoolTable:
         """Pick the DIP for a connection pinned to a pool version.
 
         ``key_hash`` is the connection's cached base hash; supplying it
-        makes selection pure integer mixing.
+        makes selection pure integer mixing.  The unit derivation and slot
+        modulo are inlined (same arithmetic as
+        ``pool.select(key, self._select_unit, key_hash)``): selection runs
+        twice per connection on the hot path — at admission and again at
+        install — and the flattened form drops four delegation calls each
+        time.
         """
-        return self.pool(vip, version).select(key, self._select_unit, key_hash)
+        state = self._vips.get(vip)
+        if state is None:
+            raise KeyError(f"unknown VIP: {vip}")
+        pool = state.pools.get(version)
+        if pool is None:
+            raise KeyError(f"no version {version} for {vip}")
+        if key_hash is None:
+            key_hash = base_hash(key)
+        slots = pool.slots
+        return slots[
+            _splitmix64((key_hash ^ self._select_unit.seed_mix) & _MASK64)
+            % len(slots)
+        ]
 
     # ------------------------------------------------------------------
     # Reference counting (connection lifecycle)

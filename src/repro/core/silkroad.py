@@ -23,13 +23,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Set, Tuple
 
+from ..asicsim.batch import PacketBatch
 from ..asicsim.cuckoo import DuplicateKey, TableFull
 from ..asicsim.learning_filter import LearnBatch, LearnEvent, LearningFilter
 from ..asicsim.meters import MeterBank
 from ..netsim.events import EventHandle, EventQueue
 from ..netsim.flows import Connection
 from ..netsim.packet import DirectIP, VirtualIP
-from ..netsim.simulator import LoadBalancer, PRIO_INTERNAL
+from ..netsim.simulator import LoadBalancer, PRIO_ARRIVAL, PRIO_INTERNAL
 from ..netsim.updates import UpdateEvent, UpdateKind
 from ..obs import FlightRecorder, MetricRegistry, Tracer, telemetry_to_dict
 from .config import SilkRoadConfig
@@ -41,9 +42,14 @@ from .transit_table import TransitTable
 from .vip_table import VipTable
 
 
-@dataclass
+@dataclass(slots=True)
 class _ConnState:
-    """Everything the switch (hardware + software) knows about one conn."""
+    """Everything the switch (hardware + software) knows about one conn.
+
+    ``slots=True``: one instance per admitted connection, and both the
+    allocation and the attribute traffic on the install/end/expire paths
+    are measurably cheaper without a per-instance ``__dict__``.
+    """
 
     conn: Connection
     vip: VirtualIP
@@ -252,6 +258,101 @@ class SilkRoadSwitch(LoadBalancer):
             self._deliver_batch(batch)
         self._arm_poll()
 
+    def prepare_batch(self, conns) -> None:
+        """Columnar precomputation for an upcoming window of arrivals.
+
+        Materializes the :class:`PacketBatch` columns (key bytes, base
+        hashes — one bulk byte pass) and primes the ConnTable profile
+        caches for the whole window.  This is pure per-key derivation: no
+        observable switch state is touched, so the batched driver runs it
+        over windows of *future* arrivals regardless of the ends, updates
+        and internal events interleaved between them.  Only the profile
+        cache's LRU order (unobservable) can differ from scalar execution.
+        """
+        batch = PacketBatch.from_connections(conns)
+        self.conn_table.prime_profiles(batch.keys, batch.base_hashes)
+
+    def on_connection_batch(self, conns) -> None:
+        """Batched arrivals (the hot path of the batched execution mode).
+
+        Element ``i`` behaves exactly as a scalar
+        :meth:`on_connection_arrival` at its own timestamp would: before
+        each element, the internal events the scalar kernel would have
+        fired first (learning-filter polls, CPU install completions,
+        expiries, fault events) are drained via
+        ``queue.run_until_before(start_i, PRIO_ARRIVAL)`` — the intra-batch
+        ordering rule (docs/architecture.md).  What the batch buys is the
+        fused per-element walk: the ConnTable fast-miss lookup is inlined
+        with every attribute lookup hoisted out of the loop, feeding on
+        the columns :meth:`prepare_batch` derived in vectorized bulk
+        passes (key bytes, base hashes, cuckoo profiles).  Counter and
+        metric updates replicate the scalar call chain increment for
+        increment.
+        """
+        if self.recorder is not None:
+            # Flight-recorder runs take the scalar path wholesale:
+            # recording hooks interleave with every hot-path branch and
+            # forensic runs are not the ones batching needs to speed up.
+            queue = self.queue
+            run_before = queue.run_until_before
+            arrival = self.on_connection_arrival
+            for conn in conns:
+                run_before(conn.start, PRIO_ARRIVAL)
+                queue.now = conn.start
+                arrival(conn)
+            return
+        queue = self.queue
+        run_before = queue.run_until_before
+        table = self.conn_table._table
+        profiles = table._profiles
+        cache = table._profile_cache
+        candidates = table._candidates
+        shift = table._cand_shift
+        offsets = table._stage_offsets
+        m_lookups = table._m_lookups
+        scan = table._scan
+        offer = self.learning.offer
+        admit = self._admit
+        arm_poll = self._arm_poll
+        for conn in conns:
+            start = conn.start
+            run_before(start, PRIO_ARRIVAL)
+            queue.now = start
+            key = conn.key
+            key_hash = conn.key_hash
+            self.connections_seen += 1
+            # Inlined ConnTable.lookup (fast-miss candidate probe), same
+            # counters and cache discipline as the scalar call.
+            table.total_lookups += 1
+            if m_lookups is not None:
+                m_lookups.value += 1.0
+            profile = profiles.get(key)
+            if profile is None:
+                profile = cache.get(key)
+                if profile is not None:
+                    cache.move_to_end(key)
+                else:
+                    profile = table._profile(key, key_hash)
+            result = None
+            for stage, (bucket, digest) in enumerate(profile):
+                if (digest << shift | (offsets[stage] + bucket)) in candidates:
+                    result = scan(key, profile)
+                    break
+            if result is not None and result.hit:
+                assert result.false_positive
+                self.fp_syn_redirects += 1
+                admit(conn, start)
+                self._cpu.submit_one(
+                    key, ("fp",), extra_delay_s=self.config.fp_resolution_delay_s
+                )
+                continue
+            admit(conn, start)
+            batch = offer(key, start, key_hash=key_hash)
+            if batch is not None:
+                self._cancel_poll()
+                self._deliver_batch(batch)
+            arm_poll()
+
     def on_connection_end(self, conn: Connection) -> None:
         key = conn.key
         state = self._states.get(key)
@@ -334,8 +435,17 @@ class SilkRoadSwitch(LoadBalancer):
         state.adopted_old_via_fp = adopted_old
         self._states[key] = state
         self.dip_pools.acquire(vip, version)
-        self._pending_by_vip.setdefault(vip, set()).add(key)
-        self._live_by_vip.setdefault(vip, set()).add(key)
+        # get-then-insert instead of setdefault: this runs once per
+        # admitted connection and setdefault would allocate a throwaway
+        # set on every call once the VIP's entry exists.
+        pending = self._pending_by_vip.get(vip)
+        if pending is None:
+            pending = self._pending_by_vip[vip] = set()
+        pending.add(key)
+        live = self._live_by_vip.get(vip)
+        if live is None:
+            live = self._live_by_vip[vip] = set()
+        live.add(key)
         # Step 1 of an in-flight update marks the connection.
         state.marked = self.coordinator.note_new_pending(vip, key)
         if state.marked and self.recorder is not None:
@@ -647,10 +757,11 @@ class SilkRoadSwitch(LoadBalancer):
                 first_seen=self.queue.now,
                 key_hash=st.conn.key_hash,
             )
-            batch = self.learning.rearm([event], self.queue.now)
-            if batch is not None:
+            batches = self.learning.rearm([event], self.queue.now)
+            if batches:
                 self._cancel_poll()
-                self._deliver_batch(batch)
+                for batch in batches:
+                    self._deliver_batch(batch)
             self._arm_poll()
 
         self.queue.schedule_in(self.config.relearn_delay_s, fire, PRIO_INTERNAL)
@@ -731,17 +842,21 @@ class SilkRoadSwitch(LoadBalancer):
         deadline = self.learning.next_deadline()
         if deadline is None:
             return
-        if self._poll_handle is not None and not self._poll_handle.cancelled:
+        handle = self._poll_handle
+        if handle is not None and not handle.cancelled:
             return
+        # Bound method, not a per-arm closure: this arms once per arrival
+        # on the hot path, and the closure allocation was measurable.
+        self._poll_handle = self.queue.schedule(
+            deadline, self._poll_fire, PRIO_INTERNAL
+        )
 
-        def fire() -> None:
-            self._poll_handle = None
-            batch = self.learning.poll(self.queue.now)
-            if batch is not None:
-                self._deliver_batch(batch)
-            self._arm_poll()
-
-        self._poll_handle = self.queue.schedule(deadline, fire, PRIO_INTERNAL)
+    def _poll_fire(self) -> None:
+        self._poll_handle = None
+        batch = self.learning.poll(self.queue.now)
+        if batch is not None:
+            self._deliver_batch(batch)
+        self._arm_poll()
 
     def _cancel_poll(self) -> None:
         if self._poll_handle is not None:

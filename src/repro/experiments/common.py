@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core import SilkRoadConfig, SilkRoadSwitch
+from ..netsim.batchsim import BatchedFlowSimulator
 from ..netsim import (
     ArrivalGenerator,
     Cluster,
@@ -53,6 +54,8 @@ class PccWorkload:
         lb_factory: Callable[[], object],
         faults: Optional[object] = None,
         attach: Optional[Callable[[FlowSimulator, object], None]] = None,
+        batched: bool = True,
+        batch_size: int = 256,
     ) -> Tuple[SimulationReport, List[Connection], object]:
         """Run a fresh LB instance over a *fresh copy* of the workload.
 
@@ -64,8 +67,12 @@ class PccWorkload:
         runs — the hook observability uses to arm a
         :class:`~repro.obs.timeline.TimelineSampler` on the event queue
         and hand the LB a :class:`~repro.obs.recorder.FlightRecorder`.
-        Returns the report, the replayed connections, and the LB instance
-        (for its counters).
+        ``batched`` selects the chunked-arrival driver
+        (:class:`~repro.netsim.batchsim.BatchedFlowSimulator`, the
+        default); ``batched=False`` runs the scalar event-at-a-time
+        oracle.  Both produce bit-identical results (enforced by
+        tests/asicsim/test_differential.py).  Returns the report, the
+        replayed connections, and the LB instance (for its counters).
         """
         conns = [
             Connection(
@@ -81,7 +88,10 @@ class PccWorkload:
         lb = lb_factory()
         for service in self.cluster.services:
             lb.announce_vip(service.vip, service.dips)
-        sim = FlowSimulator(lb, faults=faults)
+        if batched:
+            sim = BatchedFlowSimulator(lb, faults=faults, batch_size=batch_size)
+        else:
+            sim = FlowSimulator(lb, faults=faults)
         if attach is not None:
             attach(sim, lb)
         report = sim.run(conns, self.updates, horizon_s=self.horizon_s)

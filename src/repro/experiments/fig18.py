@@ -43,6 +43,8 @@ def run(
     arrival_scale: float = 16.0,
     num_vips: int = 2,
     insertion_rate_per_s: float = 50_000.0,
+    batched: bool = True,
+    batch_size: int = 256,
 ) -> List[Fig18Point]:
     """The per-VIP arrival rate is boosted (few VIPs, ``arrival_scale``) so
     the number of connections marked during a step-1 window — arrival rate
@@ -69,7 +71,9 @@ def run(
                 conn_table_capacity=600_000,
                 name=f"silkroad-{size}B",
             )
-            report, _conns, lb = workload.replay(factory)
+            report, _conns, lb = workload.replay(
+                factory, batched=batched, batch_size=batch_size
+            )
             points.append(
                 Fig18Point(
                     transit_bytes=size,

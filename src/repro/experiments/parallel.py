@@ -270,7 +270,9 @@ def _run_fig16_shard(spec: ShardSpec) -> ShardResult:
             samplers,
             recorders,
         )
-        report, conns, lb = workload.replay(factories[name], attach=attach)
+        report, conns, lb = workload.replay(
+            factories[name], attach=attach, batched=bool(p.get("batched", True))
+        )
         scope = registry.scope(name)
         scope.counter(
             "pcc_violations_total", help="connections that broke PCC"
@@ -342,7 +344,9 @@ def _run_fig18_shard(spec: ShardSpec) -> ShardResult:
             samplers,
             recorders,
         )
-        report, conns, lb = workload.replay(factory, attach=attach)
+        report, conns, lb = workload.replay(
+            factory, attach=attach, batched=bool(p.get("batched", True))
+        )
         scope = registry.scope(cell)
         scope.counter(
             "pcc_violations_total", help="connections that broke PCC"
@@ -378,6 +382,7 @@ def _run_chaos_shard(spec: ShardSpec) -> ShardResult:
         updates_per_min=float(p.get("updates_per_min", 60.0)),
         faults_per_min=float(p.get("faults_per_min", 30.0)),
         record=bool(p.get("record", False)),
+        batched=bool(p.get("batched", True)),
         record_source=f"s{spec.shard_id}.chaos",
         timeline_period_s=(
             float(timeline_period) if timeline_period is not None else None

@@ -117,6 +117,8 @@ def run_chaos(
     record_capacity: int = DEFAULT_RING_SIZE,
     record_source: str = "chaos",
     timeline_period_s: Optional[float] = None,
+    batched: bool = True,
+    batch_size: int = 256,
 ) -> ChaosResult:
     """One fully seeded chaos run; see the module docstring.
 
@@ -126,7 +128,9 @@ def run_chaos(
     :class:`~repro.obs.TimelineSampler` over the switch's registry and
     exposes the sampled :class:`~repro.obs.Timeline` as
     ``result.timeline``.  Both are off by default and add nothing to the
-    hot path when off.
+    hot path when off.  ``batched=False`` replays through the scalar
+    event-at-a-time oracle instead of the chunked-arrival driver; both
+    produce bit-identical results (tests/asicsim/test_differential.py).
     """
     if fault_seed is None:
         fault_seed = seed + 1000
@@ -165,6 +169,8 @@ def run_chaos(
         lambda: SilkRoadSwitch(config, name="silkroad-chaos"),
         faults=injector,
         attach=attach,
+        batched=batched,
+        batch_size=batch_size,
     )
     audit = audit_switch(switch, connections=connections)
     return ChaosResult(
@@ -192,6 +198,7 @@ def run_chaos_sharded(
     faults_per_min: float = 30.0,
     record: bool = False,
     timeline_period_s: Optional[float] = None,
+    batched: bool = True,
 ):
     """``num_shards`` independent chaos runs under derived seeds, merged.
 
@@ -217,5 +224,6 @@ def run_chaos_sharded(
             "faults_per_min": faults_per_min,
             "record": record,
             "timeline_period_s": timeline_period_s,
+            "batched": batched,
         },
     )

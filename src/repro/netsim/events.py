@@ -79,6 +79,33 @@ class EventQueue:
             return True
         return False
 
+    def run_until_before(self, time: float, priority: int) -> None:
+        """Fire every queued event ordered strictly before ``(time, priority)``.
+
+        The batched simulation driver keeps *external* events (arrivals,
+        ends, updates) out of the heap and dispatches them itself; before
+        each one it calls this to fire the internal events (learning-filter
+        polls, CPU install completions, entry expiries, fault events) that
+        the scalar kernel would have fired first.  Ordering is the heap's
+        own ``(time, priority)`` order; the clock advances exactly as
+        :meth:`step` would, and is left at the last fired event (the caller
+        sets it to the external event's time next).
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        bound = (time, priority)
+        while heap:
+            head = heap[0]
+            if head[3].cancelled:
+                pop(heap)
+                continue
+            if (head[0], head[1]) >= bound:
+                break
+            pop(heap)
+            self.now = head[0]
+            self.processed += 1
+            head[3].action()
+
     def run_until(self, end_time: float) -> None:
         """Run all events with time <= ``end_time``; clock ends at end_time."""
         heap = self._heap

@@ -65,6 +65,20 @@ class VirtualIP:
             object.__setattr__(self, "_hash", h)
             return h
 
+    def __eq__(self, other: object) -> bool:
+        # Pools and tables hand out shared instances, so the common hot-path
+        # comparison is same-object; short-circuit before field compares.
+        if self is other:
+            return True
+        if other.__class__ is not VirtualIP:
+            return NotImplemented
+        return (
+            self.ip == other.ip
+            and self.port == other.port
+            and self.proto == other.proto
+            and self.v6 == other.v6
+        )
+
     @classmethod
     def parse(cls, text: str, proto: int = TCP) -> "VirtualIP":
         """Parse ``"20.0.0.1:80"`` or ``"[2001:db8::1]:80"``."""
@@ -107,6 +121,19 @@ class DirectIP:
             h = hash((self.ip, self.port, self.v6))
             object.__setattr__(self, "_hash", h)
             return h
+
+    def __eq__(self, other: object) -> bool:
+        # Pool slots hand out shared instances, so the common hot-path
+        # comparison is same-object; short-circuit before field compares.
+        if self is other:
+            return True
+        if other.__class__ is not DirectIP:
+            return NotImplemented
+        return (
+            self.ip == other.ip
+            and self.port == other.port
+            and self.v6 == other.v6
+        )
 
     @classmethod
     def parse(cls, text: str) -> "DirectIP":

@@ -182,6 +182,26 @@ class P2Quantile:
 
     def _update(self, x: float) -> None:
         q, n = self._q, self._n
+        if x == q[0] and x == q[4]:
+            # Degenerate-marker fast path: every marker already sits at x
+            # (constant streams — e.g. zero queue delay — hit this on nearly
+            # every observation).  Marker heights cannot move: the parabolic
+            # candidate equals q[i] and fails the strict-inequality guard,
+            # and the linear fallback adds step * 0 / dn.  Only the position
+            # bookkeeping advances, exactly as the general path would.
+            np_, dn = self._np, self._dn
+            n[4] += 1.0
+            np_[1] += dn[1]
+            np_[2] += dn[2]
+            np_[3] += dn[3]
+            np_[4] += 1.0
+            for i in (1, 2, 3):
+                d = np_[i] - n[i]
+                if d >= 1.0 and n[i + 1] - n[i] > 1.0:
+                    n[i] += 1.0
+                elif d <= -1.0 and n[i - 1] - n[i] < -1.0:
+                    n[i] -= 1.0
+            return
         if x < q[0]:
             q[0] = x
             k = 0

@@ -1,0 +1,165 @@
+"""Differential tests: the batched driver is bit-identical to the scalar oracle.
+
+The batched hot path (:class:`~repro.netsim.batchsim.BatchedFlowSimulator`
+plus ``SilkRoadSwitch.on_connection_batch``) re-implements the arrival
+path with columnar hashing, bulk cuckoo probing, and chunked dispatch.
+The scalar :class:`~repro.netsim.simulator.FlowSimulator` stays untouched
+as the *oracle*: every workload replayed through both must produce
+
+* equal :class:`~repro.obs.metrics.MetricRegistry` fingerprints,
+* equal ConnTable contents (every resident slot, including its physical
+  (stage, bucket, way) position — cuckoo move history must match too),
+* equal :func:`~repro.core.verify.audit_switch` reports, and
+* equal simulation reports.
+
+Divergence in any of these means the intra-batch ordering rule
+(docs/architecture.md) was broken somewhere.  A seeded property-style
+fuzz sweeps random workload shapes, update schedules, fault injection
+on/off, and the batch sizes {1, 7, 64, 1024} (1 exercises the chunking
+degenerate case, 7 misaligned chunks, 1024 chunks larger than most
+inter-end gaps).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import SilkRoadSwitch
+from repro.core.verify import audit_switch
+from repro.experiments.common import build_workload, silkroad_factory
+from repro.faults.chaos import chaos_config, run_chaos
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+
+BATCH_SIZES = (1, 7, 64, 1024)
+
+
+def _conn_table_snapshot(switch: SilkRoadSwitch):
+    """Every resident slot with its physical location and stored fields."""
+    table = switch.conn_table._table
+    return [
+        (s, b, w, slot.key, slot.digest, slot.value)
+        for s, stage in enumerate(table._slots)
+        for b, bucket in enumerate(stage)
+        for w, slot in enumerate(bucket)
+        if slot is not None
+    ]
+
+
+def _observe(report, conns, switch):
+    """The full comparable outcome of one replay."""
+    audit = audit_switch(switch, connections=conns)
+    return {
+        "fingerprint": switch.metrics.fingerprint(),
+        "conn_table": _conn_table_snapshot(switch),
+        "audit": str(audit),
+        "pcc_violations": report.pcc_violations,
+        "dropped": report.dropped_connections,
+        "measured": report.measured_connections,
+        "extra": report.extra,
+    }
+
+
+def _replay(workload, *, batched, batch_size=256, fault_seed=None):
+    """One fresh replay of ``workload``; fresh injector per run (stateful)."""
+    faults = None
+    if fault_seed is not None:
+        plan = FaultPlan.generate(
+            fault_seed, horizon_s=workload.horizon_s, faults_per_min=30.0
+        )
+        faults = FaultInjector(plan)
+        factory = lambda: SilkRoadSwitch(chaos_config(), name="silkroad-diff")
+    else:
+        factory = silkroad_factory(
+            insertion_rate_per_s=20_000.0, conn_table_capacity=50_000
+        )
+    report, conns, lb = workload.replay(
+        factory, faults=faults, batched=batched, batch_size=batch_size
+    )
+    return _observe(report, conns, lb)
+
+
+def _assert_identical(scalar, batched, label: str) -> None:
+    assert batched["fingerprint"] == scalar["fingerprint"], (
+        f"{label}: metric fingerprints diverged"
+    )
+    assert batched["conn_table"] == scalar["conn_table"], (
+        f"{label}: ConnTable contents diverged"
+    )
+    assert batched["audit"] == scalar["audit"], f"{label}: audit reports diverged"
+    assert batched == scalar, f"{label}: simulation reports diverged"
+
+
+# ----------------------------------------------------------------------
+# The ISSUE-named replay: one workload, every batch size, both drivers.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_batched_matches_scalar_oracle(batch_size):
+    workload = build_workload(
+        updates_per_min=20.0, scale=0.05, seed=42, horizon_s=30.0, warmup_s=5.0
+    )
+    scalar = _replay(workload, batched=False)
+    batched = _replay(workload, batched=True, batch_size=batch_size)
+    _assert_identical(scalar, batched, f"batch_size={batch_size}")
+
+
+def test_batched_matches_scalar_under_faults():
+    """Chaos run: faults hit mid-chunk and the interleaving must still match."""
+    scalar = run_chaos(seed=11, scale=0.04, horizon_s=15.0, batched=False)
+    batched = run_chaos(seed=11, scale=0.04, horizon_s=15.0, batched=True)
+    assert batched.fingerprint == scalar.fingerprint
+    assert str(batched.audit) == str(scalar.audit)
+    assert _conn_table_snapshot(batched.switch) == _conn_table_snapshot(
+        scalar.switch
+    )
+    assert (
+        batched.report.pcc_violations == scalar.report.pcc_violations
+    )
+    assert batched.overdue_updates == scalar.overdue_updates
+
+
+# ----------------------------------------------------------------------
+# Property-style fuzz: random workload shapes, schedules, faults on/off.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("case", range(8))
+def test_fuzz_differential(case):
+    """Seeded random (workload, schedule, faults, batch size) quadruples.
+
+    Everything derives from ``case`` through one ``random.Random`` so a
+    failure reproduces exactly; the parameters deliberately include
+    update-free runs (no TransitTable traffic), dense update schedules
+    (chunks constantly cut by updates), and fault injection (CPU crashes
+    landing inside chunks).
+    """
+    rnd = random.Random(0xD1FF + case)
+    seed = rnd.randrange(1 << 16)
+    num_vips = rnd.randint(2, 5)
+    updates_per_min = rnd.choice([0.0, 15.0, 90.0])
+    horizon_s = rnd.uniform(8.0, 18.0)
+    scale = rnd.uniform(0.02, 0.06)
+    fault_seed = rnd.randrange(1 << 16) if rnd.random() < 0.5 else None
+    batch_size = rnd.choice(BATCH_SIZES)
+
+    workload = build_workload(
+        updates_per_min=updates_per_min,
+        scale=scale,
+        seed=seed,
+        horizon_s=horizon_s,
+        warmup_s=2.0,
+        num_vips=num_vips,
+    )
+    label = (
+        f"case={case} seed={seed} vips={num_vips} upd={updates_per_min} "
+        f"faults={fault_seed} batch={batch_size}"
+    )
+    scalar = _replay(workload, batched=False, fault_seed=fault_seed)
+    batched = _replay(
+        workload, batched=True, batch_size=batch_size, fault_seed=fault_seed
+    )
+    _assert_identical(scalar, batched, label)

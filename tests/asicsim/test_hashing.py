@@ -177,3 +177,42 @@ class TestCorrelatedCollisionRegression:
             assert unit.digest(self.CRC32_COLLIDING_A, 16) != unit.digest(
                 self.CRC32_COLLIDING_B, 16
             )
+
+
+class TestBatchedDerivation:
+    """The vectorized batch helpers must be bit-identical to the scalar
+    pipeline for every batch size (including the numpy-bypass small sizes)."""
+
+    def test_base_hash_many_matches_scalar(self):
+        from repro.asicsim import hashing
+        from repro.asicsim.hashing import base_hash_many
+
+        keys = [bytes([i, i * 3 % 256, 7]) * (1 + i % 4) for i in range(50)]
+        before = hashing.BASE_HASH_CALLS
+        batched = base_hash_many(keys)
+        assert hashing.BASE_HASH_CALLS == before + len(keys)
+        assert batched == [base_hash(k) for k in keys]
+
+    @pytest.mark.parametrize("size", [0, 1, 7, 15, 16, 64, 1024])
+    def test_splitmix64_many_matches_scalar(self, size):
+        from repro.asicsim.hashing import _splitmix64, splitmix64_many
+
+        values = [mix64(i, 99) for i in range(size)]
+        seed_mix = _splitmix64(0xD1B0)
+        assert splitmix64_many(values, seed_mix) == [
+            _splitmix64(v ^ seed_mix) for v in values
+        ]
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1),
+                    max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_derive_many_matches_derive(self, bases):
+        unit = HashUnit(seed=0xABCDEF)
+        assert unit.derive_many(bases) == [unit.derive(b) for b in bases]
+
+    def test_results_are_python_ints(self):
+        # Downstream modulo/shift arithmetic must see exact Python ints,
+        # not numpy scalars (whose % and >> could differ in type).
+        unit = HashUnit(seed=3)
+        out = unit.derive_many(list(range(32)))
+        assert all(type(v) is int for v in out)

@@ -78,14 +78,41 @@ class TestPlacement:
         pipe.place_exact_match(
             "vip", num_entries=4096, entry_bits=170, key_bits=152
         )
+        # 150-bit entries span two 112-bit words each: 512 blocks, so this
+        # needs 8 stages (the pre-fix sizing undersized it to 256 blocks).
         pipe.place_exact_match(
             "dip_pool", num_entries=262_144, entry_bits=150, key_bits=160,
-            stages_spanned=4,
+            stages_spanned=8,
         )
         pipe.place_register_array("transit", size_bits=2048, num_hash_ways=4)
         # ConnTable ~35 MB out of ~46.5 MB total SRAM.
         assert pipe.used_sram_bytes() < pipe.total_sram_bytes()
         assert pipe.used_sram_bytes() > 30e6
+
+    def test_wide_entry_sizing(self):
+        # Regression: entries wider than one SRAM word were sized as if one
+        # entry fit one word, silently undersizing the table.  A 170-bit
+        # entry in 112-bit words needs ceil(170/112) = 2 words per entry.
+        pipe = Pipeline(num_stages=4)  # word_bits=112, block_words=1024
+        narrow = pipe.sram_blocks_for_entries(1024, 56)  # 2 per word -> 512 words
+        assert narrow == 1
+        wide = pipe.sram_blocks_for_entries(1024, 170)  # 2 words each -> 2048 words
+        assert wide == 2
+        very_wide = pipe.sram_blocks_for_entries(1024, 300)  # 3 words each
+        assert very_wide == 3
+        with pytest.raises(ValueError):
+            pipe.sram_blocks_for_entries(1024, 0)
+
+    def test_wide_entry_placement_consumes_more_blocks(self):
+        pipe = Pipeline(num_stages=4)
+        placement = pipe.place_exact_match(
+            "wide", num_entries=100_000, entry_bits=224, key_bits=104,
+            stages_spanned=2,
+        )
+        # 100K entries x 2 words = 200K words = ceil(200K/1024) = 196 blocks;
+        # the old sizing would have asked for half that.
+        total = placement.per_stage_demand.sram_blocks * len(placement.stages)
+        assert total >= 196
 
     def test_latency_sub_microsecond(self):
         pipe = Pipeline()

@@ -166,3 +166,70 @@ class TestMetricRegistry:
         assert snap["lat.count"] == 1.0
         assert snap["lat.sum"] == 2.0
         assert snap["lat.mean"] == 2.0
+
+
+class TestP2FastPath:
+    """The degenerate-marker fast path must be bit-identical to the general
+    P-squared update (it is a pure shortcut, not an approximation)."""
+
+    @staticmethod
+    def _reference_update(est, x):
+        # The general update, without the fast path, on the same state.
+        q, n = est._q, est._n
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            while x >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        np_, dn = est._np, est._dn
+        np_[1] += dn[1]
+        np_[2] += dn[2]
+        np_[3] += dn[3]
+        np_[4] += 1.0
+        for i in (1, 2, 3):
+            d = np_[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = est._parabolic(i, step)
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:
+                    q[i] = est._linear(i, step)
+                n[i] += step
+
+    @pytest.mark.parametrize("p", [0.5, 0.99])
+    def test_constant_then_mixed_stream_identical(self, p):
+        import random
+
+        rnd = random.Random(2026)
+        stream = [0.0] * 200
+        stream += [rnd.random() for _ in range(50)]
+        stream += [0.0] * 100
+        stream += [5.0] * 300  # re-degenerates at a new constant level
+        fast = P2Quantile(p)
+        ref = P2Quantile(p)
+        for x in stream:
+            fast.observe(x)
+            ref.count += 1
+            if ref._q:
+                self._reference_update(ref, x)
+            else:
+                ref._initial.append(x)
+                if len(ref._initial) == 5:
+                    ref._initial.sort()
+                    ref._q = list(ref._initial)
+                    ref._n = [0.0, 1.0, 2.0, 3.0, 4.0]
+                    ref._np = [0.0, 2.0 * p, 4.0 * p, 2.0 + 2.0 * p, 4.0]
+            assert fast._q == ref._q
+            assert fast._n == ref._n
+            assert fast._np == ref._np
+        assert fast.value() == ref.value()
