@@ -6,8 +6,13 @@ Commands:
   default; see ``--list``).
 * ``pcc`` — run one flow-level PCC simulation against a chosen system and
   print the report.
-* ``fleet`` — synthesize the cluster fleet and dump per-cluster statistics
-  as CSV.
+* ``fleet`` — run the fleet chaos survival sweep: seeded switch crashes,
+  partitions, flaps, heartbeat loss, and VIP reassignments against a
+  controller-managed fleet, print the kept/broken/blackholed survival
+  table per failure pattern, and exit non-zero unless every PCC violation
+  and drop is attributed (the CI fleet smoke step).
+* ``fleet-csv`` — synthesize the cluster fleet and dump per-cluster
+  statistics as CSV.
 * ``forward`` — push a synthetic packet through the P4 SilkRoad pipeline
   and print the forwarding decision.
 * ``telemetry`` — run a small scenario and emit the full metric/trace dump
@@ -17,7 +22,8 @@ Commands:
   CI chaos smoke step).  ``--workers N`` fans the run out over derived
   seeds via the sharded replay engine.
 * ``run`` — run one shardable experiment (``fig16``, ``fig18``,
-  ``chaos``) through the sharded parallel replay engine; ``--workers N``
+  ``chaos``, ``fleet``) through the sharded parallel replay engine;
+  ``--workers N``
   sizes the process pool without changing the merged result.
   ``--timeline`` / ``--record`` attach the time-resolved observability
   layer (epoch-sampled metric timeline, flight-recorder event ring) and
@@ -171,7 +177,7 @@ def _cmd_pcc(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fleet(args: argparse.Namespace) -> int:
+def _cmd_fleet_csv(args: argparse.Namespace) -> int:
     from .traces import FleetSynthesizer
 
     profiles = FleetSynthesizer(seed=args.seed).synthesize()
@@ -195,6 +201,86 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             ]
         )
     print(out.getvalue(), end="")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .faults.fleet import run_fleet_sharded
+
+    patterns = tuple(p for p in args.patterns.split(",") if p)
+    if not patterns:
+        print("no failure patterns given", file=sys.stderr)
+        return 2
+    # --plans is the total sweep size; distribute evenly, rounding up so
+    # the sweep never shrinks below what was asked for.
+    plans_per_pattern = max(1, -(-args.plans // len(patterns)))
+
+    def once(workers):
+        return run_fleet_sharded(
+            num_shards=args.num_shards,
+            workers=workers,
+            seed=args.seed,
+            patterns=patterns,
+            plans_per_pattern=plans_per_pattern,
+            num_switches=args.num_switches,
+            scale=args.scale,
+            horizon_s=args.horizon,
+            updates_per_min=args.updates_per_min,
+            faults_per_min=args.faults_per_min,
+            replication=args.replication,
+            conn_budget=args.conn_budget,
+            batched=args.batched,
+        )
+
+    result = once(args.workers)
+    print(result.summary())
+    print(
+        f"  survival over {len(patterns) * plans_per_pattern} fault plans "
+        f"({plans_per_pattern} per pattern):"
+    )
+    for pattern in patterns:
+        get = lambda key: int(result.counters.get(f"{pattern}.{key}", 0.0))
+        measured = get("measured")
+        kept = get("kept")
+        pct = 100.0 * kept / measured if measured else 100.0
+        print(
+            f"    {pattern:>10}: {measured} measured — {kept} kept "
+            f"({pct:.1f}%), {get('broken')} broken, "
+            f"{get('blackholed')} blackholed, {get('shed')} shed"
+        )
+    if args.check_determinism:
+        # The second pass runs serial: the survival table, audit, and
+        # merged registry must not move with pool size (or across repeat
+        # runs — the layout is a pure function of the flags).
+        again = once(1)
+        diverged = []
+        if again.fingerprint != result.fingerprint:
+            diverged.append("registry fingerprint")
+        if (
+            again.audit.checks_run != result.audit.checks_run
+            or again.audit.violations != result.audit.violations
+        ):
+            diverged.append("audit report")
+        if again.counters != result.counters:
+            diverged.append("survival counters")
+        if diverged:
+            print(
+                f"FAIL: same-seed fleet runs diverged ({', '.join(diverged)})",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"determinism ok (fingerprint {result.fingerprint[:16]})")
+    if args.fingerprint_out:
+        with open(args.fingerprint_out, "w") as fh:
+            fh.write(f"registry {result.fingerprint}\n")
+    if not result.ok or result.failed:
+        print(str(result.audit), file=sys.stderr)
+        for failure in result.failed:
+            print(
+                f"shard {failure.shard_id} FAILED: {failure.reason}",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 
@@ -562,9 +648,68 @@ def build_parser() -> argparse.ArgumentParser:
     _add_driver_flags(p_pcc)
     p_pcc.set_defaults(fn=_cmd_pcc)
 
-    p_fleet = sub.add_parser("fleet", help="dump the synthetic fleet as CSV")
-    p_fleet.add_argument("--seed", type=int, default=0xF1EE7)
+    p_fleet = sub.add_parser(
+        "fleet", help="fleet chaos survival sweep with attribution audit"
+    )
+    p_fleet.add_argument("--seed", type=int, default=7)
+    p_fleet.add_argument(
+        "--plans",
+        type=int,
+        default=20,
+        help="total fault plans in the sweep (split across patterns)",
+    )
+    p_fleet.add_argument(
+        "--patterns",
+        default="crash,partition,flap,cascade,mixed",
+        help="comma-separated failure patterns to sweep",
+    )
+    p_fleet.add_argument("--num-switches", type=int, default=4)
+    p_fleet.add_argument("--scale", type=float, default=0.05)
+    p_fleet.add_argument("--horizon", type=float, default=20.0)
+    p_fleet.add_argument("--updates-per-min", type=float, default=60.0)
+    p_fleet.add_argument("--faults-per-min", type=float, default=4.0)
+    p_fleet.add_argument(
+        "--replication",
+        type=int,
+        default=None,
+        help="switches each VIP is announced on (default: all)",
+    )
+    p_fleet.add_argument(
+        "--conn-budget",
+        type=int,
+        default=None,
+        help="per-switch connection budget; over it, low-priority VIPs shed",
+    )
+    p_fleet.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: min(num_shards, CPU count))",
+    )
+    p_fleet.add_argument(
+        "--num-shards",
+        type=int,
+        default=4,
+        help="deterministic shard count; fixes the merged fingerprint",
+    )
+    p_fleet.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="rerun serial and require identical fingerprints/audit/counters",
+    )
+    p_fleet.add_argument(
+        "--fingerprint-out",
+        metavar="PATH",
+        help="write the merged registry fingerprint to PATH",
+    )
+    _add_driver_flags(p_fleet)
     p_fleet.set_defaults(fn=_cmd_fleet)
+
+    p_fleet_csv = sub.add_parser(
+        "fleet-csv", help="dump the synthetic fleet as CSV"
+    )
+    p_fleet_csv.add_argument("--seed", type=int, default=0xF1EE7)
+    p_fleet_csv.set_defaults(fn=_cmd_fleet_csv)
 
     p_fwd = sub.add_parser("forward", help="forward packets through the P4 pipeline")
     p_fwd.add_argument("--vips", type=int, default=2)
@@ -631,7 +776,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser(
         "run", help="run a shardable experiment on the parallel replay engine"
     )
-    p_run.add_argument("task", choices=("fig16", "fig18", "chaos"))
+    p_run.add_argument("task", choices=("fig16", "fig18", "chaos", "fleet"))
     p_run.add_argument(
         "--workers",
         type=int,

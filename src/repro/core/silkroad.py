@@ -151,6 +151,7 @@ class SilkRoadSwitch(LoadBalancer):
         self.notifications_delayed = 0
         self.relearns = 0
         self.at_risk_connections = 0
+        self.resumed_connections = 0
         #: Keys whose PCC exposure the fault model predicts — watchdog
         #: reclassifications, ConnTable overflows, step-2 Bloom adoptions.
         #: Persisted past connection death so post-run audits can attribute
@@ -368,9 +369,14 @@ class SilkRoadSwitch(LoadBalancer):
             live.discard(key)
         self._drop_decision_index(state)
         if state.installed:
-            # Entry ages out idle_timeout after the last packet.
-            def expire() -> None:
-                self._expire_entry(key)
+            # Entry ages out idle_timeout after the last packet.  The timer
+            # is pinned to this state object: if the key is re-admitted (or
+            # ended twice, e.g. by a fleet hand-off racing the flow's own
+            # FIN) before the timer fires, a stale timer must not evict the
+            # newer entry or double-release its pool version.
+            def expire(state: _ConnState = state) -> None:
+                if self._states.get(key) is state:
+                    self._expire_entry(key)
 
             self.queue.schedule_in(self.config.idle_timeout_s, expire, PRIO_INTERNAL)
         else:
@@ -380,6 +386,45 @@ class SilkRoadSwitch(LoadBalancer):
             self.coordinator.on_pending_aborted(state.vip, key)
             self.dip_pools.release(state.vip, state.version)
             del self._states[key]
+
+    def resume_connection(self, conn: Connection) -> bool:
+        """Re-adopt a flow steered back to this switch mid-life.
+
+        When fabric ECMP re-steers a previously quiesced flow back here
+        (failover ping-pong, a healed partition, a drained VIP returning)
+        before its ConnTable entry ages out, the packets simply hit the
+        surviving entry: the connection keeps its pinned version — no SYN,
+        no learning filter, no new install.  Returns ``False`` when no
+        lingering installed entry exists, in which case the caller replays
+        a fresh arrival instead.
+        """
+        key = conn.key
+        state = self._states.get(key)
+        if state is None or not state.installed or key not in self.conn_table:
+            return False
+        now = self.queue.now
+        # A fresh state object detaches the idle-timeout timer the quiesce
+        # armed (expiry fires only against its own state instance).
+        fresh = _ConnState(conn=state.conn, vip=state.vip, version=state.version)
+        fresh.installed = True
+        fresh.marked = state.marked
+        fresh.overflowed = state.overflowed
+        fresh.adopted_old_via_fp = state.adopted_old_via_fp
+        fresh.at_risk = state.at_risk
+        self._states[key] = fresh
+        live = self._live_by_vip.get(state.vip)
+        if live is None:
+            live = self._live_by_vip[state.vip] = set()
+        live.add(key)
+        self._drop_decision_index(state)
+        dip = self.dip_pools.select(state.vip, state.version, key, conn.key_hash)
+        self._set_decision(fresh, dip, now)
+        self.resumed_connections += 1
+        if self.recorder is not None:
+            self.recorder.record(
+                now, "conn", "resume", key=key, version=state.version
+            )
+        return True
 
     def apply_update(self, event: UpdateEvent) -> None:
         if self.config.use_transit_table:
@@ -959,6 +1004,7 @@ class SilkRoadSwitch(LoadBalancer):
             "notifications_delayed": float(self.notifications_delayed),
             "relearns": float(self.relearns),
             "at_risk_connections": float(self.at_risk_connections),
+            "resumed_connections": float(self.resumed_connections),
             "watchdog_forced_steps": float(self.coordinator.watchdog_forced_steps),
             "sram_bytes": float(self.sram_bytes()),
         }

@@ -8,13 +8,37 @@ from .failures import (
     health_check_bandwidth_bps,
     switch_failure_breakage,
 )
+from .fleet import (
+    CAUSE_BLACKHOLE,
+    CAUSE_RACE,
+    CAUSE_REHASH,
+    CAUSE_SHED,
+    CAUSE_SWITCH_LOCAL,
+    FLEET_CAUSES,
+    FleetAuditReport,
+    FleetConfig,
+    FleetController,
+    FleetSilkRoad,
+    audit_fleet,
+)
 
 __all__ = [
     "AssignmentResult",
     "BfdProber",
+    "CAUSE_BLACKHOLE",
+    "CAUSE_RACE",
+    "CAUSE_REHASH",
+    "CAUSE_SHED",
+    "CAUSE_SWITCH_LOCAL",
+    "FLEET_CAUSES",
     "FabricSilkRoad",
+    "FleetAuditReport",
+    "FleetConfig",
+    "FleetController",
+    "FleetSilkRoad",
     "VipDemand",
     "assign_vips",
+    "audit_fleet",
     "expected_breakage_after_failover",
     "health_check_bandwidth_bps",
     "switch_failure_breakage",

@@ -1,0 +1,1116 @@
+"""Fleet failure domain: health-checked failover with attributable PCC.
+
+:mod:`repro.deploy.failover` models §7's switch-failure story with an
+omniscient oracle — ``fail_switch`` fires exactly when scheduled and flows
+move instantly.  Real fleets do not work that way: a controller discovers
+switch health through *heartbeat probes*, detection has latency, and every
+flow hashed to a dead switch blackholes until suspicion crosses the
+threshold.  This module builds that control plane:
+
+* :class:`FleetController` probes every switch each
+  ``heartbeat_interval_s``; ``suspicion_threshold`` consecutive misses
+  declare the switch down (detection latency = interval × threshold).
+  Until then the fabric keeps hashing flows into the void.
+* **Declare-down** removes the switch from every VIP's resilient-hash
+  group and re-homes its connections to the survivors — re-hashed flows
+  keep PCC iff they were on the latest pool version (§7 semantics), and
+  every move is recorded with its cause.
+* **Recovery / rejoin** boots a *fresh* switch instance that must re-sync
+  its VIPTable from the fleet's current pools (state re-learn) before the
+  controller re-admits it to ECMP after ``rejoin_threshold`` clean probes.
+* **PCC-safe VIP reassignment** (:meth:`FleetSilkRoad.reassign_vip`)
+  mirrors the 3-step ``pcc_update`` shape at fleet scope:
+  re-announce on the target, drain the hash group after
+  ``announce_delay_s``, then redirect the stragglers after
+  ``drain_window_s`` — flows that arrived inside the window are the
+  *mid-reassignment race* population.
+* **Graceful degradation**: with a ``conn_budget`` (per-switch ConnTable
+  allowance, same budget notion as :mod:`repro.deploy.assignment`), a
+  failover that would overflow a survivor sheds whole VIPs
+  lowest-priority-first instead of corrupting table state.
+
+Every decision change a connection can experience is recorded at the
+moment the fleet causes it, so :func:`audit_fleet` can attribute **every**
+PCC violation and every dropped connection to exactly one cause — the
+acceptance bar is a zero-size unattributed bucket:
+
+=========================  ====================================================
+``version_pinned_rehash``  a fleet-initiated move re-hashed the flow under the
+                           current pool (breaks iff it was version-pinned, §7)
+``blackhole_detection``    packets met a dead or not-yet-resynced switch before
+                           detection/rejoin completed
+``overflow_shed``          the flow's VIP was shed to keep survivors within
+                           their ConnTable budget
+``reassignment_race``      the flow arrived during a reassignment's drain
+                           window and was redirected at the final step
+``switch_local``           the single-switch fault machinery (slow-path loss,
+                           ConnTable overflow, Bloom FP adoption) already
+                           predicted it — PR 3's per-switch attribution
+=========================  ====================================================
+
+Everything runs on the shared deterministic event queue; given equal
+seeds, two fleet runs are bit-identical (the chaos CLI asserts equal
+registry fingerprints across runs and worker counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heappop
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..baselines.ecmp import ResilientHashTable
+from ..core.config import SilkRoadConfig
+from ..core.silkroad import SilkRoadSwitch
+from ..core.verify import AuditReport, audit_switch
+from ..netsim.events import EventQueue
+from ..netsim.flows import Connection
+from ..netsim.packet import DirectIP, VirtualIP
+from ..netsim.simulator import LoadBalancer, PRIO_ARRIVAL, PRIO_INTERNAL
+from ..netsim.updates import UpdateEvent, UpdateKind
+from ..obs.metrics import MetricRegistry
+from .failover import _SwitchId
+
+#: Attribution classes for fleet-caused decision changes.
+CAUSE_REHASH = "version_pinned_rehash"
+CAUSE_BLACKHOLE = "blackhole_detection"
+CAUSE_SHED = "overflow_shed"
+CAUSE_RACE = "reassignment_race"
+CAUSE_SWITCH_LOCAL = "switch_local"
+FLEET_CAUSES: Tuple[str, ...] = (
+    CAUSE_REHASH,
+    CAUSE_BLACKHOLE,
+    CAUSE_SHED,
+    CAUSE_RACE,
+)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Control-plane knobs of the fleet failure domain."""
+
+    #: seconds between controller probe rounds.
+    heartbeat_interval_s: float = 0.25
+    #: consecutive missed probes before a switch is declared down.
+    suspicion_threshold: int = 3
+    #: consecutive clean probes before a recovered switch rejoins ECMP.
+    rejoin_threshold: int = 2
+    #: slots of each per-VIP resilient hash group.
+    ecmp_slots: int = 128
+    #: switches announcing each VIP (None = every switch, the §5.3 default).
+    replication: Optional[int] = None
+    #: per-switch ConnTable allowance; None disables overflow shedding.
+    conn_budget: Optional[int] = None
+    #: reassignment step 1→2 latency (announce propagation).
+    announce_delay_s: float = 0.05
+    #: reassignment step 2→3 latency (drain window).
+    drain_window_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+        if self.suspicion_threshold < 1:
+            raise ValueError("suspicion_threshold must be >= 1")
+        if self.rejoin_threshold < 1:
+            raise ValueError("rejoin_threshold must be >= 1")
+        if self.replication is not None and self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if self.conn_budget is not None and self.conn_budget < 1:
+            raise ValueError("conn_budget must be >= 1")
+        if self.announce_delay_s < 0 or self.drain_window_s < 0:
+            raise ValueError("reassignment latencies must be non-negative")
+
+    @property
+    def detection_latency_s(self) -> float:
+        """Worst-case blackhole window after a silent crash."""
+        return self.heartbeat_interval_s * self.suspicion_threshold
+
+
+class _SwitchSlot:
+    """One fleet position: the current switch instance plus health state."""
+
+    __slots__ = (
+        "switch",
+        "generation",
+        "dataplane_up",
+        "partition_depth",
+        "drop_probes",
+        "synced",
+        "in_ecmp",
+        "missed",
+        "ok_streak",
+        "announced",
+        "restart_handle",
+    )
+
+    def __init__(self, switch: SilkRoadSwitch) -> None:
+        self.switch = switch
+        self.generation = 0
+        self.dataplane_up = True
+        self.partition_depth = 0  # nested partitions stack
+        self.drop_probes = 0  # probes the fault model will eat
+        self.synced = True
+        self.in_ecmp = True
+        self.missed = 0
+        self.ok_streak = 0
+        self.announced: Set[VirtualIP] = set()  # membership only, never iterated
+        self.restart_handle = None
+
+    @property
+    def reachable(self) -> bool:
+        """Control-plane reachability (what a probe can observe)."""
+        return self.dataplane_up and self.partition_depth == 0
+
+    def serves(self, vip: VirtualIP) -> bool:
+        """Can this slot's data plane forward for ``vip`` right now?
+
+        A partitioned switch keeps forwarding (the partition severs the
+        control plane: probes and updates); a crashed or freshly restarted
+        instance that has not announced the VIP cannot.
+        """
+        return self.dataplane_up and vip in self.announced
+
+
+class FleetController:
+    """Heartbeat prober + membership policy for a :class:`FleetSilkRoad`."""
+
+    def __init__(self, fleet: "FleetSilkRoad") -> None:
+        self.fleet = fleet
+        self._stalled_until = float("-inf")
+        self.probes_sent = 0
+        self.probes_missed = 0
+        self.stalled_ticks = 0
+
+    def start(self, queue: EventQueue) -> None:
+        cfg = self.fleet.fleet_config
+        queue.schedule(
+            queue.now + cfg.heartbeat_interval_s, self._tick, PRIO_INTERNAL
+        )
+
+    def stall(self, duration_s: float) -> None:
+        """Suspend detection (the DETECTION_DELAY fault): probes pause."""
+        now = self.fleet.queue.now
+        self._stalled_until = max(self._stalled_until, now + duration_s)
+
+    def _tick(self) -> None:
+        fleet = self.fleet
+        queue = fleet.queue
+        cfg = fleet.fleet_config
+        now = queue.now
+        if now < self._stalled_until:
+            self.stalled_ticks += 1
+        else:
+            for index, slot in enumerate(fleet._slots):
+                self.probes_sent += 1
+                up = slot.reachable
+                if up and slot.drop_probes > 0:
+                    slot.drop_probes -= 1
+                    up = False  # the probe itself was lost
+                if up:
+                    slot.missed = 0
+                    slot.ok_streak += 1
+                    if slot.in_ecmp and not slot.synced:
+                        # Reachable but stale: it missed updates while
+                        # unreachable and must re-learn before serving.
+                        fleet.declare_down(index, reason="stale")
+                    elif not slot.in_ecmp and slot.ok_streak >= cfg.rejoin_threshold:
+                        fleet.rejoin(index)
+                else:
+                    slot.ok_streak = 0
+                    slot.missed += 1
+                    self.probes_missed += 1
+                    if slot.in_ecmp and slot.missed >= cfg.suspicion_threshold:
+                        fleet.declare_down(index, reason="unresponsive")
+        queue.schedule(now + cfg.heartbeat_interval_s, self._tick, PRIO_INTERNAL)
+
+
+class FleetSilkRoad(LoadBalancer):
+    """A fleet of SilkRoad switches under heartbeat-driven membership."""
+
+    def __init__(
+        self,
+        num_switches: int = 4,
+        config: SilkRoadConfig = SilkRoadConfig(),
+        fleet_config: FleetConfig = FleetConfig(),
+        name: str = "fleet-silkroad",
+        priorities: Optional[Dict[VirtualIP, int]] = None,
+    ) -> None:
+        if num_switches <= 0:
+            raise ValueError("need at least one switch")
+        self.name = name
+        self.config = config
+        self.fleet_config = fleet_config
+        self._slots: List[_SwitchSlot] = [
+            _SwitchSlot(SilkRoadSwitch(config, name=f"{name}-{i}"))
+            for i in range(num_switches)
+        ]
+        self._ids = [_SwitchId(i) for i in range(num_switches)]
+        self._retired: List[Tuple[int, int, SilkRoadSwitch]] = []
+        # Per-VIP resilient hash group over the VIP's live announcers.
+        self._tables: Dict[VirtualIP, ResilientHashTable] = {}
+        # Which slots are supposed to announce each VIP (rejoin targets).
+        self._assignment: Dict[VirtualIP, List[int]] = {}
+        self._vip_order: List[VirtualIP] = []
+        # The fleet's authoritative current pool per VIP, mirrored from the
+        # update stream; resyncs announce from here.
+        self._pools: Dict[VirtualIP, List[DirectIP]] = {}
+        self._priorities: Dict[VirtualIP, int] = dict(priorities or {})
+        self._owner: Dict[bytes, int] = {}  # -1 = registered but unserved
+        self._conns: Dict[bytes, Connection] = {}
+        # Attribution maps, written at the instant the fleet causes the
+        # decision change; membership-only, never iterated for events.
+        self._move_cause: Dict[bytes, str] = {}
+        self._drop_cause: Dict[bytes, str] = {}
+        self._shed: Dict[VirtualIP, None] = {}  # insertion-ordered set
+        #: in-flight reassignments: vip -> (t0, from_index, to_index)
+        self._reassigning: Dict[VirtualIP, Tuple[float, int, int]] = {}
+        self.controller = FleetController(self)
+        self.recorder = None
+
+        # Counters (mirrored into the registry as callback gauges).
+        self.crashes = 0
+        self.restarts = 0
+        self.partitions = 0
+        self.heals = 0
+        self.detections = 0
+        self.false_detections = 0
+        self.rejoins = 0
+        self.resyncs = 0
+        self.handoffs = 0
+        self.blackholed_arrivals = 0
+        self.blackholed_existing = 0
+        self.unserved_arrivals = 0
+        self.shed_arrivals = 0
+        self.vips_shed = 0
+        self.shed_connections = 0
+        self.reassignments_started = 0
+        self.reassignments_completed = 0
+        self.reassignments_skipped = 0
+        self.updates_missed = 0
+
+        self.metrics = MetricRegistry(labels={"fleet": name})
+        scope = self.metrics.scope("fleet")
+        for counter in (
+            "crashes",
+            "restarts",
+            "partitions",
+            "heals",
+            "detections",
+            "false_detections",
+            "rejoins",
+            "resyncs",
+            "handoffs",
+            "blackholed_arrivals",
+            "blackholed_existing",
+            "unserved_arrivals",
+            "shed_arrivals",
+            "vips_shed",
+            "shed_connections",
+            "reassignments_started",
+            "reassignments_completed",
+            "reassignments_skipped",
+            "updates_missed",
+        ):
+            scope.gauge(counter).set_function(
+                lambda c=counter: float(getattr(self, c))
+            )
+        scope.gauge("switches_in_ecmp").set_function(
+            lambda: float(sum(1 for s in self._slots if s.in_ecmp))
+        )
+        scope.gauge("switches_up").set_function(
+            lambda: float(sum(1 for s in self._slots if s.dataplane_up))
+        )
+        for i in range(num_switches):
+            sw_scope = self.metrics.scope(f"sw{i}")
+            sw_scope.gauge("dataplane_up").set_function(
+                lambda i=i: 1.0 if self._slots[i].dataplane_up else 0.0
+            )
+            sw_scope.gauge("in_ecmp").set_function(
+                lambda i=i: 1.0 if self._slots[i].in_ecmp else 0.0
+            )
+            sw_scope.gauge("conn_entries").set_function(
+                lambda i=i: float(len(self._slots[i].switch.conn_table))
+            )
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def announce_vip(self, vip: VirtualIP, dips: Sequence[DirectIP]) -> None:
+        if vip in self._assignment:
+            raise ValueError(f"VIP already announced: {vip}")
+        n = len(self._slots)
+        rank = len(self._vip_order)
+        replication = self.fleet_config.replication
+        width = n if replication is None else min(replication, n)
+        indices = sorted({(rank + j) % n for j in range(width)})
+        self._vip_order.append(vip)
+        self._assignment[vip] = indices
+        self._pools[vip] = list(dips)
+        self._priorities.setdefault(vip, rank)
+        for index in indices:
+            slot = self._slots[index]
+            slot.switch.announce_vip(vip, dips)
+            slot.announced.add(vip)
+        self._tables[vip] = ResilientHashTable(
+            [self._ids[i] for i in indices], num_slots=self.fleet_config.ecmp_slots
+        )
+
+    def bind(self, queue: EventQueue) -> None:
+        super().bind(queue)
+        for slot in self._slots:
+            slot.switch.bind(queue)
+        self.controller.start(queue)
+
+    def attach_recorder(self, recorder) -> None:
+        self.recorder = recorder
+        for slot in self._slots:
+            slot.switch.attach_recorder(recorder)
+
+    def _record(self, name: str, **attrs) -> None:
+        if self.recorder is not None:
+            self.recorder.record(self.queue.now, "fleet", name, **attrs)
+
+    # ------------------------------------------------------------------
+    # LoadBalancer interface
+    # ------------------------------------------------------------------
+
+    def on_connection_arrival(self, conn: Connection) -> None:
+        key = conn.key
+        vip = conn.vip
+        now = self.queue.now
+        if vip in self._shed:
+            # The VIP was shed for capacity: the fleet refuses the flow.
+            self.shed_arrivals += 1
+            conn.record_decision(now, None)
+            self._drop_cause[key] = CAUSE_SHED
+            return
+        table = self._tables.get(vip)
+        if table is None:
+            # Every announcer is down: the VIP is withdrawn fleet-wide.
+            self.unserved_arrivals += 1
+            self._owner[key] = -1
+            self._conns[key] = conn
+            conn.record_decision(now, None)
+            self._drop_cause.setdefault(key, CAUSE_BLACKHOLE)
+            return
+        index = table.lookup(key, conn.key_hash).index
+        self._owner[key] = index
+        self._conns[key] = conn
+        slot = self._slots[index]
+        if slot.serves(vip):
+            slot.switch.on_connection_arrival(conn)
+        else:
+            # Crashed (or restarted and not yet resynced) but not yet
+            # detected: the fabric still hashes here; packets blackhole.
+            self.blackholed_arrivals += 1
+            conn.record_decision(now, None)
+            self._drop_cause.setdefault(key, CAUSE_BLACKHOLE)
+
+    def on_connection_batch(self, conns: Sequence[Connection]) -> None:
+        """Arrival chunk dispatch, re-grouped by owning switch.
+
+        Same contract as :meth:`FabricSilkRoad.on_connection_batch`: a run
+        of consecutive arrivals sorting strictly before the heap head
+        cannot race a membership change (heartbeats, faults and
+        reassignment steps are all heap events), so ownership is constant
+        across the run and it forwards to the owner as one sub-batch.
+        Arrivals with no serving owner (shed / unserved / blackholed) take
+        the scalar path, which does the bookkeeping.
+        """
+        queue = self.queue
+        heap = queue._heap
+        run_before = queue.run_until_before
+        i, n = 0, len(conns)
+        while i < n:
+            conn = conns[i]
+            start = conn.start
+            run_before(start, PRIO_ARRIVAL)
+            queue.now = start
+            index = self._batch_owner(conn)
+            if index is None:
+                self.on_connection_arrival(conn)
+                i += 1
+                continue
+            while heap and heap[0][3].cancelled:
+                heappop(heap)
+            if heap:
+                head_t, head_p = heap[0][0], heap[0][1]
+            else:
+                head_t, head_p = float("inf"), PRIO_ARRIVAL
+            j = i + 1
+            while j < n:
+                later = conns[j]
+                ls = later.start
+                if ls > head_t or (ls == head_t and head_p < PRIO_ARRIVAL):
+                    break
+                if self._batch_owner(later) != index:
+                    break
+                j += 1
+            sub = conns[i:j]
+            owner = self._owner
+            conn_map = self._conns
+            for c in sub:
+                owner[c.key] = index
+                conn_map[c.key] = c
+            self._slots[index].switch.on_connection_batch(sub)
+            i = j
+
+    def _batch_owner(self, conn: Connection) -> Optional[int]:
+        """The serving owner for a batched arrival, or None for the scalar
+        path (shed VIP, unserved VIP, or a blackholing owner)."""
+        vip = conn.vip
+        if vip in self._shed:
+            return None
+        table = self._tables.get(vip)
+        if table is None:
+            return None
+        index = table.lookup(conn.key, conn.key_hash).index
+        return index if self._slots[index].serves(vip) else None
+
+    def on_connection_end(self, conn: Connection) -> None:
+        key = conn.key
+        index = self._owner.pop(key, None)
+        self._conns.pop(key, None)
+        if index is None or index < 0:
+            return
+        slot = self._slots[index]
+        if slot.dataplane_up:
+            # May be a fresh instance that never saw the flow (no-op) or
+            # the instance that ended it at quiesce time (idempotent).
+            slot.switch.on_connection_end(conn)
+
+    def apply_update(self, event: UpdateEvent) -> None:
+        vip = event.vip
+        pool = self._pools.get(vip)
+        if pool is None:
+            return
+        if event.kind is UpdateKind.REMOVE:
+            if event.dip not in pool:
+                return
+            pool.remove(event.dip)
+        else:
+            if event.dip in pool:
+                return
+            pool.append(event.dip)
+        if vip in self._shed:
+            return
+        for index in self._assignment[vip]:
+            slot = self._slots[index]
+            if slot.reachable and slot.synced and vip in slot.announced:
+                slot.switch.apply_update(event)
+            else:
+                # Unreachable or already stale: it missed this update and
+                # must re-learn before it may serve again.
+                slot.synced = False
+                self.updates_missed += 1
+
+    def finalize(self) -> None:
+        for slot in self._slots:
+            if slot.dataplane_up and slot.announced:
+                slot.switch.finalize()
+
+    # ------------------------------------------------------------------
+    # Fault surface (driven by repro.faults.fleet)
+    # ------------------------------------------------------------------
+
+    def inject_switch_crash(
+        self, index: int, restart_after_s: Optional[float] = None
+    ) -> None:
+        """The switch silently dies; optionally reboots after a delay.
+
+        Existing flows blackhole immediately (their state died with the
+        switch); the fabric keeps hashing to the slot until the controller
+        declares it down.
+        """
+        slot = self._slots[index]
+        now = self.queue.now
+        if slot.dataplane_up:
+            self.crashes += 1
+            quiesced = 0
+            for key, conn in self._conns.items():
+                if self._owner[key] != index or not conn.active_at(now):
+                    continue
+                # Silence the dead instance's state for this flow first so
+                # its in-flight slow-path events stop recording decisions,
+                # then mark the packet-level blackhole on the connection.
+                slot.switch.on_connection_end(conn)
+                conn.record_decision(now, None)
+                self._drop_cause.setdefault(key, CAUSE_BLACKHOLE)
+                quiesced += 1
+            self.blackholed_existing += quiesced
+            slot.dataplane_up = False
+            slot.synced = False
+            self._record("crash", switch=index, blackholed=quiesced)
+        if slot.restart_handle is not None:
+            slot.restart_handle.cancel()
+            slot.restart_handle = None
+        if restart_after_s is not None:
+            slot.restart_handle = self.queue.schedule(
+                now + restart_after_s,
+                lambda: self._restart_switch(index),
+                PRIO_INTERNAL,
+            )
+
+    def _restart_switch(self, index: int) -> None:
+        slot = self._slots[index]
+        if slot.dataplane_up:
+            return
+        self._fresh_instance(index)
+        slot.dataplane_up = True
+        slot.synced = False  # must re-learn the VIPTable before serving
+        slot.restart_handle = None
+        self.restarts += 1
+        self._record("restart", switch=index, generation=slot.generation)
+
+    def _fresh_instance(self, index: int) -> SilkRoadSwitch:
+        """Replace the slot's instance with an empty one (state re-learn)."""
+        slot = self._slots[index]
+        self._retired.append((index, slot.generation, slot.switch))
+        slot.generation += 1
+        fresh = SilkRoadSwitch(
+            self.config, name=f"{self.name}-{index}g{slot.generation}"
+        )
+        if hasattr(self, "queue"):
+            fresh.bind(self.queue)
+        if self.recorder is not None:
+            fresh.attach_recorder(self.recorder)
+        slot.switch = fresh
+        slot.announced = set()
+        return fresh
+
+    def inject_partition(
+        self, index: int, heal_after_s: Optional[float] = None
+    ) -> None:
+        """Sever the control plane: probes and updates stop reaching the
+        switch, but its data plane keeps forwarding."""
+        slot = self._slots[index]
+        slot.partition_depth += 1
+        self.partitions += 1
+        self._record("partition", switch=index, depth=slot.partition_depth)
+        if heal_after_s is not None:
+            self.queue.schedule(
+                self.queue.now + heal_after_s,
+                lambda: self._heal_partition(index),
+                PRIO_INTERNAL,
+            )
+
+    def _heal_partition(self, index: int) -> None:
+        slot = self._slots[index]
+        if slot.partition_depth > 0:
+            slot.partition_depth -= 1
+            if slot.partition_depth == 0:
+                self.heals += 1
+                self._record("heal", switch=index)
+
+    def inject_heartbeat_loss(self, index: int, count: int) -> None:
+        """The next ``count`` probes to this switch are lost in transit."""
+        self._slots[index].drop_probes += count
+        self._record("heartbeat_loss", switch=index, count=count)
+
+    def request_reassign(self, vip_rank: int, target: int) -> None:
+        """Operator-style reassignment request by rank (fault-plan entry)."""
+        if not self._vip_order:
+            return
+        vip = self._vip_order[vip_rank % len(self._vip_order)]
+        self.reassign_vip(vip, target % len(self._slots))
+
+    # ------------------------------------------------------------------
+    # Membership changes (called by the controller)
+    # ------------------------------------------------------------------
+
+    def declare_down(self, index: int, reason: str = "unresponsive") -> None:
+        """Detection fired: remove the switch from every hash group and
+        re-home its connections to the survivors."""
+        slot = self._slots[index]
+        if not slot.in_ecmp:
+            return
+        slot.in_ecmp = False
+        slot.ok_streak = 0
+        self.detections += 1
+        if slot.reachable and reason != "stale":
+            self.false_detections += 1
+        self._record("declare_down", switch=index, reason=reason)
+        sid = self._ids[index]
+        for vip in list(self._tables):
+            table = self._tables[vip]
+            if sid not in table.members:
+                continue
+            if len(table.members) == 1:
+                # Last announcer: the VIP goes dark fleet-wide.
+                del self._tables[vip]
+            else:
+                table.remove(sid)
+        self._rehome_owned(index)
+
+    def _rehome_owned(self, index: int) -> None:
+        now = self.queue.now
+        moving: List[Tuple[bytes, Connection, Optional[int]]] = []
+        for key, conn in self._conns.items():
+            if self._owner[key] != index or not conn.active_at(now):
+                continue
+            table = self._tables.get(conn.vip)
+            target = (
+                table.lookup(key, conn.key_hash).index if table is not None else None
+            )
+            moving.append((key, conn, target))
+        self._shed_for_capacity(moving, now)
+        for key, conn, target in moving:
+            if conn.vip in self._shed:
+                continue  # the shed already ended and attributed it
+            self._hand_off(key, conn, index, target, cause=CAUSE_REHASH)
+
+    def _hand_off(
+        self,
+        key: bytes,
+        conn: Connection,
+        old_index: int,
+        target: Optional[int],
+        cause: str,
+    ) -> None:
+        """Move one flow between owners, recording what happened to it."""
+        now = self.queue.now
+        if target == old_index:
+            return
+        if old_index >= 0:
+            old_slot = self._slots[old_index]
+            if old_slot.dataplane_up:
+                # End it on the old instance so its state stops deciding;
+                # a crashed owner was already quiesced at crash time.
+                old_slot.switch.on_connection_end(conn)
+        if target is None:
+            # Nowhere to go: the VIP is unserved until an announcer rejoins.
+            self._owner[key] = -1
+            conn.record_decision(now, None)
+            self._drop_cause.setdefault(key, CAUSE_BLACKHOLE)
+            return
+        self._owner[key] = target
+        self._move_cause[key] = cause
+        self.handoffs += 1
+        slot = self._slots[target]
+        if slot.serves(conn.vip):
+            # If the target still holds the flow's ConnTable entry (it was
+            # quiesced off this switch earlier and the entry hasn't aged
+            # out), the packets hit it and keep the pinned version.
+            # Otherwise the survivor sees new traffic: ConnTable miss,
+            # current-version decision — §7's re-hash semantics.
+            if not slot.switch.resume_connection(conn):
+                slot.switch.on_connection_arrival(conn)
+        else:
+            # Cascading failure: the re-home target is itself dead and
+            # undetected; the flow blackholes until that detection fires.
+            conn.record_decision(now, None)
+            self._drop_cause.setdefault(key, CAUSE_BLACKHOLE)
+
+    def _shed_for_capacity(
+        self,
+        moving: List[Tuple[bytes, Connection, Optional[int]]],
+        now: float,
+    ) -> None:
+        """Shed lowest-priority VIPs until every survivor fits its budget."""
+        budget = self.fleet_config.conn_budget
+        if budget is None:
+            return
+        while True:
+            projected = [0] * len(self._slots)
+            for key, conn in self._conns.items():
+                owner = self._owner[key]
+                if owner >= 0 and conn.active_at(now):
+                    projected[owner] += 1
+            for key, conn, target in moving:
+                if target is not None and conn.vip not in self._shed:
+                    projected[target] += 1
+            over = None
+            for idx, slot in enumerate(self._slots):
+                if slot.in_ecmp and projected[idx] > budget:
+                    over = idx
+                    break
+            if over is None:
+                return
+            contributing: Set[VirtualIP] = set()
+            for key, conn in self._conns.items():
+                if self._owner[key] == over and conn.active_at(now):
+                    contributing.add(conn.vip)
+            for key, conn, target in moving:
+                if target == over:
+                    contributing.add(conn.vip)
+            candidates = [
+                vip
+                for vip in self._vip_order
+                if vip in contributing and vip not in self._shed
+            ]
+            if not candidates:
+                return  # nothing left to shed; the budget stays violated
+            victim = min(
+                candidates, key=lambda v: (self._priorities.get(v, 0), str(v))
+            )
+            self._shed_vip(victim, now)
+
+    def _shed_vip(self, vip: VirtualIP, now: float) -> None:
+        """Drop a VIP fleet-wide: every flow ends, new flows are refused."""
+        self._shed[vip] = None
+        self._tables.pop(vip, None)
+        self._reassigning.pop(vip, None)
+        dropped = 0
+        for key in [k for k, c in self._conns.items() if c.vip == vip]:
+            conn = self._conns.pop(key)
+            owner = self._owner.pop(key)
+            if owner >= 0:
+                slot = self._slots[owner]
+                if slot.dataplane_up:
+                    slot.switch.on_connection_end(conn)
+            if conn.active_at(now):
+                conn.record_decision(now, None)
+                self._drop_cause[key] = CAUSE_SHED
+                dropped += 1
+        self.vips_shed += 1
+        self.shed_connections += dropped
+        self._record("shed", vip=str(vip), dropped=dropped)
+
+    def rejoin(self, index: int) -> None:
+        """Detection cleared: re-sync state, then re-enter the hash groups.
+
+        Order matters for PCC: the fresh instance announces every assigned
+        VIP at its *current* pool (state re-learn) before any hash group
+        can steer a flow to it — a stale announcement would hand out
+        old-version decisions to re-hashed flows.
+        """
+        slot = self._slots[index]
+        if slot.in_ecmp or not slot.dataplane_up:
+            return
+        if not slot.synced:
+            self._resync(index)
+        now = self.queue.now
+        sid = self._ids[index]
+        for vip in self._vip_order:
+            if index not in self._assignment[vip] or vip in self._shed:
+                continue
+            table = self._tables.get(vip)
+            if table is None:
+                # The VIP went dark; it comes back to life on this switch.
+                self._tables[vip] = table = ResilientHashTable(
+                    [sid], num_slots=self.fleet_config.ecmp_slots
+                )
+                for key, conn in self._conns.items():
+                    if conn.vip != vip or not conn.active_at(now):
+                        continue
+                    self._hand_off(
+                        key, conn, self._owner[key], index, cause=CAUSE_REHASH
+                    )
+            elif sid not in table.members:
+                table.add(sid)
+                # Flows on the slots the rejoined switch stole move back —
+                # exactly a failover in reverse.
+                for key, conn in self._conns.items():
+                    if conn.vip != vip or not conn.active_at(now):
+                        continue
+                    owner = self._owner[key]
+                    if owner == index:
+                        continue
+                    if table.lookup(key, conn.key_hash).index == index:
+                        self._hand_off(key, conn, owner, index, cause=CAUSE_REHASH)
+        slot.in_ecmp = True
+        slot.missed = 0
+        self.rejoins += 1
+        self._record("rejoin", switch=index, generation=slot.generation)
+
+    def _resync(self, index: int) -> None:
+        """State re-learn: announce every assigned VIP at its current pool."""
+        slot = self._slots[index]
+        if slot.announced:
+            # A stale live instance (missed updates) cannot be patched
+            # version-by-version from outside; it flushes and re-learns.
+            self._fresh_instance(index)
+        for vip in self._vip_order:
+            if index not in self._assignment[vip] or vip in self._shed:
+                continue
+            slot.switch.announce_vip(vip, tuple(self._pools[vip]))
+            slot.announced.add(vip)
+        slot.synced = True
+        self.resyncs += 1
+        self._record("resync", switch=index, generation=slot.generation)
+
+    # ------------------------------------------------------------------
+    # PCC-safe VIP reassignment (3 steps at fleet scope)
+    # ------------------------------------------------------------------
+
+    def reassign_vip(self, vip: VirtualIP, to_index: int) -> bool:
+        """Move a VIP announcement onto ``to_index``: announce → drain →
+        redirect, mirroring the 3-step update's shape at fleet scope.
+
+        Returns True when the reassignment was started.  The drain source
+        is the VIP's lowest-indexed current announcer other than the
+        target.  Flows arriving between the announce and the redirect are
+        the mid-reassignment race population; the redirect attributes them
+        as such.
+        """
+        to_slot = self._slots[to_index]
+        if (
+            vip in self._shed
+            or vip in self._reassigning
+            or vip not in self._assignment
+            or not to_slot.dataplane_up
+            or not to_slot.synced
+            or vip in to_slot.announced
+        ):
+            self.reassignments_skipped += 1
+            return False
+        table = self._tables.get(vip)
+        if table is None:
+            self.reassignments_skipped += 1
+            return False
+        members = sorted(m.index for m in table.members)
+        from_candidates = [m for m in members if m != to_index]
+        if not from_candidates:
+            self.reassignments_skipped += 1
+            return False
+        from_index = from_candidates[0]
+        now = self.queue.now
+        cfg = self.fleet_config
+        # Step 1 — re-announce on the target at the current pool.  The
+        # target starts receiving updates for the VIP from here on.
+        to_slot.switch.announce_vip(vip, tuple(self._pools[vip]))
+        to_slot.announced.add(vip)
+        if to_index not in self._assignment[vip]:
+            self._assignment[vip] = sorted(self._assignment[vip] + [to_index])
+        self._reassigning[vip] = (now, from_index, to_index)
+        self.reassignments_started += 1
+        self._record("reassign_announce", vip=str(vip), src=from_index, dst=to_index)
+        self.queue.schedule(
+            now + cfg.announce_delay_s,
+            lambda: self._reassign_drain(vip),
+            PRIO_INTERNAL,
+        )
+        return True
+
+    def _reassign_drain(self, vip: VirtualIP) -> None:
+        """Step 2 — swing the hash group: new flows stop landing on the
+        source (its slots now belong to the target)."""
+        token = self._reassigning.get(vip)
+        if token is None:
+            return  # shed or otherwise aborted mid-flight
+        _, from_index, to_index = token
+        table = self._tables.get(vip)
+        if table is None:
+            self._reassigning.pop(vip, None)
+            return
+        to_id = self._ids[to_index]
+        from_id = self._ids[from_index]
+        if to_id not in table.members and self._slots[to_index].serves(vip):
+            table.add(to_id)
+        if from_id in table.members and len(table.members) > 1:
+            table.remove(from_id)
+        self._record("reassign_drain", vip=str(vip), src=from_index, dst=to_index)
+        self.queue.schedule(
+            self.queue.now + self.fleet_config.drain_window_s,
+            lambda: self._reassign_redirect(vip),
+            PRIO_INTERNAL,
+        )
+
+    def _reassign_redirect(self, vip: VirtualIP) -> None:
+        """Step 3 — redirect the stragglers still pinned to the source."""
+        token = self._reassigning.pop(vip, None)
+        if token is None:
+            return
+        t0, from_index, to_index = token
+        now = self.queue.now
+        table = self._tables.get(vip)
+        moved = 0
+        for key, conn in self._conns.items():
+            if conn.vip != vip or not conn.active_at(now):
+                continue
+            if self._owner[key] != from_index:
+                continue
+            target = (
+                table.lookup(key, conn.key_hash).index if table is not None else None
+            )
+            cause = CAUSE_RACE if conn.start >= t0 else CAUSE_REHASH
+            self._hand_off(key, conn, from_index, target, cause=cause)
+            moved += 1
+        assigned = self._assignment.get(vip)
+        if assigned and from_index in assigned and from_index != to_index:
+            assigned.remove(from_index)
+        self.reassignments_completed += 1
+        self._record("reassign_redirect", vip=str(vip), src=from_index, moved=moved)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def instances(self) -> Iterator[Tuple[int, int, SilkRoadSwitch]]:
+        """Every switch instance this fleet ever ran, retirees first."""
+        for index, generation, switch in self._retired:
+            yield index, generation, switch
+        for index, slot in enumerate(self._slots):
+            yield index, slot.generation, slot.switch
+
+    def merged_registry(self) -> MetricRegistry:
+        """Fleet metrics plus every instance's registry, prefix-folded."""
+        from ..experiments.parallel import _fold_prefixed
+
+        merged = MetricRegistry(labels={"fleet": self.name})
+        _fold_prefixed(merged, self.metrics, "fleet")
+        for index, generation, switch in self.instances():
+            _fold_prefixed(merged, switch.metrics, f"inst.sw{index}g{generation}")
+        return merged
+
+    def fingerprint(self) -> str:
+        return self.merged_registry().fingerprint()
+
+    def in_ecmp_switches(self) -> List[int]:
+        return [i for i, slot in enumerate(self._slots) if slot.in_ecmp]
+
+    def alive_switches(self) -> List[int]:
+        return [i for i, slot in enumerate(self._slots) if slot.dataplane_up]
+
+    def shed_vips(self) -> List[VirtualIP]:
+        return list(self._shed)
+
+    def report(self) -> Dict[str, float]:
+        report: Dict[str, float] = {
+            "crashes": float(self.crashes),
+            "restarts": float(self.restarts),
+            "partitions": float(self.partitions),
+            "heals": float(self.heals),
+            "detections": float(self.detections),
+            "false_detections": float(self.false_detections),
+            "rejoins": float(self.rejoins),
+            "resyncs": float(self.resyncs),
+            "handoffs": float(self.handoffs),
+            "blackholed_arrivals": float(self.blackholed_arrivals),
+            "blackholed_existing": float(self.blackholed_existing),
+            "unserved_arrivals": float(self.unserved_arrivals),
+            "shed_arrivals": float(self.shed_arrivals),
+            "vips_shed": float(self.vips_shed),
+            "shed_connections": float(self.shed_connections),
+            "reassignments_started": float(self.reassignments_started),
+            "reassignments_completed": float(self.reassignments_completed),
+            "reassignments_skipped": float(self.reassignments_skipped),
+            "updates_missed": float(self.updates_missed),
+            "switches_in_ecmp": float(len(self.in_ecmp_switches())),
+            "switches_up": float(len(self.alive_switches())),
+            "probes_sent": float(self.controller.probes_sent),
+            "probes_missed": float(self.controller.probes_missed),
+        }
+        live_entries = 0
+        for index, slot in enumerate(self._slots):
+            entries = len(slot.switch.conn_table)
+            if slot.dataplane_up:
+                report[f"{slot.switch.name}_conn_entries"] = float(entries)
+                live_entries += entries
+        report["fleet_conn_entries"] = float(live_entries)
+        return report
+
+
+# ----------------------------------------------------------------------
+# Fleet-wide audit
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FleetAuditReport:
+    """Structural audits of every instance + fleet-level attribution."""
+
+    audit: AuditReport
+    #: PCC violations by attributed cause (incl. ``switch_local``).
+    violation_causes: Dict[str, int]
+    #: dropped (ever-blackholed) connections by attributed cause.
+    drop_causes: Dict[str, int]
+    violations: int
+    dropped: int
+    unattributed_violations: int
+    unattributed_drops: int
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.audit.ok
+            and self.unattributed_violations == 0
+            and self.unattributed_drops == 0
+        )
+
+    def __str__(self) -> str:
+        causes = ", ".join(
+            f"{name}={count}"
+            for name, count in self.violation_causes.items()
+            if count
+        )
+        return (
+            f"fleet audit: {'ok' if self.ok else 'FAILED'} — "
+            f"{self.violations} violations ({causes or 'none'}), "
+            f"{self.dropped} dropped, "
+            f"{self.unattributed_violations} unattributed violations, "
+            f"{self.unattributed_drops} unattributed drops; "
+            f"structural: {self.audit.checks_run} checks, "
+            f"{len(self.audit.violations)} failures"
+        )
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise AssertionError(str(self))
+
+
+def audit_fleet(
+    fleet: FleetSilkRoad, connections: Sequence[Connection]
+) -> FleetAuditReport:
+    """Audit every switch instance structurally, then attribute every PCC
+    violation and every dropped connection to exactly one cause.
+
+    Attribution is *by construction*: a connection's DIP decision can only
+    change through (a) the single-switch fault machinery — whose keys the
+    PR 3 auditor already collects per instance — or (b) a fleet-initiated
+    move, shed, or blackhole, each recorded in the fleet's cause maps at
+    the moment it happens.  Anything in neither bucket lands in the
+    unattributed counters and fails the audit.
+    """
+    merged = AuditReport()
+    predicted: Set[bytes] = set()
+    for index, generation, switch in fleet.instances():
+        merged.merge(audit_switch(switch), label=f"sw{index}g{generation}")
+        predicted |= switch.at_risk_keys | switch.overflow_keys
+        predicted |= switch.fp_adopted_keys
+    violation_causes = {cause: 0 for cause in FLEET_CAUSES}
+    violation_causes[CAUSE_SWITCH_LOCAL] = 0
+    drop_causes = {cause: 0 for cause in FLEET_CAUSES}
+    violations = dropped = 0
+    unattributed_violations = unattributed_drops = 0
+    move_causes = fleet._move_cause
+    drop_cause_map = fleet._drop_cause
+    for conn in connections:
+        key = conn.key
+        if conn.pcc_violated:
+            violations += 1
+            cause = move_causes.get(key)
+            if cause is not None:
+                violation_causes[cause] += 1
+            elif key in predicted:
+                violation_causes[CAUSE_SWITCH_LOCAL] += 1
+            else:
+                unattributed_violations += 1
+        if conn.ever_dropped:
+            dropped += 1
+            cause = drop_cause_map.get(key)
+            if cause is not None:
+                drop_causes[cause] += 1
+            else:
+                unattributed_drops += 1
+    merged.checks_run += 2
+    if unattributed_violations:
+        merged.violations.append(
+            f"[fleet] {unattributed_violations} PCC violations with no "
+            "attributable cause"
+        )
+    if unattributed_drops:
+        merged.violations.append(
+            f"[fleet] {unattributed_drops} dropped connections with no "
+            "attributable cause"
+        )
+    return FleetAuditReport(
+        audit=merged,
+        violation_causes=violation_causes,
+        drop_causes=drop_causes,
+        violations=violations,
+        dropped=dropped,
+        unattributed_violations=unattributed_violations,
+        unattributed_drops=unattributed_drops,
+    )

@@ -22,6 +22,7 @@ from . import (  # noqa: F401
     fig16,
     fig17,
     fig18,
+    fleet_failover,
     hybrid,
     insertion_cost,
     latency,
@@ -50,6 +51,7 @@ __all__ = [
     "fig16",
     "fig17",
     "fig18",
+    "fleet_failover",
     "hybrid",
     "insertion_cost",
     "latency",

@@ -1,0 +1,193 @@
+"""Fleet failover survival table: kept vs. broken vs. blackholed.
+
+Extends §7's single-failure scenario to a controller-managed fleet under
+seeded chaos (:mod:`repro.faults.fleet`): switches crash and reboot,
+control planes partition, heartbeats get lost, detection stalls, VIPs get
+drained between switches.  For each failure pattern we replay a sweep of
+independent fault plans and count, over the measured connections, how many
+
+* **kept** their DIP end to end,
+* **broke** PCC (saw two different DIPs — §7's version-pinned re-hash,
+  an overflow shed, or a mid-reassignment race),
+* were **blackholed** only (dropped packets during the detection window
+  but never landed on a second DIP).
+
+Every broken or blackholed connection must be *attributed* by
+:func:`repro.deploy.fleet.audit_fleet` to a fleet-level cause; the
+``unattributed`` column is required to be zero — that is the acceptance
+bar for the fleet failure model, enforced by the tests and the CI smoke.
+
+The cascade pattern runs with a per-switch connection budget so the
+graceful-degradation path (shedding the lowest-priority VIPs instead of
+overflowing survivors' ConnTables) is exercised, not just implemented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+DEFAULT_PATTERNS: Tuple[str, ...] = (
+    "crash",
+    "partition",
+    "flap",
+    "cascade",
+    "mixed",
+)
+
+#: Per-switch connection budget applied to the cascade pattern (only) so
+#: overlapping failures push survivors over capacity and force sheds.
+CASCADE_CONN_BUDGET = 60
+
+
+@dataclass(frozen=True)
+class SurvivalPoint:
+    """Aggregated survival of one failure pattern across its plan sweep."""
+
+    pattern: str
+    plans: int
+    faults: int
+    measured: int
+    kept: int
+    broken: int
+    blackholed: int
+    shed: int
+    detections: int
+    rejoins: int
+    unattributed: int
+    audit_ok: bool
+
+    @property
+    def kept_fraction(self) -> float:
+        return self.kept / self.measured if self.measured else 1.0
+
+
+def run(
+    seed: int = 7,
+    patterns: Sequence[str] = DEFAULT_PATTERNS,
+    plans_per_pattern: int = 4,
+    num_switches: int = 4,
+    scale: float = 0.03,
+    horizon_s: float = 12.0,
+    warmup_s: float = 1.0,
+    updates_per_min: float = 60.0,
+    faults_per_min: float = 6.0,
+    cascade_conn_budget: Optional[int] = CASCADE_CONN_BUDGET,
+) -> List[SurvivalPoint]:
+    """The survival sweep: ``plans_per_pattern`` seeded plans per pattern.
+
+    Fault seeds are derived from ``(seed, cell index)`` so the sweep is a
+    pure function of its arguments.
+    """
+    from ..faults.fleet import run_fleet
+
+    points: List[SurvivalPoint] = []
+    cell_index = 0
+    for pattern in patterns:
+        totals: Dict[str, int] = {
+            "faults": 0,
+            "measured": 0,
+            "kept": 0,
+            "broken": 0,
+            "blackholed": 0,
+            "shed": 0,
+            "detections": 0,
+            "rejoins": 0,
+            "unattributed": 0,
+        }
+        audit_ok = True
+        for _ in range(plans_per_pattern):
+            result = run_fleet(
+                seed=seed,
+                fault_seed=seed + 500 + cell_index * 7919,
+                pattern=pattern,
+                num_switches=num_switches,
+                scale=scale,
+                horizon_s=horizon_s,
+                warmup_s=warmup_s,
+                updates_per_min=updates_per_min,
+                faults_per_min=faults_per_min,
+                conn_budget=(
+                    cascade_conn_budget if pattern == "cascade" else None
+                ),
+            )
+            cell_index += 1
+            totals["faults"] += len(result.plan)
+            for key in ("measured", "kept", "broken", "blackholed"):
+                totals[key] += result.survival[key]
+            totals["shed"] += int(result.fleet.shed_connections)
+            totals["detections"] += int(result.fleet.detections)
+            totals["rejoins"] += int(result.fleet.rejoins)
+            totals["unattributed"] += (
+                result.audit.unattributed_violations
+                + result.audit.unattributed_drops
+            )
+            audit_ok = audit_ok and result.audit.ok
+        points.append(
+            SurvivalPoint(
+                pattern=pattern,
+                plans=plans_per_pattern,
+                faults=totals["faults"],
+                measured=totals["measured"],
+                kept=totals["kept"],
+                broken=totals["broken"],
+                blackholed=totals["blackholed"],
+                shed=totals["shed"],
+                detections=totals["detections"],
+                rejoins=totals["rejoins"],
+                unattributed=totals["unattributed"],
+                audit_ok=audit_ok,
+            )
+        )
+    return points
+
+
+def main(seed: int = 7) -> str:
+    from ..analysis import format_table
+
+    points = run(seed=seed)
+    rows = [
+        (
+            p.pattern,
+            p.plans,
+            p.faults,
+            p.measured,
+            p.kept,
+            p.broken,
+            p.blackholed,
+            p.shed,
+            p.detections,
+            f"{100 * p.kept_fraction:.1f}",
+            p.unattributed,
+            "ok" if p.audit_ok else "FAILED",
+        )
+        for p in points
+    ]
+    table = format_table(
+        (
+            "pattern",
+            "plans",
+            "faults",
+            "measured",
+            "kept",
+            "broken",
+            "blackholed",
+            "shed",
+            "detections",
+            "% kept",
+            "unattributed",
+            "audit",
+        ),
+        rows,
+        title="fleet failover survival under seeded chaos",
+    )
+    return table + (
+        "\nexpectation: every audit passes and the unattributed column is "
+        "zero — each broken connection traces to a version-pinned re-hash, "
+        "an overflow shed, or a reassignment race, and each blackholed one "
+        "to the detection window"
+    )
+
+
+if __name__ == "__main__":
+    print(main())

@@ -415,6 +415,88 @@ def _run_chaos_shard(spec: ShardSpec) -> ShardResult:
     )
 
 
+def _run_fleet_shard(spec: ShardSpec) -> ShardResult:
+    """Run this shard's cells of the fleet-chaos survival sweep.
+
+    A cell is one ``(pattern, plan)`` fleet run.  Like fig18, each cell is
+    seeded by its index in the *full* sweep, so merged fingerprints depend
+    on the layout but never on worker count.  The merged audit carries the
+    fleet attribution requirement: any unattributed PCC violation or drop
+    in any cell surfaces as a violation labelled with that cell.
+    """
+    from ..faults.fleet import run_fleet
+
+    p = spec.param_dict()
+    registry = _shard_registry(spec)
+    audit = AuditReport()
+    counters: Dict[str, float] = {}
+    timeline_period = p.get("timeline_period_s")
+    record = bool(p.get("record", False))
+    timelines: List[Timeline] = []
+    recorders: List[FlightRecorder] = []
+    for cell_index, pattern in p["cells"]:
+        cell = f"cell{int(cell_index):02d}-{pattern}"
+        result = run_fleet(
+            seed=derive_shard_seed(spec.seed, 2_000 + int(cell_index)),
+            fault_seed=derive_shard_seed(spec.seed, 3_000 + int(cell_index)),
+            pattern=str(pattern),
+            num_switches=int(p.get("num_switches", 4)),
+            scale=float(p.get("scale", 0.05)),
+            horizon_s=float(p.get("horizon_s", 20.0)),
+            warmup_s=float(p.get("warmup_s", 2.0)),
+            updates_per_min=float(p.get("updates_per_min", 60.0)),
+            faults_per_min=float(p.get("faults_per_min", 4.0)),
+            replication=p.get("replication"),
+            conn_budget=p.get("conn_budget"),
+            record=record,
+            record_source=f"s{spec.shard_id}.{cell}",
+            timeline_period_s=(
+                float(timeline_period) if timeline_period is not None else None
+            ),
+            batched=bool(p.get("batched", True)),
+        )
+        audit.merge(result.audit.audit, label=cell)
+        audit.checks_run += 2
+        if result.audit.unattributed_violations:
+            audit.violations.append(
+                f"[{cell}] {result.audit.unattributed_violations} PCC "
+                "violations with no fleet attribution"
+            )
+        if result.audit.unattributed_drops:
+            audit.violations.append(
+                f"[{cell}] {result.audit.unattributed_drops} dropped "
+                "connections with no fleet attribution"
+            )
+        survival = result.survival
+        for key in ("measured", "kept", "broken", "blackholed"):
+            counters[f"{pattern}.{key}"] = (
+                counters.get(f"{pattern}.{key}", 0.0) + float(survival[key])
+            )
+        counters[f"{pattern}.shed"] = counters.get(
+            f"{pattern}.shed", 0.0
+        ) + float(result.fleet.shed_connections)
+        scope = registry.scope(cell)
+        scope.counter(
+            "pcc_broken_total", help="measured connections that broke PCC"
+        ).inc(survival["broken"])
+        scope.counter(
+            "blackholed_total", help="measured connections blackholed intact"
+        ).inc(survival["blackholed"])
+        _fold_prefixed(registry, result.fleet.merged_registry(), cell)
+        if result.timeline is not None:
+            timelines.append(result.timeline)
+        if result.recorder is not None:
+            recorders.append(result.recorder)
+    return ShardResult(
+        shard_id=spec.shard_id,
+        registry=registry,
+        audit=audit,
+        counters=counters,
+        timeline=Timeline.merged(timelines) if timelines else None,
+        recorder=FlightRecorder.merged(recorders) if recorders else None,
+    )
+
+
 def _run_crashy_shard(spec: ShardSpec) -> ShardResult:
     """Test-only task exercising the fault-tolerance path.
 
@@ -446,6 +528,7 @@ _TASKS: Dict[str, Callable[[ShardSpec], ShardResult]] = {
     "fig16": _run_fig16_shard,
     "fig18": _run_fig18_shard,
     "chaos": _run_chaos_shard,
+    "fleet": _run_fleet_shard,
     "_crashy": _run_crashy_shard,
 }
 
@@ -543,6 +626,36 @@ def make_shards(
             shard_params = dict(
                 params, cells=tuple(cells[offset : offset + take])
             )
+            offset += take
+            specs.append(
+                ShardSpec(
+                    task=task,
+                    shard_id=shard_id,
+                    num_shards=num_shards,
+                    seed=derive_shard_seed(seed, shard_id),
+                    params=_freeze_params(shard_params),
+                )
+            )
+    elif task == "fleet":
+        patterns = tuple(
+            params.pop("patterns", ("crash", "partition", "flap", "cascade", "mixed"))
+        )
+        plans_per_pattern = int(params.pop("plans_per_pattern", 4))
+        cells = [
+            (index, pattern)
+            for index, pattern in enumerate(
+                p for p in patterns for _ in range(plans_per_pattern)
+            )
+        ]
+        if num_shards > len(cells):
+            raise ValueError(
+                f"cannot split {len(cells)} fleet cells into {num_shards} shards"
+            )
+        base, extra = divmod(len(cells), num_shards)
+        offset = 0
+        for shard_id in range(num_shards):
+            take = base + (1 if shard_id < extra else 0)
+            shard_params = dict(params, cells=tuple(cells[offset : offset + take]))
             offset += take
             specs.append(
                 ShardSpec(

@@ -25,6 +25,7 @@ from . import (
     fig16,
     fig17,
     fig18,
+    fleet_failover,
     hybrid,
     insertion_cost,
     latency,
@@ -51,6 +52,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "fig16": fig16.main,
     "fig17": fig17.main,
     "fig18": fig18.main,
+    "fleet_failover": fleet_failover.main,
     "latency": latency.main,
     "hybrid": hybrid.main,
     "switch_failure": switch_failure.main,
@@ -110,7 +112,7 @@ def run_all(names=None, stream=None, telemetry=None) -> str:
 
 
 #: Default base seeds of the shardable experiments (match the figures').
-PARALLEL_TASKS: Dict[str, int] = {"fig16": 16, "fig18": 18, "chaos": 7}
+PARALLEL_TASKS: Dict[str, int] = {"fig16": 16, "fig18": 18, "chaos": 7, "fleet": 7}
 
 
 def run_parallel(

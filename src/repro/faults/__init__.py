@@ -16,20 +16,46 @@ docs/robustness.md) can be exercised reproducibly:
   workload + faults + invariant audit + metrics fingerprint;
 * :func:`run_chaos_sharded` — the same harness fanned out over derived
   seeds by the sharded replay engine, merged into one fleet view.
+
+:mod:`repro.faults.fleet` lifts the same machinery to fleet scope —
+whole-switch crashes, control-plane partitions, flapping, heartbeat loss,
+delayed detection, VIP reassignment — against a controller-managed
+:class:`~repro.deploy.fleet.FleetSilkRoad` (:func:`run_fleet` /
+:func:`run_fleet_sharded`, the survival-table harness).
 """
 
 from .chaos import ChaosResult, chaos_config, run_chaos, run_chaos_sharded
+from .fleet import (
+    FAILURE_PATTERNS,
+    FLEET_KINDS,
+    FleetChaosResult,
+    FleetFaultEvent,
+    FleetFaultInjector,
+    FleetFaultKind,
+    FleetFaultPlan,
+    run_fleet,
+    run_fleet_sharded,
+)
 from .injector import FaultInjector
 from .plan import ALL_KINDS, FaultEvent, FaultKind, FaultPlan
 
 __all__ = [
     "ALL_KINDS",
     "ChaosResult",
+    "FAILURE_PATTERNS",
+    "FLEET_KINDS",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
+    "FleetChaosResult",
+    "FleetFaultEvent",
+    "FleetFaultInjector",
+    "FleetFaultKind",
+    "FleetFaultPlan",
     "chaos_config",
     "run_chaos",
     "run_chaos_sharded",
+    "run_fleet",
+    "run_fleet_sharded",
 ]

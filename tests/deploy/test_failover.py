@@ -9,12 +9,14 @@ from repro.deploy.failover import FabricSilkRoad
 from repro.experiments import switch_failure
 from repro.netsim import (
     ArrivalGenerator,
+    Connection,
     FlowSimulator,
     UpdateEvent,
     UpdateKind,
     make_cluster,
     uniform_vip_workloads,
 )
+from repro.netsim.batchsim import BatchedFlowSimulator
 
 
 def build(num_switches=3, conns_per_min=3000.0, horizon=60.0, seed=9):
@@ -89,6 +91,128 @@ class TestFailover:
         report = fabric.report()
         assert report["failovers"] == 1.0
         assert report["alive_switches"] == 2.0
+
+
+class TestScheduling:
+    def test_schedule_failure_before_bind(self):
+        _cluster, fabric, conns = build()
+        fabric.schedule_failure(1, at=30.0)  # no queue bound yet
+        FlowSimulator(fabric).run(conns, horizon_s=60.0)
+        assert fabric.failovers == 1
+        assert 1 not in fabric.alive_switches()
+
+    def test_schedule_failure_after_bind(self):
+        _cluster, fabric, conns = build()
+        sim = FlowSimulator(fabric)  # binds the shared queue
+        fabric.schedule_failure(1, at=30.0)  # scheduled directly
+        sim.run(conns, horizon_s=60.0)
+        assert fabric.failovers == 1
+        assert 1 not in fabric.alive_switches()
+
+
+class TestRevival:
+    def test_revive_requires_dead(self):
+        _cluster, fabric, _conns = build()
+        with pytest.raises(ValueError):
+            fabric.revive_switch(1)  # still alive
+
+    def test_revive_rejoins_and_fails_back(self):
+        _cluster, fabric, conns = build()
+        fabric.schedule_failure(1, at=20.0)
+        fabric.schedule_revival(1, at=40.0)
+        FlowSimulator(fabric).run(conns, horizon_s=60.0)
+        assert fabric.revivals == 1
+        assert fabric.alive_switches() == [0, 1, 2]
+        assert fabric.failed_back_connections > 0
+
+    def test_revived_switch_resyncs_viptable_before_ecmp(self):
+        # An update lands while switch 1 is dead; after revival its fresh
+        # instance must already hold the post-update pool (a stale
+        # announcement would re-break PCC for re-homed flows).
+        cluster, fabric, conns = build()
+        vip = cluster.vips[0]
+        removed = cluster.services[0].dips[0]
+        update = UpdateEvent(25.0, vip, UpdateKind.REMOVE, removed)
+        fabric.schedule_failure(1, at=20.0)
+        fabric.schedule_revival(1, at=40.0)
+        FlowSimulator(fabric).run(conns, [update], horizon_s=60.0)
+        revived = fabric.switches[1]
+        current = revived.dip_pools.current_version(vip)
+        assert removed not in revived.dip_pools.pool(vip, current)
+
+    def test_post_rejoin_connections_keep_pcc(self):
+        # No updates anywhere: flows moved off at failure and moved back
+        # at revival re-hash under the same VIPTable (or resume their
+        # still-installed entry) and must never change DIP.
+        _cluster, fabric, conns = build(horizon=80.0)
+        fabric.schedule_failure(1, at=30.0)
+        fabric.schedule_revival(1, at=50.0)
+        report = FlowSimulator(fabric).run(conns, horizon_s=80.0)
+        assert fabric.failed_back_connections > 0
+        assert report.pcc_violations == 0
+
+
+class TestReportEntries:
+    def test_dead_switch_entries_not_counted_live(self):
+        _cluster, fabric, conns = build()
+        fabric.schedule_failure(1, at=40.0)
+        FlowSimulator(fabric).run(conns, horizon_s=60.0)
+        report = fabric.report()
+        # The dead switch's ConnTable died with it: its per-switch key is
+        # gone and the fleet total is the sum over survivors only.
+        assert f"{fabric.switches[1].name}_conn_entries" not in report
+        alive_sum = sum(
+            len(fabric.switches[i].conn_table) for i in fabric.alive_switches()
+        )
+        assert report["fleet_conn_entries"] == float(alive_sum)
+        for index in fabric.alive_switches():
+            name = fabric.switches[index].name
+            assert report[f"{name}_conn_entries"] == float(
+                len(fabric.switches[index].conn_table)
+            )
+
+
+def _clone(conns):
+    return [
+        Connection(
+            conn_id=c.conn_id,
+            five_tuple=c.five_tuple,
+            vip=c.vip,
+            start=c.start,
+            duration=c.duration,
+            rate_bps=c.rate_bps,
+        )
+        for c in conns
+    ]
+
+
+class TestBatchedDifferential:
+    @pytest.mark.parametrize("batch_size", [1, 64, 1024])
+    def test_batched_matches_scalar(self, batch_size):
+        cluster, fabric, conns = build(conns_per_min=2000.0)
+        vip = cluster.vips[0]
+        updates = [
+            UpdateEvent(25.0, vip, UpdateKind.REMOVE, cluster.services[0].dips[-1])
+        ]
+        fabric.schedule_failure(1, at=35.0)
+        fabric.schedule_revival(1, at=50.0)
+        scalar_conns = _clone(conns)
+        scalar_report = FlowSimulator(fabric).run(
+            scalar_conns, updates, horizon_s=60.0
+        )
+
+        _c2, fabric2, _ = build(conns_per_min=2000.0)
+        fabric2.schedule_failure(1, at=35.0)
+        fabric2.schedule_revival(1, at=50.0)
+        batched_conns = _clone(conns)
+        batched_report = BatchedFlowSimulator(
+            fabric2, batch_size=batch_size
+        ).run(batched_conns, updates, horizon_s=60.0)
+
+        assert batched_report.pcc_violations == scalar_report.pcc_violations
+        for s_conn, b_conn in zip(scalar_conns, batched_conns):
+            assert s_conn.decisions == b_conn.decisions
+        assert fabric2.report() == fabric.report()
 
 
 class TestExperiment:

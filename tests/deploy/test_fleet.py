@@ -1,0 +1,273 @@
+"""Tests for the fleet failure domain: detection, failover, attribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SilkRoadConfig
+from repro.deploy.fleet import (
+    CAUSE_BLACKHOLE,
+    CAUSE_RACE,
+    CAUSE_REHASH,
+    CAUSE_SHED,
+    FleetConfig,
+    FleetSilkRoad,
+    audit_fleet,
+)
+from repro.faults.fleet import run_fleet, run_fleet_sharded
+from repro.netsim import (
+    ArrivalGenerator,
+    FlowSimulator,
+    make_cluster,
+    uniform_vip_workloads,
+)
+
+
+def build(
+    num_switches=3,
+    conns_per_min=2000.0,
+    horizon=60.0,
+    seed=9,
+    fleet_config=None,
+):
+    cluster = make_cluster(num_vips=2, dips_per_vip=6)
+    fleet = FleetSilkRoad(
+        num_switches=num_switches,
+        config=SilkRoadConfig(conn_table_capacity=50_000),
+        fleet_config=fleet_config or FleetConfig(),
+    )
+    for service in cluster.services:
+        fleet.announce_vip(service.vip, service.dips)
+    conns = ArrivalGenerator(seed=seed).generate(
+        uniform_vip_workloads(cluster.vips, conns_per_min), horizon_s=horizon
+    )
+    return cluster, fleet, conns
+
+
+class TestDetection:
+    def test_crash_detected_after_suspicion_threshold(self):
+        cfg = FleetConfig(heartbeat_interval_s=0.5, suspicion_threshold=4)
+        _cluster, fleet, conns = build(fleet_config=cfg)
+        sim = FlowSimulator(fleet)
+        sim.queue.schedule(20.0, lambda: fleet.inject_switch_crash(1), 1)
+        sim.run(conns, horizon_s=60.0)
+        assert fleet.detections == 1
+        # Detection cannot be instant: it takes >= threshold missed probes.
+        assert cfg.detection_latency_s == 2.0
+
+    def test_blackhole_window_before_detection(self):
+        # Flows owned by the crashed switch drop packets until the
+        # controller notices; each one carries a blackhole attribution.
+        _cluster, fleet, conns = build()
+        sim = FlowSimulator(fleet)
+        sim.queue.schedule(20.0, lambda: fleet.inject_switch_crash(1), 1)
+        sim.run(conns, horizon_s=60.0)
+        assert fleet.blackholed_existing > 0
+        dropped = [c for c in conns if c.ever_dropped]
+        assert dropped
+        report = audit_fleet(fleet, conns)
+        assert report.unattributed_drops == 0
+        assert report.drop_causes[CAUSE_BLACKHOLE] > 0
+
+    def test_heartbeat_loss_causes_false_detection(self):
+        cfg = FleetConfig(heartbeat_interval_s=0.25, suspicion_threshold=3)
+        _cluster, fleet, conns = build(fleet_config=cfg)
+        sim = FlowSimulator(fleet)
+        sim.queue.schedule(20.0, lambda: fleet.inject_heartbeat_loss(1, 5), 1)
+        sim.run(conns, horizon_s=60.0)
+        assert fleet.detections >= 1
+        assert fleet.false_detections >= 1
+        # The healthy switch keeps answering probes and rejoins.
+        assert fleet.rejoins >= 1
+
+    def test_partition_severs_control_plane_only(self):
+        # Partitioned: probes missed (detected down) but the data plane
+        # keeps forwarding — existing flows are NOT quiesced at the cut.
+        _cluster, fleet, conns = build()
+        sim = FlowSimulator(fleet)
+        sim.queue.schedule(
+            20.0, lambda: fleet.inject_partition(1, heal_after_s=10.0), 1
+        )
+        sim.run(conns, horizon_s=60.0)
+        assert fleet.detections == 1
+        assert fleet.heals == 1
+        assert fleet.blackholed_existing == 0
+
+
+class TestRejoin:
+    def test_crash_restart_rejoin_relearns(self):
+        cluster, fleet, conns = build()
+        sim = FlowSimulator(fleet)
+        sim.queue.schedule(
+            20.0, lambda: fleet.inject_switch_crash(1, restart_after_s=5.0), 1
+        )
+        sim.run(conns, horizon_s=60.0)
+        assert fleet.restarts == 1
+        assert fleet.rejoins == 1
+        assert fleet.resyncs == 1
+        # The rejoined instance re-announced every VIP before taking load.
+        slot = fleet._slots[1]
+        assert slot.in_ecmp and slot.synced
+        assert {s.vip for s in cluster.services} <= slot.announced
+
+    def test_post_rejoin_connections_keep_pcc(self):
+        # No DIP updates: re-homed flows re-hash under identical pools, so
+        # crash + rejoin must not break PCC for *new* post-rejoin conns,
+        # and every break among moved ones is attributed.
+        _cluster, fleet, conns = build()
+        sim = FlowSimulator(fleet)
+        sim.queue.schedule(
+            20.0, lambda: fleet.inject_switch_crash(1, restart_after_s=5.0), 1
+        )
+        sim.run(conns, horizon_s=60.0)
+        report = audit_fleet(fleet, conns)
+        report.raise_if_failed()
+        assert report.unattributed_violations == 0
+        post = [c for c in conns if c.start >= 30.0]
+        assert post and not any(c.pcc_violated for c in post)
+
+    def test_last_alive_owner_blackholes_not_crashes(self):
+        # Crashing every switch leaves VIPs unserved: arrivals blackhole
+        # with attribution instead of raising.
+        _cluster, fleet, conns = build(num_switches=2)
+        sim = FlowSimulator(fleet)
+        sim.queue.schedule(10.0, lambda: fleet.inject_switch_crash(0), 1)
+        sim.queue.schedule(12.0, lambda: fleet.inject_switch_crash(1), 1)
+        sim.run(conns, horizon_s=40.0)
+        assert fleet.unserved_arrivals + fleet.blackholed_arrivals > 0
+        report = audit_fleet(fleet, conns)
+        assert report.unattributed_drops == 0
+
+
+class TestShed:
+    def test_overflow_shed_is_attributed(self):
+        cfg = FleetConfig(conn_budget=40)
+        _cluster, fleet, conns = build(
+            fleet_config=cfg, conns_per_min=4000.0
+        )
+        sim = FlowSimulator(fleet)
+        sim.queue.schedule(20.0, lambda: fleet.inject_switch_crash(1), 1)
+        sim.queue.schedule(22.0, lambda: fleet.inject_switch_crash(2), 1)
+        sim.run(conns, horizon_s=60.0)
+        assert fleet.vips_shed >= 1
+        assert fleet.shed_connections > 0
+        report = audit_fleet(fleet, conns)
+        report.raise_if_failed()
+        assert report.drop_causes[CAUSE_SHED] > 0
+        assert report.unattributed_drops == 0
+
+    def test_shed_prefers_lowest_priority(self):
+        cluster, fleet, conns = build(
+            fleet_config=FleetConfig(conn_budget=40), conns_per_min=4000.0
+        )
+        sim = FlowSimulator(fleet)
+        sim.queue.schedule(20.0, lambda: fleet.inject_switch_crash(1), 1)
+        sim.queue.schedule(22.0, lambda: fleet.inject_switch_crash(2), 1)
+        sim.run(conns, horizon_s=60.0)
+        shed = fleet.shed_vips()
+        if shed:
+            ranks = sorted(fleet._priorities[v] for v in shed)
+            kept_ranks = [
+                fleet._priorities[s.vip]
+                for s in cluster.services
+                if s.vip not in shed
+            ]
+            # Announce rank is the priority: earlier-announced VIPs are
+            # higher priority, so anything shed outranks nothing kept.
+            assert not kept_ranks or max(ranks) >= max(kept_ranks)
+
+
+class TestReassignment:
+    def test_three_step_reassign_completes(self):
+        cluster, fleet, conns = build(
+            fleet_config=FleetConfig(replication=2)
+        )
+        sim = FlowSimulator(fleet)
+        sim.queue.schedule(20.0, lambda: fleet.request_reassign(0, 2), 1)
+        sim.run(conns, horizon_s=60.0)
+        assert fleet.reassignments_started == 1
+        assert fleet.reassignments_completed == 1
+        vip = cluster.services[0].vip
+        assert vip in fleet._slots[2].announced
+
+    def test_reassignment_attribution(self):
+        _cluster, fleet, conns = build(
+            fleet_config=FleetConfig(replication=2)
+        )
+        sim = FlowSimulator(fleet)
+        sim.queue.schedule(20.0, lambda: fleet.request_reassign(0, 2), 1)
+        sim.run(conns, horizon_s=60.0)
+        report = audit_fleet(fleet, conns)
+        report.raise_if_failed()
+        assert report.unattributed_violations == 0
+        moved_causes = set(fleet._move_cause.values())
+        assert moved_causes <= {CAUSE_REHASH, CAUSE_RACE}
+
+
+class TestAcceptanceSweep:
+    def test_twenty_plans_zero_unattributed(self):
+        # The PR acceptance bar: across >= 20 seeded fault plans covering
+        # every failure pattern, 100% of PCC violations and drops carry a
+        # fleet attribution.
+        result = run_fleet_sharded(
+            num_shards=4,
+            workers=1,
+            seed=7,
+            plans_per_pattern=4,
+            num_switches=3,
+            scale=0.02,
+            horizon_s=10.0,
+            warmup_s=1.0,
+        )
+        assert not result.failed
+        assert result.audit.ok, str(result.audit)
+
+    def test_fingerprint_stable_across_runs_and_workers(self):
+        kw = dict(
+            num_shards=4,
+            seed=7,
+            plans_per_pattern=1,
+            num_switches=3,
+            scale=0.02,
+            horizon_s=8.0,
+            warmup_s=1.0,
+        )
+        first = run_fleet_sharded(workers=1, **kw)
+        again = run_fleet_sharded(workers=1, **kw)
+        assert first.fingerprint == again.fingerprint
+        assert first.counters == again.counters
+
+    def test_batched_matches_scalar(self):
+        kw = dict(
+            seed=9,
+            fault_seed=42,
+            pattern="mixed",
+            num_switches=3,
+            scale=0.03,
+            horizon_s=12.0,
+            warmup_s=1.0,
+            faults_per_min=8.0,
+        )
+        batched = run_fleet(batched=True, **kw)
+        scalar = run_fleet(batched=False, **kw)
+        assert batched.fingerprint == scalar.fingerprint
+        assert batched.survival == scalar.survival
+
+
+class TestBookkeeping:
+    def test_announce_rejects_duplicates(self):
+        _cluster, fleet, _conns = build()
+        vip = next(iter(fleet._pools))
+        with pytest.raises(ValueError):
+            fleet.announce_vip(vip, [])
+
+    def test_report_counts_up_switches_only(self):
+        _cluster, fleet, conns = build()
+        sim = FlowSimulator(fleet)
+        sim.queue.schedule(20.0, lambda: fleet.inject_switch_crash(1), 1)
+        sim.run(conns, horizon_s=60.0)
+        report = fleet.report()
+        up = [s for s in fleet._slots if s.dataplane_up]
+        total = sum(len(s.switch.conn_table) for s in up)
+        assert report["fleet_conn_entries"] == float(total)
+        assert report["detections"] == 1.0

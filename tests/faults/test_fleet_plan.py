@@ -1,0 +1,108 @@
+"""Tests for fleet-level fault plans and their injector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.fleet import (
+    FAILURE_PATTERNS,
+    FLEET_KINDS,
+    FleetFaultEvent,
+    FleetFaultInjector,
+    FleetFaultKind,
+    FleetFaultPlan,
+)
+
+
+class TestPlan:
+    def test_generation_is_deterministic(self):
+        a = FleetFaultPlan.generate(seed=5, horizon_s=60.0, num_switches=4)
+        b = FleetFaultPlan.generate(seed=5, horizon_s=60.0, num_switches=4)
+        assert a.events == b.events
+        c = FleetFaultPlan.generate(seed=6, horizon_s=60.0, num_switches=4)
+        assert a.events != c.events
+
+    def test_event_count_follows_rate(self):
+        plan = FleetFaultPlan.generate(
+            seed=1, horizon_s=60.0, num_switches=4, faults_per_min=6.0
+        )
+        assert len(plan) == 6
+        sparse = FleetFaultPlan.generate(
+            seed=1, horizon_s=10.0, num_switches=4, faults_per_min=0.1
+        )
+        assert len(sparse) == 1  # positive rate -> at least one fault
+        silent = FleetFaultPlan.generate(
+            seed=1, horizon_s=60.0, num_switches=4, faults_per_min=0.0
+        )
+        assert len(silent) == 0
+
+    def test_events_sorted_and_kind_restricted(self):
+        plan = FleetFaultPlan.generate(
+            seed=3,
+            horizon_s=120.0,
+            num_switches=4,
+            faults_per_min=10.0,
+            kinds=(FleetFaultKind.SWITCH_CRASH,),
+        )
+        times = [e.time for e in plan]
+        assert times == sorted(times)
+        assert set(plan.kinds()) == {FleetFaultKind.SWITCH_CRASH}
+        assert all(0 <= e.switch < 4 for e in plan)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetFaultEvent(time=-1.0, kind=FleetFaultKind.SWITCH_CRASH)
+        with pytest.raises(ValueError):
+            FleetFaultEvent(
+                time=0.0, kind=FleetFaultKind.SWITCH_CRASH, duration_s=-1.0
+            )
+        with pytest.raises(ValueError):
+            FleetFaultEvent(
+                time=0.0, kind=FleetFaultKind.HEARTBEAT_LOSS, count=0
+            )
+        with pytest.raises(ValueError):
+            FleetFaultPlan.generate(seed=1, horizon_s=0.0, num_switches=4)
+        with pytest.raises(ValueError):
+            FleetFaultPlan.generate(seed=1, horizon_s=10.0, num_switches=0)
+        with pytest.raises(ValueError):
+            FleetFaultPlan.generate(
+                seed=1, horizon_s=10.0, num_switches=4, kinds=()
+            )
+
+    def test_patterns_cover_known_kinds(self):
+        assert set(FAILURE_PATTERNS) == {
+            "crash",
+            "partition",
+            "flap",
+            "cascade",
+            "mixed",
+        }
+        for overrides in FAILURE_PATTERNS.values():
+            for kind in overrides["kinds"]:
+                assert kind in FLEET_KINDS
+
+
+class TestInjector:
+    def test_delivers_every_event(self):
+        from repro.deploy.fleet import FleetSilkRoad
+        from repro.netsim import (
+            ArrivalGenerator,
+            FlowSimulator,
+            make_cluster,
+            uniform_vip_workloads,
+        )
+
+        cluster = make_cluster(num_vips=2, dips_per_vip=4)
+        fleet = FleetSilkRoad(num_switches=3)
+        for service in cluster.services:
+            fleet.announce_vip(service.vip, service.dips)
+        conns = ArrivalGenerator(seed=4).generate(
+            uniform_vip_workloads(cluster.vips, 600.0), horizon_s=30.0
+        )
+        plan = FleetFaultPlan.generate(
+            seed=8, horizon_s=30.0, num_switches=3, faults_per_min=8.0
+        )
+        injector = FleetFaultInjector(plan)
+        sim = FlowSimulator(fleet, faults=injector)
+        sim.run(conns, horizon_s=30.0)
+        assert sum(injector.injected.values()) == len(plan)

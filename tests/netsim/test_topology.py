@@ -53,6 +53,20 @@ class TestVipPlacement:
         flow = five_tuple_for(vip, src_ip=1, src_port=1024)
         assert placement.switch_for(flow).layer is Layer.CORE
 
+    def test_strict_raises_on_unknown_vip(self, fabric, vip):
+        placement = VipPlacement(fabric=fabric, strict=True)
+        with pytest.raises(KeyError):
+            placement.layer_of(vip)
+        placement.assign(vip, Layer.AGG)
+        assert placement.layer_of(vip) is Layer.AGG
+
+    def test_strict_override_per_call(self, fabric, vip):
+        lenient = VipPlacement(fabric=fabric)
+        with pytest.raises(KeyError):
+            lenient.layer_of(vip, strict=True)
+        strict = VipPlacement(fabric=fabric, strict=True)
+        assert strict.layer_of(vip, strict=False) is Layer.TOR
+
     def test_per_switch_connections_split(self, fabric):
         vip_a = VirtualIP.parse("20.0.0.1:80")
         vip_b = VirtualIP.parse("20.0.0.2:80")

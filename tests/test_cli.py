@@ -62,10 +62,36 @@ class TestCommands:
         assert "SRAM" in capsys.readouterr().out
 
     def test_fleet_csv(self, capsys):
-        assert main(["fleet", "--seed", "3"]) == 0
+        assert main(["fleet-csv", "--seed", "3"]) == 0
         out = capsys.readouterr().out.strip().splitlines()
         assert out[0].startswith("name,kind,")
         assert len(out) == 1 + 100  # header + fleet
+
+    def test_fleet_survival(self, capsys, tmp_path):
+        fp_path = tmp_path / "fleet.fp"
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--plans", "5",
+                    "--scale", "0.02",
+                    "--horizon", "8",
+                    "--num-switches", "3",
+                    "--num-shards", "2",
+                    "--workers", "1",
+                    "--check-determinism",
+                    "--fingerprint-out", str(fp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "survival over 5 fault plans" in out
+        assert "determinism ok" in out
+        for pattern in ("crash", "partition", "flap", "cascade", "mixed"):
+            assert pattern in out
+        content = fp_path.read_text()
+        assert content.startswith("registry ")
 
     def test_forward(self, capsys):
         assert main(["forward", "--vips", "2", "--dips", "4", "--count", "3"]) == 0
