@@ -1,0 +1,67 @@
+"""Benchmark for the space-partitioned fleet runner.
+
+Measures the wall-clock speedup of one partitioned `FleetSilkRoad` run
+over the same run on one worker, and — regardless of speedup — asserts
+the runner's core property: the merged registry and audit fingerprints
+are bit-identical whatever the worker count.  Each spawned worker
+materializes only its own switch partition, so per-packet ConnTable and
+Bloom work splits 1/W per worker while the replicated control plane is
+recomputed everywhere; the speedup bound therefore only applies on
+hosts with enough cores for the data-plane split to dominate the
+replication overhead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments.parallel import run_fleet_partitioned
+
+#: A fleet run sized so each of four partitions carries a non-trivial
+#: data plane: spawn overhead plus the replicated control plane must be
+#: small against the per-switch packet work for the measurement to say
+#: anything about the runner.
+PARAMS = dict(
+    seed=5,
+    pattern="crash",
+    num_switches=8,
+    scale=0.4,
+    horizon_s=60.0,
+    warmup_s=5.0,
+    faults_per_min=4.0,
+    replication=2,
+)
+NUM_WORKERS = 4
+
+
+def _timed(workers):
+    t0 = time.perf_counter()
+    result = run_fleet_partitioned(
+        partition_workers=workers,
+        in_process=(workers == 1),
+        **PARAMS,
+    )
+    return result, time.perf_counter() - t0
+
+
+def test_bench_partitioned_fleet(once):
+    serial, serial_s = _timed(1)
+    pooled, pooled_s = once(
+        lambda: _timed(min(NUM_WORKERS, os.cpu_count() or 1))
+    )
+
+    assert serial.ok and pooled.ok
+    # The invariant that makes partitioning safe to use at all: worker
+    # count must never move the merged result.
+    assert pooled.fingerprint == serial.fingerprint
+    assert pooled.audit_fingerprint == serial.audit_fingerprint
+    assert pooled.survival == serial.survival
+
+    speedup = serial_s / pooled_s if pooled_s > 0 else float("inf")
+    print(f"\nserial {serial_s:.2f}s, pooled {pooled_s:.2f}s, speedup {speedup:.2f}x")
+    if (os.cpu_count() or 1) >= 4:
+        # Four switch partitions on four cores: at least 2x after the
+        # replicated control plane and epoch barriers (the ISSUE's
+        # acceptance bar).
+        assert speedup >= 2.0, f"expected >=2x speedup on 4+ cores, got {speedup:.2f}x"

@@ -204,6 +204,57 @@ def _cmd_fleet_csv(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet_partitioned(args: argparse.Namespace, pattern: str) -> int:
+    """One fleet run, space-partitioned over ``--partition-workers``."""
+    from .experiments.parallel import run_fleet_partitioned
+
+    def once(workers, in_process=None):
+        return run_fleet_partitioned(
+            partition_workers=workers,
+            in_process=in_process,
+            seed=args.seed,
+            pattern=pattern,
+            num_switches=args.num_switches,
+            scale=args.scale,
+            horizon_s=args.horizon,
+            updates_per_min=args.updates_per_min,
+            faults_per_min=args.faults_per_min,
+            replication=args.replication,
+            conn_budget=args.conn_budget,
+            batched=args.batched,
+        )
+
+    result = once(args.partition_workers)
+    print(result.summary())
+    if args.check_determinism:
+        # One worker, in-process: the unpartitioned baseline every
+        # partition width must reproduce bit-for-bit.
+        again = once(1, in_process=True)
+        diverged = []
+        if again.fingerprint != result.fingerprint:
+            diverged.append("registry fingerprint")
+        if again.audit_fingerprint != result.audit_fingerprint:
+            diverged.append("audit fingerprint")
+        if again.survival != result.survival:
+            diverged.append("survival counts")
+        if diverged:
+            print(
+                "FAIL: partitioned run diverged from 1-worker baseline "
+                f"({', '.join(diverged)})",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"determinism ok (fingerprint {result.fingerprint[:16]})")
+    if args.fingerprint_out:
+        with open(args.fingerprint_out, "w") as fh:
+            fh.write(f"registry {result.fingerprint}\n")
+            fh.write(f"audit {result.audit_fingerprint}\n")
+    if not result.ok:
+        print(str(result.audit), file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from .faults.fleet import run_fleet_sharded
 
@@ -211,6 +262,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if not patterns:
         print("no failure patterns given", file=sys.stderr)
         return 2
+    if args.partition_workers is not None:
+        return _cmd_fleet_partitioned(args, patterns[0])
     # --plans is the total sweep size; distribute evenly, rounding up so
     # the sweep never shrinks below what was asked for.
     plans_per_pattern = max(1, -(-args.plans // len(patterns)))
@@ -691,6 +744,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="deterministic shard count; fixes the merged fingerprint",
+    )
+    p_fleet.add_argument(
+        "--partition-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "space-partition ONE fleet run across N workers (one switch "
+            "subset each, epoch-barrier lockstep) instead of sweeping a "
+            "bag of runs; uses the first --patterns entry"
+        ),
     )
     p_fleet.add_argument(
         "--check-determinism",

@@ -55,10 +55,12 @@ registry fingerprints across runs and worker counts).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from heapq import heappop
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..asicsim.hashing import mix64
 from ..baselines.ecmp import ResilientHashTable
 from ..core.config import SilkRoadConfig
 from ..core.silkroad import SilkRoadSwitch
@@ -126,6 +128,71 @@ class FleetConfig:
         return self.heartbeat_interval_s * self.suspicion_threshold
 
 
+@dataclass(frozen=True)
+class FleetPartition:
+    """Which slice of the fleet this replica materializes.
+
+    The partitioned runner gives every worker the *whole* deterministic
+    control plane — heartbeats, declare-down, re-homes, reassignment steps
+    and shedding are replicated computation over replicated state — but
+    only the switches in ``owned`` simulate a data plane; the rest are
+    :class:`_PhantomSwitch` stand-ins.  ``worker_id == 0`` is the primary:
+    it alone materializes the fleet-scope gauges, the fleet recorder and
+    the authoritative cause maps, so per-worker registries, timelines and
+    recorders stay pairwise disjoint and merge to the same bits for every
+    worker count.
+    """
+
+    owned: Tuple[int, ...]
+    worker_id: int
+    num_workers: int
+
+    def __post_init__(self) -> None:
+        if not self.owned:
+            raise ValueError("a partition must own at least one switch")
+        if not 0 <= self.worker_id < self.num_workers:
+            raise ValueError("worker_id out of range")
+
+    @property
+    def primary(self) -> bool:
+        return self.worker_id == 0
+
+
+def partition_epoch_length(fleet_config: FleetConfig) -> float:
+    """Barrier period of the partitioned runner.
+
+    The only couplings that carry one switch's state into another's are
+    controller heartbeat rounds (probe results → declare-down/rejoin), the
+    reassignment announce step and the drain window; their minimum bounds
+    how far replicas could drift apart before an exchanged digest would
+    notice, so epochs never exceed it.
+    """
+    bounds = [fleet_config.heartbeat_interval_s]
+    if fleet_config.announce_delay_s > 0:
+        bounds.append(fleet_config.announce_delay_s)
+    if fleet_config.drain_window_s > 0:
+        bounds.append(fleet_config.drain_window_s)
+    return min(bounds)
+
+
+#: Journal codes folded into the replica-agreement digest, one per
+#: cross-partition event class.
+_J_CRASH = 2
+_J_RESTART = 3
+_J_PARTITION = 4
+_J_HEAL = 5
+_J_HB_LOSS = 6
+_J_DOWN = 7
+_J_REJOIN = 8
+_J_RESYNC = 9
+_J_HANDOFF = 10
+_J_SHED = 11
+_J_RA_ANNOUNCE = 12
+_J_RA_DRAIN = 13
+_J_RA_REDIRECT = 14
+_J_RA_ABORT = 15
+
+
 class _SwitchSlot:
     """One fleet position: the current switch instance plus health state."""
 
@@ -169,6 +236,63 @@ class _SwitchSlot:
         instance that has not announced the VIP cannot.
         """
         return self.dataplane_up and vip in self.announced
+
+
+class _PhantomSwitch:
+    """Data-plane stand-in for a switch owned by another partition worker.
+
+    The replicated control plane must interleave *identically* on every
+    replica, so the phantom mirrors the real batch path's clock advance
+    (fire internal events strictly before each arrival, then step
+    ``queue.now`` to it) while simulating nothing and allocating nothing.
+    ``resume_connection`` reports a miss; the fleet then calls
+    ``on_connection_arrival`` (a no-op here) — neither branch touches
+    fleet state, so owners and non-owners stay in lockstep.
+    """
+
+    __slots__ = ("name", "queue")
+
+    materialized = False
+    conn_table: Tuple[()] = ()
+    at_risk_keys: frozenset = frozenset()
+    overflow_keys: frozenset = frozenset()
+    fp_adopted_keys: frozenset = frozenset()
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.queue: Optional[EventQueue] = None
+
+    def bind(self, queue: EventQueue) -> None:
+        self.queue = queue
+
+    def attach_recorder(self, recorder) -> None:
+        pass
+
+    def announce_vip(self, vip, dips) -> None:
+        pass
+
+    def on_connection_arrival(self, conn: Connection) -> None:
+        pass
+
+    def on_connection_batch(self, conns: Sequence[Connection]) -> None:
+        queue = self.queue
+        run_before = queue.run_until_before
+        for conn in conns:
+            start = conn.start
+            run_before(start, PRIO_ARRIVAL)
+            queue.now = start
+
+    def on_connection_end(self, conn: Connection) -> None:
+        pass
+
+    def resume_connection(self, conn: Connection) -> bool:
+        return False
+
+    def apply_update(self, event: UpdateEvent) -> None:
+        pass
+
+    def finalize(self) -> None:
+        pass
 
 
 class FleetController:
@@ -234,15 +358,34 @@ class FleetSilkRoad(LoadBalancer):
         fleet_config: FleetConfig = FleetConfig(),
         name: str = "fleet-silkroad",
         priorities: Optional[Dict[VirtualIP, int]] = None,
+        partition: Optional[FleetPartition] = None,
     ) -> None:
         if num_switches <= 0:
             raise ValueError("need at least one switch")
         self.name = name
         self.config = config
         self.fleet_config = fleet_config
+        self.partition = partition
+        if partition is None:
+            self._owned = frozenset(range(num_switches))
+            self._primary = True
+        else:
+            owned = frozenset(partition.owned)
+            if not owned <= frozenset(range(num_switches)):
+                raise ValueError("partition owns switches outside the fleet")
+            self._owned = owned
+            self._primary = partition.primary
+        #: per-owned-switch flight recorders (partitioned runs only).
+        self._slot_recorders: Dict[int, "FlightRecorder"] = {}  # noqa: F821
+        # Replica-agreement journal: every cross-partition event class is
+        # folded in at the instant it happens; compared at epoch barriers.
+        self._journal_hash = 0
+        self._journal_count = 0
+        #: keys parked on an aborted reassignment's dead target, so the
+        #: detection re-home attributes them as reassignment races.
+        self._aborted_races: Set[bytes] = set()
         self._slots: List[_SwitchSlot] = [
-            _SwitchSlot(SilkRoadSwitch(config, name=f"{name}-{i}"))
-            for i in range(num_switches)
+            _SwitchSlot(self._make_switch(i, 0)) for i in range(num_switches)
         ]
         self._ids = [_SwitchId(i) for i in range(num_switches)]
         self._retired: List[Tuple[int, int, SilkRoadSwitch]] = []
@@ -286,41 +429,48 @@ class FleetSilkRoad(LoadBalancer):
         self.reassignments_started = 0
         self.reassignments_completed = 0
         self.reassignments_skipped = 0
+        self.reassignments_aborted = 0
         self.updates_missed = 0
 
+        # Fleet-scope gauges live on the primary replica only; per-switch
+        # gauges live on the owner.  Partitioned partial registries are
+        # therefore pairwise disjoint and their merge is worker-count
+        # invariant (a serial fleet is its own primary and owns everything).
         self.metrics = MetricRegistry(labels={"fleet": name})
-        scope = self.metrics.scope("fleet")
-        for counter in (
-            "crashes",
-            "restarts",
-            "partitions",
-            "heals",
-            "detections",
-            "false_detections",
-            "rejoins",
-            "resyncs",
-            "handoffs",
-            "blackholed_arrivals",
-            "blackholed_existing",
-            "unserved_arrivals",
-            "shed_arrivals",
-            "vips_shed",
-            "shed_connections",
-            "reassignments_started",
-            "reassignments_completed",
-            "reassignments_skipped",
-            "updates_missed",
-        ):
-            scope.gauge(counter).set_function(
-                lambda c=counter: float(getattr(self, c))
+        if self._primary:
+            scope = self.metrics.scope("fleet")
+            for counter in (
+                "crashes",
+                "restarts",
+                "partitions",
+                "heals",
+                "detections",
+                "false_detections",
+                "rejoins",
+                "resyncs",
+                "handoffs",
+                "blackholed_arrivals",
+                "blackholed_existing",
+                "unserved_arrivals",
+                "shed_arrivals",
+                "vips_shed",
+                "shed_connections",
+                "reassignments_started",
+                "reassignments_completed",
+                "reassignments_skipped",
+                "reassignments_aborted",
+                "updates_missed",
+            ):
+                scope.gauge(counter).set_function(
+                    lambda c=counter: float(getattr(self, c))
+                )
+            scope.gauge("switches_in_ecmp").set_function(
+                lambda: float(sum(1 for s in self._slots if s.in_ecmp))
             )
-        scope.gauge("switches_in_ecmp").set_function(
-            lambda: float(sum(1 for s in self._slots if s.in_ecmp))
-        )
-        scope.gauge("switches_up").set_function(
-            lambda: float(sum(1 for s in self._slots if s.dataplane_up))
-        )
-        for i in range(num_switches):
+            scope.gauge("switches_up").set_function(
+                lambda: float(sum(1 for s in self._slots if s.dataplane_up))
+            )
+        for i in sorted(self._owned):
             sw_scope = self.metrics.scope(f"sw{i}")
             sw_scope.gauge("dataplane_up").set_function(
                 lambda i=i: 1.0 if self._slots[i].dataplane_up else 0.0
@@ -367,9 +517,97 @@ class FleetSilkRoad(LoadBalancer):
         for slot in self._slots:
             slot.switch.attach_recorder(recorder)
 
+    def attach_partition_recorders(self, capacity: int) -> None:
+        """Partitioned recording: one ring per owned switch (source
+        ``sw<i>``) plus, on the primary replica only, a fleet ring.
+
+        A :class:`~repro.obs.recorder.FlightRecorder` sequences events per
+        ring, and the merged dump orders by ``(t, source, seq)`` — with
+        every source produced by exactly one worker, the merge is
+        invariant to the partition width.
+        """
+        from ..obs.recorder import FlightRecorder
+
+        if self._primary:
+            self.recorder = FlightRecorder(capacity=capacity, source="fleet")
+        for i in sorted(self._owned):
+            recorder = FlightRecorder(capacity=capacity, source=f"sw{i}")
+            self._slot_recorders[i] = recorder
+            self._slots[i].switch.attach_recorder(recorder)
+
+    def partition_recorders(self) -> List:
+        """Every ring this replica owns, fleet ring first."""
+        recorders = [] if self.recorder is None else [self.recorder]
+        recorders.extend(
+            self._slot_recorders[i] for i in sorted(self._slot_recorders)
+        )
+        return recorders
+
     def _record(self, name: str, **attrs) -> None:
         if self.recorder is not None:
             self.recorder.record(self.queue.now, "fleet", name, **attrs)
+
+    def _make_switch(self, index: int, generation: int):
+        suffix = f"-{index}" if generation == 0 else f"-{index}g{generation}"
+        name = f"{self.name}{suffix}"
+        if index in self._owned:
+            return SilkRoadSwitch(self.config, name=name)
+        return _PhantomSwitch(name)
+
+    def _journal(self, code: int, a: int = 0, b: int = 0) -> None:
+        """Fold one cross-partition event into the agreement journal.
+
+        Every replica derives the same control-plane decisions from
+        replicated state; the journal is the running proof, compared at
+        every epoch barrier.  Only hash-seed-independent integers go in
+        (switch indices, counts, ``key_hash`` values and the float
+        clock's own hash).
+        """
+        folded = mix64(a ^ (code << 56), self._journal_hash)
+        queue = getattr(self, "queue", None)
+        now_bits = hash(queue.now) if queue is not None else 0
+        self._journal_hash = mix64(b ^ now_bits, folded)
+        self._journal_count += 1
+
+    def epoch_digest(self) -> Tuple[int, ...]:
+        """Replica-agreement digest exchanged at epoch barriers.
+
+        Covers the journal (every membership / fault / re-home /
+        reassignment event with its arguments and timestamp) plus the
+        sizes and counters of all replicated control-plane state; any
+        divergence between partition replicas shows up here within one
+        epoch of the event that caused it.
+        """
+        return (
+            self._journal_count,
+            self._journal_hash,
+            len(self._conns),
+            len(self._tables),
+            len(self._shed),
+            len(self._reassigning),
+            self.crashes,
+            self.restarts,
+            self.partitions,
+            self.heals,
+            self.detections,
+            self.false_detections,
+            self.rejoins,
+            self.resyncs,
+            self.handoffs,
+            self.blackholed_arrivals,
+            self.blackholed_existing,
+            self.unserved_arrivals,
+            self.shed_arrivals,
+            self.vips_shed,
+            self.shed_connections,
+            self.reassignments_started,
+            self.reassignments_completed,
+            self.reassignments_skipped,
+            self.reassignments_aborted,
+            self.updates_missed,
+            self.controller.probes_sent,
+            self.controller.probes_missed,
+        )
 
     # ------------------------------------------------------------------
     # LoadBalancer interface
@@ -542,6 +780,7 @@ class FleetSilkRoad(LoadBalancer):
             slot.dataplane_up = False
             slot.synced = False
             self._record("crash", switch=index, blackholed=quiesced)
+            self._journal(_J_CRASH, index, quiesced)
         if slot.restart_handle is not None:
             slot.restart_handle.cancel()
             slot.restart_handle = None
@@ -562,19 +801,19 @@ class FleetSilkRoad(LoadBalancer):
         slot.restart_handle = None
         self.restarts += 1
         self._record("restart", switch=index, generation=slot.generation)
+        self._journal(_J_RESTART, index, slot.generation)
 
-    def _fresh_instance(self, index: int) -> SilkRoadSwitch:
+    def _fresh_instance(self, index: int):
         """Replace the slot's instance with an empty one (state re-learn)."""
         slot = self._slots[index]
         self._retired.append((index, slot.generation, slot.switch))
         slot.generation += 1
-        fresh = SilkRoadSwitch(
-            self.config, name=f"{self.name}-{index}g{slot.generation}"
-        )
+        fresh = self._make_switch(index, slot.generation)
         if hasattr(self, "queue"):
             fresh.bind(self.queue)
-        if self.recorder is not None:
-            fresh.attach_recorder(self.recorder)
+        recorder = self._slot_recorders.get(index, self.recorder)
+        if recorder is not None:
+            fresh.attach_recorder(recorder)
         slot.switch = fresh
         slot.announced = set()
         return fresh
@@ -588,6 +827,7 @@ class FleetSilkRoad(LoadBalancer):
         slot.partition_depth += 1
         self.partitions += 1
         self._record("partition", switch=index, depth=slot.partition_depth)
+        self._journal(_J_PARTITION, index, slot.partition_depth)
         if heal_after_s is not None:
             self.queue.schedule(
                 self.queue.now + heal_after_s,
@@ -602,11 +842,13 @@ class FleetSilkRoad(LoadBalancer):
             if slot.partition_depth == 0:
                 self.heals += 1
                 self._record("heal", switch=index)
+                self._journal(_J_HEAL, index)
 
     def inject_heartbeat_loss(self, index: int, count: int) -> None:
         """The next ``count`` probes to this switch are lost in transit."""
         self._slots[index].drop_probes += count
         self._record("heartbeat_loss", switch=index, count=count)
+        self._journal(_J_HB_LOSS, index, count)
 
     def request_reassign(self, vip_rank: int, target: int) -> None:
         """Operator-style reassignment request by rank (fault-plan entry)."""
@@ -631,6 +873,15 @@ class FleetSilkRoad(LoadBalancer):
         if slot.reachable and reason != "stale":
             self.false_detections += 1
         self._record("declare_down", switch=index, reason=reason)
+        self._journal(_J_DOWN, index, 1 if reason == "stale" else 0)
+        # A reassignment whose *destination* just died can never finish its
+        # drain/redirect steps safely: abort it before the membership sweep
+        # below, so the source announcer stays in the hash group and the
+        # VIP is not withdrawn while a healthy announcer still serves it.
+        for vip in [
+            v for v, token in self._reassigning.items() if token[2] == index
+        ]:
+            self._abort_reassignment(vip, reason="target-down")
         sid = self._ids[index]
         for vip in list(self._tables):
             table = self._tables[vip]
@@ -658,7 +909,12 @@ class FleetSilkRoad(LoadBalancer):
         for key, conn, target in moving:
             if conn.vip in self._shed:
                 continue  # the shed already ended and attributed it
-            self._hand_off(key, conn, index, target, cause=CAUSE_REHASH)
+            if key in self._aborted_races:
+                self._aborted_races.discard(key)
+                cause = CAUSE_RACE
+            else:
+                cause = CAUSE_REHASH
+            self._hand_off(key, conn, index, target, cause=cause)
 
     def _hand_off(
         self,
@@ -672,6 +928,11 @@ class FleetSilkRoad(LoadBalancer):
         now = self.queue.now
         if target == old_index:
             return
+        self._journal(
+            _J_HANDOFF,
+            conn.key_hash,
+            (old_index + 2) * 1024 + (0 if target is None else target + 2),
+        )
         if old_index >= 0:
             old_slot = self._slots[old_index]
             if old_slot.dataplane_up:
@@ -766,6 +1027,7 @@ class FleetSilkRoad(LoadBalancer):
         self.vips_shed += 1
         self.shed_connections += dropped
         self._record("shed", vip=str(vip), dropped=dropped)
+        self._journal(_J_SHED, self._vip_order.index(vip), dropped)
 
     def rejoin(self, index: int) -> None:
         """Detection cleared: re-sync state, then re-enter the hash groups.
@@ -813,6 +1075,7 @@ class FleetSilkRoad(LoadBalancer):
         slot.missed = 0
         self.rejoins += 1
         self._record("rejoin", switch=index, generation=slot.generation)
+        self._journal(_J_REJOIN, index, slot.generation)
 
     def _resync(self, index: int) -> None:
         """State re-learn: announce every assigned VIP at its current pool."""
@@ -829,6 +1092,7 @@ class FleetSilkRoad(LoadBalancer):
         slot.synced = True
         self.resyncs += 1
         self._record("resync", switch=index, generation=slot.generation)
+        self._journal(_J_RESYNC, index, slot.generation)
 
     # ------------------------------------------------------------------
     # PCC-safe VIP reassignment (3 steps at fleet scope)
@@ -876,6 +1140,9 @@ class FleetSilkRoad(LoadBalancer):
         self._reassigning[vip] = (now, from_index, to_index)
         self.reassignments_started += 1
         self._record("reassign_announce", vip=str(vip), src=from_index, dst=to_index)
+        self._journal(
+            _J_RA_ANNOUNCE, self._vip_order.index(vip), from_index * 1024 + to_index
+        )
         self.queue.schedule(
             now + cfg.announce_delay_s,
             lambda: self._reassign_drain(vip),
@@ -894,13 +1161,20 @@ class FleetSilkRoad(LoadBalancer):
         if table is None:
             self._reassigning.pop(vip, None)
             return
+        if not self._slots[to_index].serves(vip):
+            # The destination died (or restarted un-synced) between the
+            # announce and the drain: swinging the hash group now would
+            # steer the VIP into a blackhole.  Abort; the source keeps it.
+            self._abort_reassignment(vip, reason="target-lost")
+            return
         to_id = self._ids[to_index]
         from_id = self._ids[from_index]
-        if to_id not in table.members and self._slots[to_index].serves(vip):
+        if to_id not in table.members:
             table.add(to_id)
         if from_id in table.members and len(table.members) > 1:
             table.remove(from_id)
         self._record("reassign_drain", vip=str(vip), src=from_index, dst=to_index)
+        self._journal(_J_RA_DRAIN, self._vip_order.index(vip))
         self.queue.schedule(
             self.queue.now + self.fleet_config.drain_window_s,
             lambda: self._reassign_redirect(vip),
@@ -909,10 +1183,17 @@ class FleetSilkRoad(LoadBalancer):
 
     def _reassign_redirect(self, vip: VirtualIP) -> None:
         """Step 3 — redirect the stragglers still pinned to the source."""
-        token = self._reassigning.pop(vip, None)
+        token = self._reassigning.get(vip)
         if token is None:
             return
         t0, from_index, to_index = token
+        if not self._slots[to_index].serves(vip):
+            # Destination lost mid-drain-window and not yet detected:
+            # redirecting the stragglers would end healthy flows into a
+            # blackhole.  Abort instead — they stay pinned to the source.
+            self._abort_reassignment(vip, reason="target-lost")
+            return
+        self._reassigning.pop(vip, None)
         now = self.queue.now
         table = self._tables.get(vip)
         moved = 0
@@ -932,6 +1213,59 @@ class FleetSilkRoad(LoadBalancer):
             assigned.remove(from_index)
         self.reassignments_completed += 1
         self._record("reassign_redirect", vip=str(vip), src=from_index, moved=moved)
+        self._journal(_J_RA_REDIRECT, self._vip_order.index(vip), moved)
+
+    def _abort_reassignment(self, vip: VirtualIP, reason: str) -> None:
+        """Roll an in-flight reassignment back onto its source.
+
+        Invoked whenever the *destination* stops serving the VIP inside
+        the 3-step window (crash, restart-without-resync) — from the step
+        handlers themselves or from :meth:`declare_down` racing them.  The
+        source announcer is restored to the hash group if the drain had
+        already removed it, so flows stay on the source; arrivals that
+        landed on the doomed destination during the window are remembered
+        in ``_aborted_races`` and attributed as ``reassignment_race`` when
+        the detection re-home moves them.
+        """
+        token = self._reassigning.pop(vip, None)
+        if token is None:
+            return
+        t0, from_index, to_index = token
+        now = self.queue.now
+        from_slot = self._slots[from_index]
+        table = self._tables.get(vip)
+        if (
+            table is not None
+            and from_slot.serves(vip)
+            and self._ids[from_index] not in table.members
+        ):
+            table.add(self._ids[from_index])
+        races = 0
+        for key, conn in self._conns.items():
+            if (
+                conn.vip == vip
+                and self._owner[key] == to_index
+                and conn.start >= t0
+                and conn.active_at(now)
+            ):
+                self._aborted_races.add(key)
+                races += 1
+        # Roll back the announce step's assignment change: the destination
+        # must not re-announce the VIP on a later rejoin as if the
+        # cancelled reassignment had completed.
+        assigned = self._assignment.get(vip)
+        if assigned and to_index in assigned and from_index in assigned:
+            assigned.remove(to_index)
+        self.reassignments_aborted += 1
+        self._record(
+            "reassign_abort",
+            vip=str(vip),
+            src=from_index,
+            dst=to_index,
+            reason=reason,
+            races=races,
+        )
+        self._journal(_J_RA_ABORT, self._vip_order.index(vip), races)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -951,6 +1285,8 @@ class FleetSilkRoad(LoadBalancer):
         merged = MetricRegistry(labels={"fleet": self.name})
         _fold_prefixed(merged, self.metrics, "fleet")
         for index, generation, switch in self.instances():
+            if not getattr(switch, "materialized", True):
+                continue
             _fold_prefixed(merged, switch.metrics, f"inst.sw{index}g{generation}")
         return merged
 
@@ -986,6 +1322,7 @@ class FleetSilkRoad(LoadBalancer):
             "reassignments_started": float(self.reassignments_started),
             "reassignments_completed": float(self.reassignments_completed),
             "reassignments_skipped": float(self.reassignments_skipped),
+            "reassignments_aborted": float(self.reassignments_aborted),
             "updates_missed": float(self.updates_missed),
             "switches_in_ecmp": float(len(self.in_ecmp_switches())),
             "switches_up": float(len(self.alive_switches())),
@@ -994,6 +1331,8 @@ class FleetSilkRoad(LoadBalancer):
         }
         live_entries = 0
         for index, slot in enumerate(self._slots):
+            if not getattr(slot.switch, "materialized", True):
+                continue
             entries = len(slot.switch.conn_table)
             if slot.dataplane_up:
                 report[f"{slot.switch.name}_conn_entries"] = float(entries)
@@ -1049,6 +1388,133 @@ class FleetAuditReport:
         if not self.ok:
             raise AssertionError(str(self))
 
+    def fingerprint(self) -> str:
+        """Bit-exact digest of the attribution outcome.
+
+        Cause buckets and structural violations are emitted in sorted
+        order, so the digest of a partitioned run's merged report is
+        invariant to the worker count (which only permutes merge order).
+        """
+        hasher = hashlib.sha256()
+        hasher.update(f"checks={self.audit.checks_run}\n".encode())
+        for violation in sorted(self.audit.violations):
+            hasher.update(f"structural={violation}\n".encode())
+        for name in sorted(self.violation_causes):
+            hasher.update(
+                f"violation.{name}={self.violation_causes[name]}\n".encode()
+            )
+        for name in sorted(self.drop_causes):
+            hasher.update(f"drop.{name}={self.drop_causes[name]}\n".encode())
+        hasher.update(
+            f"totals={self.violations},{self.dropped},"
+            f"{self.unattributed_violations},{self.unattributed_drops}\n".encode()
+        )
+        return hasher.hexdigest()
+
+
+def collect_structural(fleet: FleetSilkRoad) -> Tuple[AuditReport, Set[bytes]]:
+    """Structurally audit every materialized instance of ``fleet`` and
+    union the per-switch attribution-prediction key sets.
+
+    A partition replica contributes only the instances it owns; since
+    every real instance exists on exactly one replica, merging the
+    replicas' reports reconstructs the serial audit.
+    """
+    merged = AuditReport()
+    predicted: Set[bytes] = set()
+    for index, generation, switch in fleet.instances():
+        if not getattr(switch, "materialized", True):
+            continue
+        merged.merge(audit_switch(switch), label=f"sw{index}g{generation}")
+        predicted |= switch.at_risk_keys | switch.overflow_keys
+        predicted |= switch.fp_adopted_keys
+    return merged, predicted
+
+
+def connection_outcomes(
+    connections: Sequence[Connection],
+) -> List[Tuple[bytes, Tuple[str, ...], bool, bool, float]]:
+    """Compact per-connection outcome rows for cross-process merging.
+
+    Each row is ``(key, sorted distinct DIP strings, ever_dropped,
+    broken_by_removal, start)``.  Rows from different partition replicas
+    merge per key by unioning the DIP sets and OR-ing the flags — a
+    replica that never materialized the owning switch simply contributes
+    the fleet-recorded share (blackholes, quiesces) of the decisions.
+    """
+    rows: List[Tuple[bytes, Tuple[str, ...], bool, bool, float]] = []
+    for conn in connections:
+        dips = {str(dip) for _t, dip in conn.decisions if dip is not None}
+        rows.append(
+            (
+                conn.key,
+                tuple(sorted(dips)),
+                conn.ever_dropped,
+                conn.broken_by_removal,
+                conn.start,
+            )
+        )
+    return rows
+
+
+def attribute_outcomes(
+    structural: AuditReport,
+    outcomes: Iterable[Tuple[bytes, bool, bool]],
+    move_causes: Dict[bytes, str],
+    drop_cause_map: Dict[bytes, str],
+    predicted: Set[bytes],
+) -> FleetAuditReport:
+    """Attribute ``(key, pcc_violated, ever_dropped)`` rows to causes.
+
+    The attribution half of :func:`audit_fleet`, factored out so the
+    partitioned runner can feed it merged outcome rows and a merged
+    structural report instead of live objects.  ``structural`` is folded
+    into the returned report (and mutated: the two fleet-level checks and
+    any unattributed-bucket violations are appended to it).
+    """
+    violation_causes = {cause: 0 for cause in FLEET_CAUSES}
+    violation_causes[CAUSE_SWITCH_LOCAL] = 0
+    drop_causes = {cause: 0 for cause in FLEET_CAUSES}
+    violations = dropped = 0
+    unattributed_violations = unattributed_drops = 0
+    for key, violated, was_dropped in outcomes:
+        if violated:
+            violations += 1
+            cause = move_causes.get(key)
+            if cause is not None:
+                violation_causes[cause] += 1
+            elif key in predicted:
+                violation_causes[CAUSE_SWITCH_LOCAL] += 1
+            else:
+                unattributed_violations += 1
+        if was_dropped:
+            dropped += 1
+            cause = drop_cause_map.get(key)
+            if cause is not None:
+                drop_causes[cause] += 1
+            else:
+                unattributed_drops += 1
+    structural.checks_run += 2
+    if unattributed_violations:
+        structural.violations.append(
+            f"[fleet] {unattributed_violations} PCC violations with no "
+            "attributable cause"
+        )
+    if unattributed_drops:
+        structural.violations.append(
+            f"[fleet] {unattributed_drops} dropped connections with no "
+            "attributable cause"
+        )
+    return FleetAuditReport(
+        audit=structural,
+        violation_causes=violation_causes,
+        drop_causes=drop_causes,
+        violations=violations,
+        dropped=dropped,
+        unattributed_violations=unattributed_violations,
+        unattributed_drops=unattributed_drops,
+    )
+
 
 def audit_fleet(
     fleet: FleetSilkRoad, connections: Sequence[Connection]
@@ -1063,54 +1529,8 @@ def audit_fleet(
     the moment it happens.  Anything in neither bucket lands in the
     unattributed counters and fails the audit.
     """
-    merged = AuditReport()
-    predicted: Set[bytes] = set()
-    for index, generation, switch in fleet.instances():
-        merged.merge(audit_switch(switch), label=f"sw{index}g{generation}")
-        predicted |= switch.at_risk_keys | switch.overflow_keys
-        predicted |= switch.fp_adopted_keys
-    violation_causes = {cause: 0 for cause in FLEET_CAUSES}
-    violation_causes[CAUSE_SWITCH_LOCAL] = 0
-    drop_causes = {cause: 0 for cause in FLEET_CAUSES}
-    violations = dropped = 0
-    unattributed_violations = unattributed_drops = 0
-    move_causes = fleet._move_cause
-    drop_cause_map = fleet._drop_cause
-    for conn in connections:
-        key = conn.key
-        if conn.pcc_violated:
-            violations += 1
-            cause = move_causes.get(key)
-            if cause is not None:
-                violation_causes[cause] += 1
-            elif key in predicted:
-                violation_causes[CAUSE_SWITCH_LOCAL] += 1
-            else:
-                unattributed_violations += 1
-        if conn.ever_dropped:
-            dropped += 1
-            cause = drop_cause_map.get(key)
-            if cause is not None:
-                drop_causes[cause] += 1
-            else:
-                unattributed_drops += 1
-    merged.checks_run += 2
-    if unattributed_violations:
-        merged.violations.append(
-            f"[fleet] {unattributed_violations} PCC violations with no "
-            "attributable cause"
-        )
-    if unattributed_drops:
-        merged.violations.append(
-            f"[fleet] {unattributed_drops} dropped connections with no "
-            "attributable cause"
-        )
-    return FleetAuditReport(
-        audit=merged,
-        violation_causes=violation_causes,
-        drop_causes=drop_causes,
-        violations=violations,
-        dropped=dropped,
-        unattributed_violations=unattributed_violations,
-        unattributed_drops=unattributed_drops,
+    structural, predicted = collect_structural(fleet)
+    rows = ((c.key, c.pcc_violated, c.ever_dropped) for c in connections)
+    return attribute_outcomes(
+        structural, rows, fleet._move_cause, fleet._drop_cause, predicted
     )

@@ -28,30 +28,37 @@ Design invariants, asserted by the test suite:
 
 from __future__ import annotations
 
+import logging
 import multiprocessing as mp
 import multiprocessing.connection
 import os
+import sys
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..asicsim.hashing import mix64
+from ..asicsim.hashing import base_hash, mix64
 from ..core.silkroad import SilkRoadSwitch
 from ..core.verify import AuditReport, audit_switch
 from ..obs.metrics import Gauge, Histogram, MetricRegistry
-from ..obs.recorder import FlightRecorder
+from ..obs.recorder import DEFAULT_RING_SIZE, FlightRecorder
 from ..obs.timeline import Timeline, TimelineSampler
 
 __all__ = [
     "FailedShard",
+    "FleetPartitionedResult",
     "ShardResult",
     "ShardSpec",
     "ShardedRunResult",
     "derive_shard_seed",
     "make_shards",
+    "partition_switches",
+    "run_fleet_partitioned",
     "run_sharded",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: Salt so shard seeds never collide with the base seed itself.
 _SHARD_SEED_SALT = 0x51AB_D5EE_D000_0000
@@ -415,14 +422,28 @@ def _run_chaos_shard(spec: ShardSpec) -> ShardResult:
     )
 
 
+def _fleet_cell_seed(base_seed: int, pattern: str, plan_index: int, salt: int) -> int:
+    """The derived seed of one ``(pattern, plan_index)`` fleet cell.
+
+    Keyed by the *content* of the cell — the pattern name's hash and the
+    plan index — never by the cell's position in the sweep, so permuting
+    the ``patterns`` tuple (or regrouping cells into shards) cannot
+    silently change any cell's workload or fault plan.
+    """
+    pattern_h = base_hash(str(pattern).encode("utf-8"))
+    return derive_shard_seed(base_seed, mix64(pattern_h, salt + plan_index) >> 1)
+
+
 def _run_fleet_shard(spec: ShardSpec) -> ShardResult:
     """Run this shard's cells of the fleet-chaos survival sweep.
 
-    A cell is one ``(pattern, plan)`` fleet run.  Like fig18, each cell is
-    seeded by its index in the *full* sweep, so merged fingerprints depend
-    on the layout but never on worker count.  The merged audit carries the
-    fleet attribution requirement: any unattributed PCC violation or drop
-    in any cell surfaces as a violation labelled with that cell.
+    A cell is one ``(pattern, plan_index)`` fleet run, seeded from the
+    sweep's base seed and the cell's own identity (see
+    :func:`_fleet_cell_seed`), so merged fingerprints depend only on the
+    set of cells — never on worker count, shard count or the order the
+    patterns were listed in.  The merged audit carries the fleet
+    attribution requirement: any unattributed PCC violation or drop in
+    any cell surfaces as a violation labelled with that cell.
     """
     from ..faults.fleet import run_fleet
 
@@ -434,11 +455,12 @@ def _run_fleet_shard(spec: ShardSpec) -> ShardResult:
     record = bool(p.get("record", False))
     timelines: List[Timeline] = []
     recorders: List[FlightRecorder] = []
-    for cell_index, pattern in p["cells"]:
-        cell = f"cell{int(cell_index):02d}-{pattern}"
+    base_seed = int(p.get("base_seed", spec.seed))
+    for pattern, plan_index in p["cells"]:
+        cell = f"{pattern}{int(plan_index):02d}"
         result = run_fleet(
-            seed=derive_shard_seed(spec.seed, 2_000 + int(cell_index)),
-            fault_seed=derive_shard_seed(spec.seed, 3_000 + int(cell_index)),
+            seed=_fleet_cell_seed(base_seed, pattern, int(plan_index), 20_000),
+            fault_seed=_fleet_cell_seed(base_seed, pattern, int(plan_index), 30_000),
             pattern=str(pattern),
             num_switches=int(p.get("num_switches", 4)),
             scale=float(p.get("scale", 0.05)),
@@ -545,15 +567,28 @@ def run_shard(spec: ShardSpec) -> ShardResult:
 
 
 def _worker_main(spec: ShardSpec, conn) -> None:
-    """Spawned worker entrypoint: run one shard, ship the result back."""
+    """Spawned worker entrypoint: run one shard, ship the result back.
+
+    The failure path must never go silent: if the error payload itself
+    cannot be shipped (parent gone, pipe broken), the traceback is written
+    to stderr and the exception re-raised so the worker dies loudly with a
+    non-zero exit code — the parent then reports ``worker exited with
+    code N`` instead of dropping the evidence.
+    """
     try:
         result = run_shard(spec)
         conn.send(("ok", result))
     except BaseException:
+        tb = traceback.format_exc()
         try:
-            conn.send(("error", traceback.format_exc()))
+            conn.send(("error", tb))
         except Exception:
-            pass
+            sys.stderr.write(
+                f"[parallel] shard {spec.shard_id} failed and the error "
+                f"pipe is dead; traceback follows\n{tb}"
+            )
+            sys.stderr.flush()
+            raise
     finally:
         conn.close()
 
@@ -641,11 +676,15 @@ def make_shards(
             params.pop("patterns", ("crash", "partition", "flap", "cascade", "mixed"))
         )
         plans_per_pattern = int(params.pop("plans_per_pattern", 4))
+        # Cells are identified by (pattern, plan_index), not sweep position:
+        # _fleet_cell_seed keys each cell's seeds off this identity, so a
+        # permuted ``patterns`` tuple yields the same per-cell runs (and the
+        # same merged fingerprint) in a different merge order — and the merge
+        # itself is order-insensitive for counters and registry folds.
         cells = [
-            (index, pattern)
-            for index, pattern in enumerate(
-                p for p in patterns for _ in range(plans_per_pattern)
-            )
+            (pattern, plan_index)
+            for pattern in patterns
+            for plan_index in range(plans_per_pattern)
         ]
         if num_shards > len(cells):
             raise ValueError(
@@ -655,7 +694,11 @@ def make_shards(
         offset = 0
         for shard_id in range(num_shards):
             take = base + (1 if shard_id < extra else 0)
-            shard_params = dict(params, cells=tuple(cells[offset : offset + take]))
+            shard_params = dict(
+                params,
+                cells=tuple(cells[offset : offset + take]),
+                base_seed=int(seed),
+            )
             offset += take
             specs.append(
                 ShardSpec(
@@ -687,26 +730,48 @@ def make_shards(
 
 def _run_serial(
     specs: Sequence[ShardSpec], retries: int
-) -> Tuple[List[ShardResult], List[FailedShard]]:
+) -> Tuple[List[ShardResult], List[FailedShard], int]:
+    """In-process driver.  Returns ``(results, failed, error_attempts)``.
+
+    Every failed attempt — retried or terminal — is logged with its
+    traceback and counted, so a flaky shard leaves evidence even when the
+    retry ultimately succeeds.
+    """
     results: List[ShardResult] = []
     failed: List[FailedShard] = []
+    errors = 0
     for spec in specs:
         last_error = "unknown error"
-        for _attempt in range(retries + 1):
+        for attempt in range(retries + 1):
             try:
                 results.append(run_shard(spec))
                 break
             except Exception:
                 last_error = traceback.format_exc()
+                errors += 1
+                logger.warning(
+                    "shard %d attempt %d/%d failed:\n%s",
+                    spec.shard_id,
+                    attempt + 1,
+                    retries + 1,
+                    last_error,
+                )
         else:
+            logger.error(
+                "shard %d failed after %d attempts", spec.shard_id, retries + 1
+            )
             failed.append(FailedShard(spec.shard_id, last_error))
-    return results, failed
+    return results, failed, errors
 
 
 def _run_parallel(
     specs: Sequence[ShardSpec], workers: int, retries: int
-) -> Tuple[List[ShardResult], List[FailedShard]]:
+) -> Tuple[List[ShardResult], List[FailedShard], int]:
     """Run shards on a pool of spawned processes, one process per attempt.
+
+    Returns ``(results, failed, error_attempts)``; every failed attempt is
+    logged with whatever evidence survived (the shipped traceback, or the
+    worker's exit code when the process died before sending one).
 
     ``spawn`` (not fork) so workers import a pristine interpreter — the
     same environment the determinism tests pin — and a crashed worker
@@ -726,6 +791,7 @@ def _run_parallel(
     live: Dict[object, Tuple[ShardSpec, object, object]] = {}
     results: List[ShardResult] = []
     failed: List[FailedShard] = []
+    errors = 0
     while pending or live:
         while pending and len(live) < workers:
             spec = pending.popleft()
@@ -758,17 +824,31 @@ def _run_parallel(
             if payload is not None and payload[0] == "ok":
                 results.append(payload[1])
                 continue
+            errors += 1
+            reason = (
+                payload[1]
+                if payload is not None
+                else f"worker exited with code {proc.exitcode}"
+            )
             attempts[spec.shard_id] += 1
             if attempts[spec.shard_id] <= retries:
+                logger.warning(
+                    "shard %d attempt %d/%d failed, retrying:\n%s",
+                    spec.shard_id,
+                    attempts[spec.shard_id],
+                    retries + 1,
+                    reason,
+                )
                 pending.append(spec)
             else:
-                reason = (
-                    payload[1]
-                    if payload is not None
-                    else f"worker exited with code {proc.exitcode}"
+                logger.error(
+                    "shard %d failed after %d attempts:\n%s",
+                    spec.shard_id,
+                    retries + 1,
+                    reason,
                 )
                 failed.append(FailedShard(spec.shard_id, reason))
-    return results, failed
+    return results, failed, errors
 
 
 def run_sharded(
@@ -778,6 +858,7 @@ def run_sharded(
     seed: int = 7,
     retries: int = 1,
     params: Optional[Dict[str, object]] = None,
+    strict: bool = False,
 ) -> ShardedRunResult:
     """Run one experiment as ``num_shards`` deterministic shards.
 
@@ -785,16 +866,29 @@ def run_sharded(
     CPU count``)``); ``workers <= 1`` runs every shard in-process, which
     produces byte-identical results to any parallel pool because the
     shard layout and merge order are fixed by ``num_shards`` alone.
+
+    Every failed attempt is logged and counted in
+    ``parallel.worker_errors_total``; shards still failing after the
+    retry budget land in ``result.failed`` — or, with ``strict=True``,
+    raise :class:`RuntimeError` carrying every terminal traceback.
     """
     specs = make_shards(task, num_shards=num_shards, seed=seed, params=params)
     if workers is None:
         workers = min(num_shards, os.cpu_count() or 1)
     if workers <= 1:
-        results, failed = _run_serial(specs, retries)
+        results, failed, errors = _run_serial(specs, retries)
     else:
-        results, failed = _run_parallel(specs, workers, retries)
+        results, failed, errors = _run_parallel(specs, workers, retries)
     results.sort(key=lambda r: r.shard_id)
     failed.sort(key=lambda f: f.shard_id)
+    if strict and failed:
+        details = "\n".join(
+            f"--- shard {f.shard_id} ---\n{f.reason}" for f in failed
+        )
+        raise RuntimeError(
+            f"{len(failed)} shard(s) failed after {retries + 1} attempt(s) "
+            f"in {task}[seed={seed}]:\n{details}"
+        )
     registry = MetricRegistry.merged(
         (r.registry for r in results),
         labels={"task": task, "seed": str(seed)},
@@ -805,6 +899,10 @@ def run_sharded(
     registry.counter(
         "parallel.shards_failed_total", help="shards that failed after retry"
     ).inc(len(failed))
+    registry.counter(
+        "parallel.worker_errors_total",
+        help="failed shard attempts (including retried ones)",
+    ).inc(errors)
     audit = AuditReport()
     for result in results:
         audit.merge(result.audit, label=f"shard-{result.shard_id}")
@@ -827,6 +925,570 @@ def run_sharded(
         failed=failed,
         registry=registry,
         audit=audit,
+        counters=counters,
+        timeline=timeline,
+        recorder=recorder,
+    )
+
+
+# ----------------------------------------------------------------------
+# Space-partitioned fleet execution (one simulation, many workers)
+# ----------------------------------------------------------------------
+#
+# `run_sharded` above parallelizes *bags* of runs; `run_fleet_partitioned`
+# parallelizes the inside of ONE `FleetSilkRoad` run.  The design is
+# replicated control plane / partitioned data plane:
+#
+# * Every worker replays the *entire* deterministic simulation — the same
+#   workload, fault plan, controller heartbeats, declare-downs, re-homes,
+#   reassignment steps and shedding decisions — so cross-partition control
+#   events need no migration protocol: each replica computes them locally
+#   from replicated state, in the identical event order.
+# * Each worker *materializes* only its `FleetPartition.owned` switches;
+#   the rest are `_PhantomSwitch` stand-ins that mirror the clock advance
+#   but simulate nothing.  The expensive part of a fleet run — per-packet
+#   ConnTable/Bloom work inside `SilkRoadSwitch` — is therefore split
+#   `1/W` per worker.
+# * Lockstep epochs, bounded by `partition_epoch_length` (the minimum
+#   cross-partition latency: heartbeat interval, announce delay, drain
+#   window), are barriers at which replicas exchange `epoch_digest()` —
+#   a running journal of every cross-partition event class plus the
+#   replicated-state sizes.  Equal digests prove the replicas agree;
+#   any divergence aborts the run at the epoch that exposed it rather
+#   than yielding silently wrong merged results.
+# * Observability stays pairwise disjoint by construction (fleet-scope
+#   instruments and cause maps on the primary replica, per-switch
+#   instruments/recorders/audits on the owner), so the merged
+#   MetricRegistry / Timeline / FlightRecorder / FleetAuditReport are
+#   bit-identical for every worker count.
+
+
+def partition_switches(
+    num_switches: int, num_workers: int
+) -> List[Tuple[int, ...]]:
+    """Contiguous switch ranges, one per worker, sizes differing by <= 1.
+
+    Depends only on ``(num_switches, num_workers)``, mirroring
+    :func:`make_shards`: the layout is what fixes which replica owns which
+    data plane, and it must never depend on machine or pool state.
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be at least 1")
+    if num_workers > num_switches:
+        raise ValueError(
+            f"cannot split {num_switches} switches across {num_workers} workers"
+        )
+    base, extra = divmod(num_switches, num_workers)
+    owned_sets: List[Tuple[int, ...]] = []
+    offset = 0
+    for worker_id in range(num_workers):
+        take = base + (1 if worker_id < extra else 0)
+        owned_sets.append(tuple(range(offset, offset + take)))
+        offset += take
+    return owned_sets
+
+
+def _partition_epochs(horizon_s: float, epoch_s: float) -> int:
+    """How many barriers fit strictly inside ``[0, horizon_s]``.
+
+    The epsilon absorbs float division noise so e.g. a 20 s horizon over
+    0.05 s epochs yields exactly 400 barriers on every replica.
+    """
+    if epoch_s <= 0:
+        raise ValueError("epoch_s must be positive")
+    return max(0, int(horizon_s / epoch_s + 1e-9))
+
+
+@dataclass
+class _PartitionPartial:
+    """One replica's mergeable share of a partitioned fleet run."""
+
+    worker_id: int
+    owned: Tuple[int, ...]
+    registry: MetricRegistry
+    #: structural audit of the owned instances (labelled ``sw<i>g<gen>``).
+    audit: AuditReport
+    #: per-switch attribution-prediction keys from the owned instances.
+    predicted: Set[bytes]
+    #: per-connection outcome rows (key, dips, dropped, broken, start).
+    outcomes: List[Tuple[bytes, Tuple[str, ...], bool, bool, float]]
+    #: fleet cause maps; authoritative on the primary replica, else None.
+    move_causes: Optional[Dict[bytes, str]]
+    drop_causes: Optional[Dict[bytes, str]]
+    #: fleet counters (primary only) — replicated, so one copy suffices.
+    counters: Dict[str, float]
+    #: live ConnTable entries of the owned, dataplane-up switches.
+    conn_entries: Dict[str, float]
+    #: every (epoch, digest) this replica produced, final state included.
+    epoch_digests: Tuple[Tuple[int, Tuple[int, ...]], ...]
+    timeline: Optional[Timeline] = None
+    recorder: Optional[FlightRecorder] = None
+
+
+@dataclass
+class FleetPartitionedResult:
+    """The merged view of one space-partitioned fleet run."""
+
+    pattern: str
+    seed: int
+    fault_seed: int
+    num_switches: int
+    workers: int
+    partitions: List[Tuple[int, ...]]
+    #: lockstep barriers the run crossed (0 when the horizon is short).
+    epochs: int
+    epoch_length_s: float
+    registry: MetricRegistry
+    audit: "object"  # FleetAuditReport; typed loosely to avoid the import cycle
+    survival: Dict[str, int]
+    counters: Dict[str, float]
+    timeline: Optional[Timeline] = None
+    recorder: Optional[FlightRecorder] = None
+
+    @property
+    def fingerprint(self) -> str:
+        return self.registry.fingerprint()
+
+    @property
+    def audit_fingerprint(self) -> str:
+        return self.audit.fingerprint()
+
+    @property
+    def timeline_fingerprint(self) -> Optional[str]:
+        return self.timeline.fingerprint() if self.timeline is not None else None
+
+    @property
+    def ok(self) -> bool:
+        return self.audit.ok
+
+    def summary(self) -> str:
+        s = self.survival
+        return (
+            f"fleet-partition[{self.pattern}/{self.seed}] x{self.workers} "
+            f"workers ({self.epochs} epochs of {self.epoch_length_s}s): "
+            f"{s['measured']} measured — {s['kept']} kept, "
+            f"{s['broken']} broken, {s['blackholed']} blackholed, "
+            f"audit {'ok' if self.ok else 'FAILED'}, "
+            f"fingerprint {self.fingerprint[:16]}"
+        )
+
+
+def _run_partition_replica(
+    worker_id: int,
+    owned: Tuple[int, ...],
+    num_workers: int,
+    barrier: Optional[Callable[[int, Tuple[int, ...]], None]],
+    run_kwargs: Dict[str, object],
+) -> _PartitionPartial:
+    """Replay the full fleet simulation as partition replica ``worker_id``.
+
+    ``barrier(epoch, digest)`` is called at every epoch boundary (spawn
+    mode blocks in it until the parent has cross-checked all replicas;
+    in-process mode passes ``None`` and digests are verified post-hoc at
+    merge).  Barrier events are scheduled *up front*, before the replay
+    starts: they shift every simulation event's heap sequence number by
+    the same constant on every replica, so pairwise event ordering — and
+    with it every simulated outcome — is unchanged by the epoch count.
+    """
+    from ..deploy.fleet import (
+        FleetPartition,
+        FleetSilkRoad,
+        collect_structural,
+        connection_outcomes,
+        partition_epoch_length,
+    )
+    from ..faults.fleet import FleetFaultInjector, resolve_fleet_run
+    from ..netsim.simulator import PRIO_INTERNAL
+
+    kw = dict(run_kwargs)
+    record = bool(kw.pop("record", False))
+    record_capacity = int(kw.pop("record_capacity", DEFAULT_RING_SIZE))
+    timeline_period_s = kw.pop("timeline_period_s", None)
+    batched = bool(kw.pop("batched", True))
+    batch_size = int(kw.pop("batch_size", 256))
+    num_switches = int(kw["num_switches"])
+    workload, plan, config, fleet_config, _fault_seed = resolve_fleet_run(**kw)
+    partition = FleetPartition(
+        owned=tuple(owned), worker_id=worker_id, num_workers=num_workers
+    )
+    injector = FleetFaultInjector(plan)
+    epoch_s = partition_epoch_length(fleet_config)
+    epochs = _partition_epochs(workload.horizon_s, epoch_s)
+    digests: List[Tuple[int, Tuple[int, ...]]] = []
+    samplers: List[TimelineSampler] = []
+
+    def attach(sim, lb) -> None:
+        if record:
+            lb.attach_partition_recorders(record_capacity)
+        if timeline_period_s is not None:
+            sampler = TimelineSampler(lb.metrics, float(timeline_period_s))
+            sampler.attach(sim.queue, horizon_s=workload.horizon_s)
+            samplers.append(sampler)
+        for k in range(1, epochs + 1):
+
+            def fire(kk: int = k, fleet=lb) -> None:
+                digest = fleet.epoch_digest()
+                digests.append((kk, digest))
+                if barrier is not None:
+                    barrier(kk, digest)
+
+            sim.queue.schedule(k * epoch_s, fire, PRIO_INTERNAL)
+
+    _report, connections, fleet = workload.replay(
+        lambda: FleetSilkRoad(
+            num_switches=num_switches,
+            config=config,
+            fleet_config=fleet_config,
+            partition=partition,
+        ),
+        faults=injector,
+        attach=attach,
+        batched=batched,
+        batch_size=batch_size,
+    )
+    # Final-state digest: catches divergence after the last barrier.
+    digests.append((epochs + 1, fleet.epoch_digest()))
+    structural, predicted = collect_structural(fleet)
+    fleet_report = fleet.report()
+    conn_entries = {
+        key: value
+        for key, value in fleet_report.items()
+        if key.endswith("_conn_entries") and key != "fleet_conn_entries"
+    }
+    counters: Dict[str, float] = {}
+    move_causes: Optional[Dict[bytes, str]] = None
+    drop_causes: Optional[Dict[bytes, str]] = None
+    if partition.primary:
+        move_causes = dict(fleet._move_cause)
+        drop_causes = dict(fleet._drop_cause)
+        counters = {
+            key: value
+            for key, value in fleet_report.items()
+            if not key.endswith("_conn_entries")
+        }
+    recorder = (
+        FlightRecorder.merged(fleet.partition_recorders()) if record else None
+    )
+    return _PartitionPartial(
+        worker_id=worker_id,
+        owned=tuple(owned),
+        registry=fleet.merged_registry(),
+        audit=structural,
+        predicted=set(predicted),
+        outcomes=connection_outcomes(connections),
+        move_causes=move_causes,
+        drop_causes=drop_causes,
+        counters=counters,
+        conn_entries=conn_entries,
+        epoch_digests=tuple(digests),
+        timeline=samplers[0].timeline if samplers else None,
+        recorder=recorder,
+    )
+
+
+def _partition_worker_main(
+    worker_id: int,
+    owned: Tuple[int, ...],
+    num_workers: int,
+    run_kwargs: Dict[str, object],
+    conn,
+) -> None:
+    """Spawned partition worker: replay one replica, barrier over the pipe.
+
+    Protocol (duplex pipe): ``("epoch", k, digest)`` up at each barrier,
+    blocking until the parent's ``"go"`` comes back; ``("done", partial)``
+    after the run; ``("error", traceback)`` on any failure.  Like
+    `_worker_main`, the failure path never goes silent: if the error
+    cannot be shipped it lands on stderr and the worker dies non-zero.
+    """
+    try:
+
+        def barrier(k: int, digest: Tuple[int, ...]) -> None:
+            conn.send(("epoch", k, digest))
+            reply = conn.recv()
+            if reply != "go":
+                raise RuntimeError(
+                    f"partition worker {worker_id}: unexpected barrier "
+                    f"reply {reply!r} at epoch {k}"
+                )
+
+        partial = _run_partition_replica(
+            worker_id, tuple(owned), num_workers, barrier, run_kwargs
+        )
+        conn.send(("done", partial))
+    except BaseException:
+        tb = traceback.format_exc()
+        try:
+            conn.send(("error", tb))
+        except Exception:
+            sys.stderr.write(
+                f"[parallel] partition worker {worker_id} failed and the "
+                f"error pipe is dead; traceback follows\n{tb}"
+            )
+            sys.stderr.flush()
+            raise
+    finally:
+        conn.close()
+
+
+def _run_partition_pool(
+    owned_sets: Sequence[Tuple[int, ...]],
+    run_kwargs: Dict[str, object],
+    epochs: int,
+) -> List[_PartitionPartial]:
+    """Drive one spawned replica per partition through lockstep epochs.
+
+    The parent is the barrier: each epoch it collects every replica's
+    digest, verifies replica agreement, and releases the round with
+    ``"go"``.  A dead worker (EOF on its pipe) or a digest mismatch
+    aborts the whole run — a partitioned result must never silently
+    omit a partition.
+    """
+    ctx = mp.get_context("spawn")
+    num_workers = len(owned_sets)
+    procs: List[object] = []
+    pipes: List[object] = []
+    try:
+        for worker_id, owned in enumerate(owned_sets):
+            parent_end, child_end = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_partition_worker_main,
+                args=(worker_id, tuple(owned), num_workers, run_kwargs, child_end),
+                daemon=True,
+            )
+            proc.start()
+            child_end.close()
+            procs.append(proc)
+            pipes.append(parent_end)
+
+        def receive(worker_id: int, expect: str, epoch: Optional[int] = None):
+            try:
+                message = pipes[worker_id].recv()
+            except (EOFError, OSError):
+                raise RuntimeError(
+                    f"partition worker {worker_id} died"
+                    + (f" before epoch {epoch}" if epoch is not None else "")
+                ) from None
+            if message[0] == "error":
+                raise RuntimeError(
+                    f"partition worker {worker_id} failed:\n{message[1]}"
+                )
+            if message[0] != expect:
+                raise RuntimeError(
+                    f"partition worker {worker_id}: expected {expect!r}, "
+                    f"got {message[0]!r}"
+                )
+            return message
+
+        for k in range(1, epochs + 1):
+            round_digests = []
+            for worker_id in range(num_workers):
+                message = receive(worker_id, "epoch", epoch=k)
+                if message[1] != k:
+                    raise RuntimeError(
+                        f"partition worker {worker_id} is at epoch "
+                        f"{message[1]}, parent at {k}"
+                    )
+                round_digests.append(message[2])
+            baseline = round_digests[0]
+            for worker_id, digest in enumerate(round_digests):
+                if digest != baseline:
+                    raise RuntimeError(
+                        f"partition replicas diverged at epoch {k}: worker "
+                        f"{worker_id} digest {digest} != worker 0 digest "
+                        f"{baseline}"
+                    )
+            for pipe in pipes:
+                pipe.send("go")
+        partials = [
+            receive(worker_id, "done")[1] for worker_id in range(num_workers)
+        ]
+        return partials
+    finally:
+        for pipe in pipes:
+            pipe.close()
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join()
+
+
+def run_fleet_partitioned(
+    partition_workers: int = 1,
+    in_process: Optional[bool] = None,
+    seed: int = 7,
+    fault_seed: Optional[int] = None,
+    pattern: str = "mixed",
+    num_switches: int = 4,
+    scale: float = 0.05,
+    horizon_s: float = 20.0,
+    warmup_s: float = 2.0,
+    updates_per_min: float = 60.0,
+    faults_per_min: float = 4.0,
+    replication: Optional[int] = None,
+    conn_budget: Optional[int] = None,
+    config: Optional[object] = None,
+    fleet_config: Optional[object] = None,
+    plan: Optional[object] = None,
+    record: bool = False,
+    record_capacity: int = DEFAULT_RING_SIZE,
+    timeline_period_s: Optional[float] = None,
+    batched: bool = True,
+    batch_size: int = 256,
+) -> FleetPartitionedResult:
+    """One fleet chaos run, space-partitioned over ``partition_workers``.
+
+    Accepts the same knobs as :func:`repro.faults.fleet.run_fleet`; the
+    partition layout comes from :func:`partition_switches` and depends
+    only on ``(num_switches, partition_workers)``, so the merged
+    registry, timeline, recorder and audit fingerprints are bit-identical
+    for every worker count (asserted by tests/experiments/
+    test_partition.py).  ``in_process`` (default: ``partition_workers ==
+    1``) runs the replicas sequentially in this process — same results,
+    no pool — with digests cross-checked post-hoc instead of per epoch.
+    """
+    from ..deploy.fleet import (
+        FleetConfig,
+        attribute_outcomes,
+        partition_epoch_length,
+    )
+
+    owned_sets = partition_switches(num_switches, partition_workers)
+    resolved_fleet_config = (
+        fleet_config
+        if fleet_config is not None
+        else FleetConfig(replication=replication, conn_budget=conn_budget)
+    )
+    epoch_s = partition_epoch_length(resolved_fleet_config)
+    epochs = _partition_epochs(horizon_s, epoch_s)
+    if in_process is None:
+        in_process = partition_workers == 1
+    run_kwargs: Dict[str, object] = {
+        "seed": int(seed),
+        "fault_seed": fault_seed,
+        "pattern": str(pattern),
+        "num_switches": int(num_switches),
+        "scale": float(scale),
+        "horizon_s": float(horizon_s),
+        "warmup_s": float(warmup_s),
+        "updates_per_min": float(updates_per_min),
+        "faults_per_min": float(faults_per_min),
+        "replication": replication,
+        "conn_budget": conn_budget,
+        "config": config,
+        "fleet_config": fleet_config,
+        "plan": plan,
+        "record": record,
+        "record_capacity": int(record_capacity),
+        "timeline_period_s": timeline_period_s,
+        "batched": bool(batched),
+        "batch_size": int(batch_size),
+    }
+    if in_process:
+        partials = [
+            _run_partition_replica(
+                worker_id, owned, partition_workers, None, run_kwargs
+            )
+            for worker_id, owned in enumerate(owned_sets)
+        ]
+    else:
+        partials = _run_partition_pool(owned_sets, run_kwargs, epochs)
+    partials.sort(key=lambda p: p.worker_id)
+
+    # Replica agreement: every replica must have produced the identical
+    # digest stream (spawn mode already verified per epoch; this also
+    # covers in-process mode and the final post-horizon digest).
+    baseline = partials[0].epoch_digests
+    for partial in partials[1:]:
+        if partial.epoch_digests != baseline:
+            diverged = next(
+                (
+                    k
+                    for (k, a), (_k, b) in zip(baseline, partial.epoch_digests)
+                    if a != b
+                ),
+                len(baseline),
+            )
+            raise RuntimeError(
+                f"partition replicas diverged at epoch {diverged}: worker "
+                f"{partial.worker_id} disagrees with worker 0"
+            )
+
+    registry = MetricRegistry.merged(
+        (p.registry for p in partials), labels={"fleet": "fleet-silkroad"}
+    )
+    structural = AuditReport()
+    predicted: Set[bytes] = set()
+    for partial in partials:
+        structural.merge(partial.audit)
+        predicted |= partial.predicted
+
+    # Per-connection outcome rows: every replica carries every connection
+    # (replicated control plane), each contributing the decisions its own
+    # data planes made — union DIP sets, OR the flags.
+    merged_rows: Dict[bytes, List[object]] = {}
+    for partial in partials:
+        for key, dips, dropped, broken, start in partial.outcomes:
+            row = merged_rows.get(key)
+            if row is None:
+                merged_rows[key] = [set(dips), dropped, broken, start]
+            else:
+                row[0] |= set(dips)
+                row[1] = row[1] or dropped
+                row[2] = row[2] or broken
+    measured = kept = broken_count = blackholed = 0
+    for key, row in merged_rows.items():
+        if row[3] < 0:
+            continue
+        measured += 1
+        if len(row[0]) > 1 and not row[2]:
+            broken_count += 1
+        elif row[1]:
+            blackholed += 1
+        else:
+            kept += 1
+    survival = {
+        "measured": measured,
+        "kept": kept,
+        "broken": broken_count,
+        "blackholed": blackholed,
+    }
+    primary = partials[0]
+    audit = attribute_outcomes(
+        structural,
+        (
+            (key, len(row[0]) > 1 and not row[2], bool(row[1]))
+            for key, row in merged_rows.items()
+        ),
+        primary.move_causes or {},
+        primary.drop_causes or {},
+        predicted,
+    )
+    counters = dict(primary.counters)
+    live_entries = 0.0
+    for partial in partials:
+        for key, value in partial.conn_entries.items():
+            counters[key] = value
+            live_entries += value
+    counters["fleet_conn_entries"] = live_entries
+    timeline = Timeline.merged(
+        p.timeline for p in partials if p.timeline is not None
+    )
+    recorder = FlightRecorder.merged(
+        p.recorder for p in partials if p.recorder is not None
+    )
+    return FleetPartitionedResult(
+        pattern=pattern,
+        seed=seed,
+        fault_seed=fault_seed if fault_seed is not None else seed + 2000,
+        num_switches=num_switches,
+        workers=partition_workers,
+        partitions=owned_sets,
+        epochs=epochs,
+        epoch_length_s=epoch_s,
+        registry=registry,
+        audit=audit,
+        survival=survival,
         counters=counters,
         timeline=timeline,
         recorder=recorder,

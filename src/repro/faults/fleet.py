@@ -349,7 +349,7 @@ def _survival(connections: Sequence[Connection]) -> Dict[str, int]:
     }
 
 
-def run_fleet(
+def resolve_fleet_run(
     seed: int = 7,
     fault_seed: Optional[int] = None,
     pattern: str = "mixed",
@@ -365,14 +365,15 @@ def run_fleet(
     fleet_config: Optional[FleetConfig] = None,
     plan: Optional[FleetFaultPlan] = None,
     workload: Optional[PccWorkload] = None,
-    record: bool = False,
-    record_capacity: int = DEFAULT_RING_SIZE,
-    record_source: str = "fleet",
-    timeline_period_s: Optional[float] = None,
-    batched: bool = True,
-    batch_size: int = 256,
-) -> FleetChaosResult:
-    """One fully seeded fleet chaos run; see the module docstring."""
+) -> Tuple[PccWorkload, FleetFaultPlan, SilkRoadConfig, FleetConfig, int]:
+    """Resolve one fleet run's fully seeded inputs from its knobs.
+
+    Pure defaulting, no side effects: returns ``(workload, plan, config,
+    fleet_config, fault_seed)`` exactly as :func:`run_fleet` would build
+    them.  The space-partitioned runner calls this in every worker so each
+    replica derives bit-identical inputs from the same scalar knobs —
+    nothing heavyweight crosses the spawn pickle boundary.
+    """
     if pattern not in FAILURE_PATTERNS:
         raise ValueError(
             f"unknown failure pattern {pattern!r} (have {sorted(FAILURE_PATTERNS)})"
@@ -401,6 +402,50 @@ def run_fleet(
         config = SilkRoadConfig(conn_table_capacity=200_000)
     if fleet_config is None:
         fleet_config = FleetConfig(replication=replication, conn_budget=conn_budget)
+    return workload, plan, config, fleet_config, fault_seed
+
+
+def run_fleet(
+    seed: int = 7,
+    fault_seed: Optional[int] = None,
+    pattern: str = "mixed",
+    num_switches: int = 4,
+    scale: float = 0.05,
+    horizon_s: float = 20.0,
+    warmup_s: float = 2.0,
+    updates_per_min: float = 60.0,
+    faults_per_min: float = 4.0,
+    replication: Optional[int] = None,
+    conn_budget: Optional[int] = None,
+    config: Optional[SilkRoadConfig] = None,
+    fleet_config: Optional[FleetConfig] = None,
+    plan: Optional[FleetFaultPlan] = None,
+    workload: Optional[PccWorkload] = None,
+    record: bool = False,
+    record_capacity: int = DEFAULT_RING_SIZE,
+    record_source: str = "fleet",
+    timeline_period_s: Optional[float] = None,
+    batched: bool = True,
+    batch_size: int = 256,
+) -> FleetChaosResult:
+    """One fully seeded fleet chaos run; see the module docstring."""
+    workload, plan, config, fleet_config, fault_seed = resolve_fleet_run(
+        seed=seed,
+        fault_seed=fault_seed,
+        pattern=pattern,
+        num_switches=num_switches,
+        scale=scale,
+        horizon_s=horizon_s,
+        warmup_s=warmup_s,
+        updates_per_min=updates_per_min,
+        faults_per_min=faults_per_min,
+        replication=replication,
+        conn_budget=conn_budget,
+        config=config,
+        fleet_config=fleet_config,
+        plan=plan,
+        workload=workload,
+    )
     injector = FleetFaultInjector(plan)
 
     recorder: Optional[FlightRecorder] = None
@@ -466,9 +511,11 @@ def run_fleet_sharded(
     """The survival sweep: ``patterns × plans_per_pattern`` fleet runs,
     sharded over a process pool and merged.
 
-    Cells are seeded by their index in the full sweep, so the merged
-    registry/audit fingerprints depend only on ``(seed, layout params)``
-    — never on ``workers``.
+    Cells are seeded by their content — the pattern name and plan index,
+    never the cell's position in the sweep — so the merged registry/audit
+    fingerprints depend only on ``(seed, the set of cells)``: neither
+    ``workers`` nor the *order* the patterns are listed in can change any
+    cell's run.
     """
     from ..experiments.parallel import run_sharded
 

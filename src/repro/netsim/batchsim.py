@@ -28,6 +28,19 @@ by the batch consumer itself via
 ordering rule (docs/architecture.md) — so read-check-modify-write state
 (TransitTable bits, ConnTable slots, the learning filter) evolves exactly
 as in the scalar interleaving.
+
+**Partitioned replay.**  The space-partitioned fleet runner
+(:func:`repro.experiments.parallel.run_fleet_partitioned`) layers epoch
+barriers on top of this driver as ordinary internal events at
+``PRIO_INTERNAL``: they ride the heap, so the merge loop interleaves them
+against the external streams exactly like any LB-scheduled event, and —
+because every replica schedules the identical barrier set up front,
+before the first arrival — they shift every subsequent event's heap
+sequence number by the same constant on every replica.  Pairwise event
+ordering is therefore untouched, which is what lets a barrier land
+*inside* an arrival chunk (fired by the batch consumer's
+``run_until_before`` sweep) without the owning and phantom replicas ever
+observing different interleavings.
 """
 
 from __future__ import annotations
@@ -36,7 +49,7 @@ import gc
 from heapq import heappop
 from typing import Optional, Sequence
 
-from .events import EventQueue
+from .events import EventQueue, live_head
 from .flows import Connection
 from .simulator import (
     PRIO_ARRIVAL,
@@ -162,10 +175,8 @@ class BatchedFlowSimulator:
             ta = start_times[ia] if ia < na else _INF
             te = end_times[ie] if ie < ne else _INF
             tu = upd_times[iu] if iu < nu else _INF
-            while heap and heap[0][3].cancelled:
-                heappop(heap)
-            if heap:
-                head = heap[0]
+            head = live_head(heap)
+            if head is not None:
                 t_best = head[0]
                 p_best = head[1]
             else:

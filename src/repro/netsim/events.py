@@ -21,6 +21,27 @@ from typing import Callable, List, Optional, Tuple
 Action = Callable[[], None]
 
 
+def live_head(
+    heap: List[Tuple[float, int, int, "EventHandle"]]
+) -> Optional[Tuple[float, int, int, "EventHandle"]]:
+    """The heap's first non-cancelled item, sweeping dead heads off.
+
+    Cancelled entries stay in the heap until they surface (cancellation is
+    O(1), the sweep is amortized into the next peek); every consumer that
+    peeks at the head — the kernel's own run loops and the batched replay
+    driver's merge loop — must skip them identically, so the sweep lives
+    here rather than being re-derived at each call site.  Returns ``None``
+    when only cancelled entries remain.
+    """
+    pop = heapq.heappop
+    while heap:
+        head = heap[0]
+        if not head[3].cancelled:
+            return head
+        pop(heap)
+    return None
+
+
 class EventHandle:
     """One scheduled event: heap payload and cancellation handle in one.
 
@@ -94,12 +115,9 @@ class EventQueue:
         heap = self._heap
         pop = heapq.heappop
         bound = (time, priority)
-        while heap:
-            head = heap[0]
-            if head[3].cancelled:
-                pop(heap)
-                continue
-            if (head[0], head[1]) >= bound:
+        while True:
+            head = live_head(heap)
+            if head is None or (head[0], head[1]) >= bound:
                 break
             pop(heap)
             self.now = head[0]
@@ -110,17 +128,14 @@ class EventQueue:
         """Run all events with time <= ``end_time``; clock ends at end_time."""
         heap = self._heap
         pop = heapq.heappop
-        while heap:
-            time, _priority, _seq, entry = heap[0]
-            if entry.cancelled:
-                pop(heap)
-                continue
-            if time > end_time:
+        while True:
+            head = live_head(heap)
+            if head is None or head[0] > end_time:
                 break
             pop(heap)
-            self.now = time
+            self.now = head[0]
             self.processed += 1
-            entry.action()
+            head[3].action()
         self.now = max(self.now, end_time)
 
     def run(self, max_events: Optional[int] = None) -> int:

@@ -203,6 +203,37 @@ class TestReassignment:
         moved_causes = set(fleet._move_cause.values())
         assert moved_causes <= {CAUSE_REHASH, CAUSE_RACE}
 
+    def test_destination_crash_mid_window_aborts_cleanly(self):
+        # Regression: a reassignment whose destination crashes inside the
+        # 3-step window (announce at 20.05, drain, redirect at ~20.55;
+        # crash at 20.2) must roll back to the source instead of
+        # completing into a dead switch — the VIP stays served and the
+        # stragglers keep their pinned decisions.
+        cluster, fleet, conns = build(
+            num_switches=2, fleet_config=FleetConfig(replication=1)
+        )
+        sim = FlowSimulator(fleet)
+        sim.queue.schedule(20.0, lambda: fleet.request_reassign(0, 1), 1)
+        sim.queue.schedule(20.2, lambda: fleet.inject_switch_crash(1), 1)
+        sim.run(conns, horizon_s=60.0)
+        assert fleet.reassignments_started == 1
+        assert fleet.reassignments_aborted == 1
+        assert fleet.reassignments_completed == 0
+        # The source kept announcing; the VIP never went dark on it.
+        vip = cluster.services[0].vip
+        assert vip in fleet._slots[0].announced
+        assert fleet._tables.get(vip) is not None
+        # Flows that predate the window and outlive it stay on the source
+        # with their pinned version — no break from the aborted move.
+        spanning = [c for c in conns if c.start < 20.0 and c.end > 21.0]
+        assert spanning
+        assert not any(c.pcc_violated for c in spanning if c.vip == vip)
+        # Arrivals that raced onto the doomed destination are attributed.
+        report = audit_fleet(fleet, conns)
+        report.raise_if_failed()
+        assert report.unattributed_violations == 0
+        assert report.unattributed_drops == 0
+
 
 class TestAcceptanceSweep:
     def test_twenty_plans_zero_unattributed(self):

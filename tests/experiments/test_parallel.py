@@ -277,3 +277,123 @@ class TestFaultTolerance:
             params={"always_fail": True},
         )
         assert len(result.failed) == 2 and not result.ok
+
+    def test_worker_errors_counter_counts_every_failed_attempt(self):
+        # 2 shards x (1 attempt + 1 retry), all failing: 4 error attempts.
+        result = run_sharded(
+            "_crashy",
+            num_shards=2,
+            workers=1,
+            seed=1,
+            retries=1,
+            params={"always_fail": True},
+        )
+        assert result.registry.get("parallel.worker_errors_total").value == 4.0
+
+    def test_worker_errors_counter_zero_on_clean_run(self):
+        result = run_sharded("_crashy", num_shards=2, workers=1, seed=1)
+        assert result.registry.get("parallel.worker_errors_total").value == 0.0
+        assert result.registry.get("parallel.shards_failed_total").value == 0.0
+
+    def test_recovered_crash_still_counts_an_error(self, tmp_path):
+        marker = tmp_path / "crash-once"
+        result = run_sharded(
+            "_crashy",
+            num_shards=2,
+            workers=2,
+            seed=1,
+            params={"crash_once_marker": str(marker)},
+        )
+        assert not result.failed
+        assert result.registry.get("parallel.worker_errors_total").value == 1.0
+
+    def test_strict_mode_raises_with_the_shard_traceback(self):
+        with pytest.raises(RuntimeError) as excinfo:
+            run_sharded(
+                "_crashy",
+                num_shards=2,
+                workers=1,
+                seed=1,
+                params={"always_fail": True},
+                strict=True,
+            )
+        message = str(excinfo.value)
+        assert "2 shard(s) failed" in message
+        # The real traceback survives, not just a summary line.
+        assert "told to fail" in message
+        assert "RuntimeError" in message
+
+    def test_strict_mode_is_silent_on_success(self):
+        result = run_sharded(
+            "_crashy", num_shards=2, workers=1, seed=1, strict=True
+        )
+        assert result.ok
+
+    def test_failed_attempts_are_logged(self, caplog):
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.parallel"):
+            run_sharded(
+                "_crashy",
+                num_shards=1,
+                workers=1,
+                seed=1,
+                retries=0,
+                params={"always_fail": True},
+            )
+        assert any("told to fail" in r.message for r in caplog.records)
+
+
+class TestFleetCellSeeding:
+    """Fleet cells are seeded by content, not sweep position (the third
+    ISSUE bugfix): permuting the patterns tuple must not move any cell's
+    seeds, fingerprints or survival counters."""
+
+    FLEET_PARAMS = dict(
+        plans_per_pattern=2,
+        num_switches=2,
+        scale=0.03,
+        horizon_s=10.0,
+        warmup_s=2.0,
+        faults_per_min=6.0,
+    )
+
+    def test_cell_identity_fixes_seeds_regardless_of_order(self):
+        forward = make_shards(
+            "fleet",
+            num_shards=2,
+            seed=9,
+            params=dict(self.FLEET_PARAMS, patterns=("crash", "partition")),
+        )
+        backward = make_shards(
+            "fleet",
+            num_shards=2,
+            seed=9,
+            params=dict(self.FLEET_PARAMS, patterns=("partition", "crash")),
+        )
+        cells = lambda specs: {
+            c for s in specs for c in s.param_dict()["cells"]
+        }
+        assert cells(forward) == cells(backward)
+        assert all(
+            s.param_dict()["base_seed"] == 9 for s in forward + backward
+        )
+
+    def test_pattern_permutation_preserves_fingerprint(self):
+        forward = run_sharded(
+            "fleet",
+            num_shards=2,
+            workers=1,
+            seed=9,
+            params=dict(self.FLEET_PARAMS, patterns=("crash", "partition")),
+        )
+        backward = run_sharded(
+            "fleet",
+            num_shards=2,
+            workers=1,
+            seed=9,
+            params=dict(self.FLEET_PARAMS, patterns=("partition", "crash")),
+        )
+        assert forward.fingerprint == backward.fingerprint
+        assert forward.counters == backward.counters
+        assert forward.audit.checks_run == backward.audit.checks_run
