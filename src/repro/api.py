@@ -1,0 +1,82 @@
+"""The stable programmatic surface of the reproduction.
+
+Everything scripts, notebooks and external tooling should import lives
+here under one explicit ``__all__``; the package internals stay free to
+move.  The facade groups:
+
+* **Systems** — :class:`SilkRoadSwitch` / :class:`SilkRoadConfig` and the
+  fleet (:class:`FleetSilkRoad`, :class:`FleetConfig`).
+* **Options** — :class:`DriverOptions` (batched vs scalar replay) and
+  :class:`ObsOptions` (flight recorder, timeline sampling), accepted by
+  every runner below.
+* **Runners** — seeded one-call harnesses: :func:`run_chaos` /
+  :func:`run_chaos_sharded` (single hardened switch under faults),
+  :func:`run_fleet` / :func:`run_fleet_sharded` (fleet failure domain),
+  :func:`run_fleet_partitioned` (space-partitioned single run), and
+  :func:`run_sharded` (generic derived-seed fan-out).
+* **Serving** — the long-lived mode: :class:`ServeConfig` /
+  :class:`ServeSession` (in-process), :class:`ControlServer` (HTTP), and
+  :func:`run_serve_script` (scripted end-to-end run).
+* **Audits** — :func:`audit_switch` / :func:`audit_fleet`, the
+  cross-table invariant + PCC-attribution checks every harness ends with.
+
+Import from here::
+
+    from repro.api import ServeConfig, run_serve_script
+    result = run_serve_script(ServeConfig(seed=7, chaos=True))
+    assert result.ok
+"""
+
+from __future__ import annotations
+
+from .core import SilkRoadConfig, SilkRoadSwitch
+from .core.verify import AuditReport, audit_switch
+from .deploy.fleet import (
+    FleetAuditReport,
+    FleetConfig,
+    FleetSilkRoad,
+    audit_fleet,
+)
+from .experiments.parallel import ShardedRunResult, run_fleet_partitioned, run_sharded
+from .faults.chaos import ChaosResult, run_chaos, run_chaos_sharded
+from .faults.fleet import FleetChaosResult, run_fleet, run_fleet_sharded
+from .options import DriverOptions, ObsOptions
+from .serve import (
+    ControlServer,
+    ServeConfig,
+    ServeScriptResult,
+    ServeSession,
+    run_serve_script,
+)
+
+__all__ = [
+    # systems
+    "SilkRoadConfig",
+    "SilkRoadSwitch",
+    "FleetConfig",
+    "FleetSilkRoad",
+    # options
+    "DriverOptions",
+    "ObsOptions",
+    # runners
+    "run_chaos",
+    "run_chaos_sharded",
+    "run_fleet",
+    "run_fleet_sharded",
+    "run_fleet_partitioned",
+    "run_sharded",
+    "ChaosResult",
+    "FleetChaosResult",
+    "ShardedRunResult",
+    # serving
+    "ServeConfig",
+    "ServeSession",
+    "ServeScriptResult",
+    "ControlServer",
+    "run_serve_script",
+    # audits
+    "audit_switch",
+    "audit_fleet",
+    "AuditReport",
+    "FleetAuditReport",
+]

@@ -35,6 +35,12 @@ Commands:
   the causal timeline behind every PCC violation (``--require-complete``
   exits non-zero unless every violation is attributed with recorder
   evidence; the CI gate).
+* ``serve`` — long-lived serving mode: a switch (or ``--fleet N``) fed by
+  a streaming flow source behind an HTTP control API (add/drain/remove a
+  DIP, change weights, reassign a VIP, scrape ``/metrics``).  By default
+  runs the scripted live DIP migration over real HTTP on the virtual
+  clock and audits the result (the CI serve smoke step);  ``--listen``
+  serves interactively instead, ``--wallclock`` self-paces time.
 """
 
 from __future__ import annotations
@@ -221,7 +227,7 @@ def _cmd_fleet_partitioned(args: argparse.Namespace, pattern: str) -> int:
             faults_per_min=args.faults_per_min,
             replication=args.replication,
             conn_budget=args.conn_budget,
-            batched=args.batched,
+            driver=_driver_options(args),
         )
 
     result = once(args.partition_workers)
@@ -282,7 +288,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             faults_per_min=args.faults_per_min,
             replication=args.replication,
             conn_budget=args.conn_budget,
-            batched=args.batched,
+            driver=_driver_options(args),
         )
 
     result = once(args.workers)
@@ -385,7 +391,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         horizon_s=args.horizon,
         updates_per_min=args.updates_per_min,
         faults_per_min=args.faults_per_min,
-        batched=args.batched,
+        driver=_driver_options(args),
     )
     print(result.summary())
     if args.check_determinism:
@@ -398,7 +404,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             horizon_s=args.horizon,
             updates_per_min=args.updates_per_min,
             faults_per_min=args.faults_per_min,
-            batched=not args.batched,
+            driver=_driver_options(args, batched=not args.batched),
         )
         if again.fingerprint != result.fingerprint:
             print("FAIL: same-seed runs diverged", file=sys.stderr)
@@ -428,7 +434,7 @@ def _cmd_chaos_sharded(args: argparse.Namespace) -> int:
             horizon_s=args.horizon,
             updates_per_min=args.updates_per_min,
             faults_per_min=args.faults_per_min,
-            batched=args.batched,
+            driver=_driver_options(args),
         )
 
     result = once()
@@ -445,7 +451,7 @@ def _cmd_chaos_sharded(args: argparse.Namespace) -> int:
             horizon_s=args.horizon,
             updates_per_min=args.updates_per_min,
             faults_per_min=args.faults_per_min,
-            batched=args.batched,
+            driver=_driver_options(args),
         )
         if again.fingerprint != result.fingerprint:
             print("FAIL: same-seed sharded runs diverged", file=sys.stderr)
@@ -475,18 +481,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         params["num_vips"] = args.num_vips
     if args.systems is not None and args.task == "fig16":
         params["systems"] = tuple(args.systems.split(","))
-    if args.timeline:
-        params["timeline_period_s"] = args.timeline_period
-    if args.record:
-        params["record"] = True
-    if not args.batched:
-        params["batched"] = False
     result = run_sharded(
         args.task,
         num_shards=args.num_shards,
         workers=args.workers,
         seed=seed,
         params=params,
+        driver=_driver_options(args),
+        obs=_obs_options(
+            record=args.record,
+            timeline_period_s=args.timeline_period if args.timeline else None,
+        ),
     )
     print(result.summary())
     if result.timeline is not None:
@@ -545,8 +550,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         horizon_s=args.horizon,
         updates_per_min=args.updates_per_min,
         faults_per_min=args.faults_per_min,
-        record=True,
-        timeline_period_s=args.period,
+        obs=_obs_options(record=True, timeline_period_s=args.period),
     )
     print(result.summary())
     recorder = result.recorder
@@ -601,7 +605,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         updates_per_min=args.updates_per_min,
         faults_per_min=args.faults_per_min,
         config=config,
-        record=True,
+        obs=_obs_options(record=True),
     )
     stories = explain_violations(
         result.switch, result.connections, recorder=result.recorder
@@ -647,13 +651,92 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import ServeConfig
+
+    if args.wallclock and args.listen is None:
+        print("--wallclock requires --listen", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        seed=args.seed,
+        scale=args.scale,
+        num_switches=args.fleet,
+        chaos=args.chaos,
+        faults_per_min=args.faults_per_min,
+        driver=_driver_options(args),
+        obs=_obs_options(record=args.record),
+        wallclock=args.wallclock,
+    )
+
+    if args.listen is not None:
+        # Interactive mode: serve the control API until POST /shutdown.
+        import asyncio
+
+        from .serve import ControlServer, ServeSession
+
+        async def serve() -> int:
+            session = ServeSession(config)
+            server = ControlServer(session, host=args.host, port=args.listen)
+            await server.start()
+            clock = "wallclock" if args.wallclock else "virtual (POST /advance)"
+            print(
+                f"serving on http://{server.host}:{server.port} "
+                f"[{clock} clock, "
+                f"{'fleet of ' + str(args.fleet) if args.fleet > 1 else 'single switch'}"
+                f"{', chaos' if args.chaos else ''}]; POST /shutdown to stop"
+            )
+            await server.wait_shutdown()
+            return 0
+
+        return asyncio.run(serve())
+
+    # Scripted mode: drive the default live-migration script (or a JSON
+    # op list) over real HTTP, then audit.
+    from .serve import run_serve_script
+
+    script = None
+    if args.script is not None:
+        with open(args.script) as fh:
+            script = json.load(fh)
+    result = run_serve_script(config, script)
+    report = result.report
+    print(
+        f"serve[{args.seed}]: {report['total_connections']} connections, "
+        f"{report['mutations']} mutations over {report['advances']} advances, "
+        f"{report['pcc_violations']} PCC violations "
+        f"({report['unattributed_violations']} unattributed), "
+        f"audit {'ok' if report['audit_ok'] else 'FAILED'}"
+    )
+    if args.check_determinism:
+        again = run_serve_script(config, script)
+        if again.fingerprint != result.fingerprint:
+            print("FAIL: same-script serve runs diverged", file=sys.stderr)
+            return 1
+        print(f"determinism ok (fingerprint {result.fingerprint[:16]})")
+    if args.telemetry_out:
+        with open(args.telemetry_out, "w") as fh:
+            fh.write(result.telemetry)
+        print(f"wrote {args.telemetry_out}")
+    if args.fingerprint_out:
+        with open(args.fingerprint_out, "w") as fh:
+            fh.write(result.fingerprint + "\n")
+    if not result.ok:
+        print(str(report.get("audit_detail", "audit failed")), file=sys.stderr)
+        return 1
+    return 0
+
+
 def _add_driver_flags(parser: argparse.ArgumentParser) -> None:
     """``--batched`` / ``--scalar``: which replay driver to use.
 
     Batched (the default) is the chunked-arrival
     :class:`~repro.netsim.batchsim.BatchedFlowSimulator`; ``--scalar``
     selects the event-at-a-time oracle.  Results are bit-identical either
-    way — the flag trades speed for the simpler driver.
+    way — the flag trades speed for the simpler driver.  Commands turn
+    the parsed flags into a :class:`repro.options.DriverOptions` via
+    :func:`_driver_options` rather than threading the loose boolean.
     """
     group = parser.add_mutually_exclusive_group()
     group.add_argument(
@@ -669,6 +752,22 @@ def _add_driver_flags(parser: argparse.ArgumentParser) -> None:
         action="store_false",
         help="scalar event-at-a-time oracle driver",
     )
+
+
+def _driver_options(args: argparse.Namespace, batched: Optional[bool] = None):
+    """The :class:`~repro.options.DriverOptions` the parsed flags selected."""
+    from .options import DriverOptions
+
+    return DriverOptions(batched=args.batched if batched is None else batched)
+
+
+def _obs_options(
+    record: bool = False, timeline_period_s: Optional[float] = None
+):
+    """An :class:`~repro.options.ObsOptions` for a CLI-requested run."""
+    from .options import ObsOptions
+
+    return ObsOptions(record=record, timeline_period_s=timeline_period_s)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -948,6 +1047,61 @@ def build_parser() -> argparse.ArgumentParser:
         "recorder evidence (the CI gate)",
     )
     p_explain.set_defaults(fn=_cmd_explain)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived serving mode with an online HTTP control API",
+    )
+    p_serve.add_argument("--seed", type=int, default=7)
+    p_serve.add_argument("--scale", type=float, default=0.05)
+    p_serve.add_argument(
+        "--fleet",
+        type=int,
+        default=1,
+        metavar="N",
+        help="number of switches (1 = single switch, >1 = fleet)",
+    )
+    p_serve.add_argument(
+        "--chaos", action="store_true", help="attach the seeded fault injector"
+    )
+    p_serve.add_argument("--faults-per-min", type=float, default=30.0)
+    p_serve.add_argument(
+        "--script",
+        metavar="FILE",
+        help="JSON op list to run over HTTP (default: the live DIP "
+        "migration script)",
+    )
+    p_serve.add_argument(
+        "--listen",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve the control API interactively on PORT (0 = ephemeral) "
+        "instead of running a script",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--wallclock",
+        action="store_true",
+        help="pace time from the wallclock (requires --listen; scripts "
+        "use the deterministic virtual clock)",
+    )
+    p_serve.add_argument(
+        "--record", action="store_true", help="attach the flight recorder"
+    )
+    p_serve.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="run the script twice and require identical fingerprints",
+    )
+    p_serve.add_argument(
+        "--telemetry-out", metavar="FILE", help="write the JSONL telemetry dump"
+    )
+    p_serve.add_argument(
+        "--fingerprint-out", metavar="FILE", help="write the final fingerprint"
+    )
+    _add_driver_flags(p_serve)
+    p_serve.set_defaults(fn=_cmd_serve)
 
     return parser
 

@@ -213,6 +213,30 @@ class DipPoolTable:
                 return version
         return self._create_version(state, current_pool.with_added(dip))
 
+    def set_weight(self, vip: VirtualIP, dip: DirectIP, weight: int) -> int:
+        """Give ``dip`` ``weight`` slot copies in a *new* current version.
+
+        Weighted selection is plain slot replication: a DIP holding
+        ``weight`` of the pool's slots receives that share of new
+        connections.  The change always lands in a fresh version (never a
+        patched one) because it alters the slot layout, not just one
+        vacated position — connections pinned to older versions keep
+        their mapping.  A no-op (the DIP already holds ``weight`` slots)
+        returns the current version without allocating.
+        """
+        if weight < 1:
+            raise ValueError("weight must be >= 1")
+        state = self._state(vip)
+        assert state.current is not None
+        current_pool = state.pools[state.current]
+        have = sum(1 for d in current_pool.slots if d == dip)
+        if have == 0:
+            raise KeyError(f"{dip} not in current pool of {vip}")
+        if have == weight:
+            return state.current
+        slots = tuple(d for d in current_pool.slots if d != dip) + (dip,) * weight
+        return self._create_version(state, DipPool(slots))
+
     # ------------------------------------------------------------------
     # Data-plane reads
     # ------------------------------------------------------------------

@@ -42,7 +42,10 @@ class Phase(enum.Enum):
 class _VipUpdate:
     phase: Phase = Phase.IDLE
     active: Optional[UpdateEvent] = None
-    queued: Deque[UpdateEvent] = field(default_factory=deque)
+    #: queued (event, on_finished) pairs behind the active update.
+    queued: Deque = field(default_factory=deque)
+    #: completion callback for the active update (fired at t_finish).
+    on_finished: Optional[Callable] = None
     awaiting_exec: Set[bytes] = field(default_factory=set)
     marked: Set[bytes] = field(default_factory=set)
     t_req: float = 0.0
@@ -191,22 +194,39 @@ class UpdateCoordinator:
     # Operator-facing
     # ------------------------------------------------------------------
 
-    def request(self, event: UpdateEvent) -> None:
-        """An operator requests a DIP-pool update (t_req if idle)."""
+    def request(
+        self,
+        event: UpdateEvent,
+        on_finished: Optional[Callable[[VirtualIP, UpdateTimings], None]] = None,
+    ) -> None:
+        """An operator requests a DIP-pool update (t_req if idle).
+
+        ``on_finished``, when given, is called as ``on_finished(vip,
+        timings)`` once *this* update reaches ``t_finish`` — after the
+        switch's own finish hook ran, before the next queued update
+        begins.  The serving mode's admin-initiated drains use it to
+        track completion precisely instead of polling the phase.
+        """
         self.updates_requested += 1
         if self._m_requested is not None:
             self._m_requested.value += 1.0
         state = self._state(event.vip)
         if state.phase is not Phase.IDLE:
-            state.queued.append(event)
+            state.queued.append((event, on_finished))
             if self._m_queued is not None:
                 self._m_queued.value += 1.0
             return
-        self._begin(state, event)
+        self._begin(state, event, on_finished)
 
-    def _begin(self, state: _VipUpdate, event: UpdateEvent) -> None:
+    def _begin(
+        self,
+        state: _VipUpdate,
+        event: UpdateEvent,
+        on_finished: Optional[Callable] = None,
+    ) -> None:
         state.phase = Phase.STEP1
         state.active = event
+        state.on_finished = on_finished
         state.t_req = self._now()
         state.awaiting_exec = set(self._pending_keys(event.vip))
         state.marked = set()
@@ -360,6 +380,11 @@ class UpdateCoordinator:
             span.finish(t_finish)
         state.phase = Phase.IDLE
         state.active = None
+        callback = state.on_finished
+        state.on_finished = None
         self._finish(vip)
+        if callback is not None:
+            callback(vip, timing)
         if state.queued:
-            self._begin(state, state.queued.popleft())
+            next_event, next_callback = state.queued.popleft()
+            self._begin(state, next_event, next_callback)

@@ -426,11 +426,24 @@ class SilkRoadSwitch(LoadBalancer):
             )
         return True
 
-    def apply_update(self, event: UpdateEvent) -> None:
+    def apply_update(
+        self,
+        event: UpdateEvent,
+        on_finished: Optional[Callable[[VirtualIP, object], None]] = None,
+    ) -> None:
+        """Request a DIP-pool update.
+
+        ``on_finished``, when given, fires once the update reaches
+        ``t_finish`` (immediately in the no-TransitTable ablation, where
+        updates execute in one step) — the hook the serving mode's
+        admin-initiated drains use to track completion without polling.
+        """
         if self.config.use_transit_table:
-            self.coordinator.request(event)
+            self.coordinator.request(event, on_finished=on_finished)
         else:
             self._execute_update(event)
+            if on_finished is not None:
+                on_finished(event.vip, None)
 
     def finalize(self) -> None:
         # Cancel the armed timeout poll first: the flush below empties the
@@ -440,6 +453,33 @@ class SilkRoadSwitch(LoadBalancer):
         batch = self.learning.flush(self.queue.now)
         if batch is not None:
             self._deliver_batch(batch)
+
+    # ------------------------------------------------------------------
+    # Introspection (control API / serving mode)
+    # ------------------------------------------------------------------
+
+    def current_dips(self, vip: VirtualIP) -> Tuple[DirectIP, ...]:
+        """Distinct DIPs in the VIP's *current* pool version, slot order."""
+        version = self.dip_pools.current_version(vip)
+        seen: Dict[DirectIP, None] = {}
+        for dip in self.dip_pools.pool(vip, version).slots:
+            seen.setdefault(dip, None)
+        return tuple(seen)
+
+    def dip_weight(self, vip: VirtualIP, dip: DirectIP) -> int:
+        """Slot multiplicity of ``dip`` in the current pool (0 if absent)."""
+        version = self.dip_pools.current_version(vip)
+        return sum(1 for d in self.dip_pools.pool(vip, version).slots if d == dip)
+
+    def live_connections_on(self, vip: VirtualIP, dip: DirectIP) -> int:
+        """Live connections currently mapped to ``(vip, dip)``.
+
+        Ended connections leave the index immediately, so a drained DIP
+        reads 0 exactly when its last pinned connection finishes — the
+        signal the serving mode's drain-completion check polls.
+        """
+        bucket = self._conns_on.get((vip, dip))
+        return len(bucket) if bucket else 0
 
     # ------------------------------------------------------------------
     # Admission: version decision for a brand-new connection (Figure 10)
@@ -582,8 +622,13 @@ class SilkRoadSwitch(LoadBalancer):
         vip = event.vip
         old_version = self.dip_pools.current_version(vip)
         try:
-            if event.kind is UpdateKind.REMOVE:
+            if event.kind is UpdateKind.REMOVE or event.kind is UpdateKind.DRAIN:
                 new_version = self.dip_pools.remove_dip(vip, event.dip)
+            elif event.kind is UpdateKind.WEIGHT:
+                new_version = self.dip_pools.set_weight(vip, event.dip, event.weight)
+                if new_version == old_version:
+                    # Weight already matches: nothing transitions.
+                    return
             else:
                 new_version = self.dip_pools.add_dip(vip, event.dip)
         except VersionsExhausted:
@@ -625,7 +670,11 @@ class SilkRoadSwitch(LoadBalancer):
         now = self.queue.now
         if self.recorder is not None:
             self.recorder.record(now, "update", "t_finish", vip=str(vip))
-        self.vip_table.end_transition(vip)
+        # A weight no-op (or a version-exhausted execute) never began a
+        # transition: there is no old version to drop, but the update's
+        # marks still evict and the pending-state flags still clear.
+        if self.vip_table.lookup(vip).in_transition:
+            self.vip_table.end_transition(vip)
         # Evict exactly this update's marks: overlapping updates of other
         # VIPs keep theirs, but no stale bit outlives its own update.
         self.transit.update_finished(self._transit_update_ids.pop(vip, None))

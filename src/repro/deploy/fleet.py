@@ -723,10 +723,17 @@ class FleetSilkRoad(LoadBalancer):
         pool = self._pools.get(vip)
         if pool is None:
             return
-        if event.kind is UpdateKind.REMOVE:
+        if event.kind is UpdateKind.REMOVE or event.kind is UpdateKind.DRAIN:
             if event.dip not in pool:
                 return
             pool.remove(event.dip)
+        elif event.kind is UpdateKind.WEIGHT:
+            # Membership is unchanged; the weighted slot layout is a
+            # per-switch pool-version property.  (A later re-announce —
+            # e.g. a reassignment's step 1 — rebuilds the pool from this
+            # membership mirror and therefore resets weights to 1.)
+            if event.dip not in pool:
+                return
         else:
             if event.dip in pool:
                 return
@@ -747,6 +754,45 @@ class FleetSilkRoad(LoadBalancer):
         for slot in self._slots:
             if slot.dataplane_up and slot.announced:
                 slot.switch.finalize()
+
+    # ------------------------------------------------------------------
+    # Introspection (control API / serving mode)
+    # ------------------------------------------------------------------
+
+    def current_dips(self, vip: VirtualIP) -> Tuple[DirectIP, ...]:
+        """The fleet's membership mirror for ``vip`` (announce order)."""
+        pool = self._pools.get(vip)
+        if pool is None:
+            raise KeyError(f"VIP not announced: {vip}")
+        return tuple(pool)
+
+    def live_connections_on(self, vip: VirtualIP, dip: DirectIP) -> int:
+        """Live connections mapped to ``(vip, dip)`` across the fleet."""
+        return sum(
+            slot.switch.live_connections_on(vip, dip)
+            for slot in self._slots
+            if slot.dataplane_up
+        )
+
+    def assigned_switches(self, vip: VirtualIP) -> List[int]:
+        """Indices of the switches assigned to announce ``vip``."""
+        indices = self._assignment.get(vip)
+        if indices is None:
+            raise KeyError(f"VIP not announced: {vip}")
+        return list(indices)
+
+    def switch_status(self) -> List[Dict[str, object]]:
+        """Per-switch control-plane view (the serve API's fleet state)."""
+        return [
+            {
+                "index": i,
+                "dataplane_up": slot.dataplane_up,
+                "in_ecmp": slot.in_ecmp,
+                "synced": slot.synced,
+                "announced_vips": len(slot.announced),
+            }
+            for i, slot in enumerate(self._slots)
+        ]
 
     # ------------------------------------------------------------------
     # Fault surface (driven by repro.faults.fleet)

@@ -35,7 +35,7 @@ import os
 import sys
 import traceback
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..asicsim.hashing import base_hash, mix64
@@ -44,6 +44,7 @@ from ..core.verify import AuditReport, audit_switch
 from ..obs.metrics import Gauge, Histogram, MetricRegistry
 from ..obs.recorder import DEFAULT_RING_SIZE, FlightRecorder
 from ..obs.timeline import Timeline, TimelineSampler
+from ..options import DriverOptions, ObsOptions, UNSET, resolve_options
 
 __all__ = [
     "FailedShard",
@@ -200,6 +201,7 @@ def _make_attach(
     record: bool,
     samplers: List[TimelineSampler],
     recorders: List[FlightRecorder],
+    record_capacity: int = DEFAULT_RING_SIZE,
 ):
     """Build the ``replay(attach=...)`` hook instrumenting one replay.
 
@@ -215,7 +217,9 @@ def _make_attach(
     if timeline_period_s is None and not record:
         return None
     recorder = (
-        FlightRecorder(source=f"s{spec.shard_id}.{scope}") if record else None
+        FlightRecorder(capacity=record_capacity, source=f"s{spec.shard_id}.{scope}")
+        if record
+        else None
     )
 
     def attach(sim, lb) -> None:
@@ -231,6 +235,31 @@ def _make_attach(
             samplers.append(sampler)
 
     return attach
+
+
+def _shard_options(p: Dict[str, object]) -> Tuple[DriverOptions, ObsOptions]:
+    """Decode a shard's driver/obs options from its frozen params.
+
+    Shard params stay flat primitives (they cross the spawn pickle
+    boundary inside :class:`ShardSpec`); this is the one place the scalar
+    keys turn back into the public options dataclasses.  Missing keys get
+    the dataclass defaults, so specs frozen before the options existed
+    replay identically.
+    """
+    timeline_period = p.get("timeline_period_s")
+    return (
+        DriverOptions(
+            batched=bool(p.get("batched", True)),
+            batch_size=int(p.get("batch_size", 256)),
+        ),
+        ObsOptions(
+            record=bool(p.get("record", False)),
+            record_capacity=int(p.get("record_capacity", DEFAULT_RING_SIZE)),
+            timeline_period_s=(
+                float(timeline_period) if timeline_period is not None else None
+            ),
+        ),
+    )
 
 
 def _run_fig16_shard(spec: ShardSpec) -> ShardResult:
@@ -260,11 +289,10 @@ def _run_fig16_shard(spec: ShardSpec) -> ShardResult:
     factories = fig16.default_systems(
         insertion_rate_per_s=float(p.get("insertion_rate_per_s", 20_000.0))
     )
+    driver, obs = _shard_options(p)
     registry = _shard_registry(spec)
     audit = AuditReport()
     counters: Dict[str, float] = {}
-    timeline_period = p.get("timeline_period_s")
-    record = bool(p.get("record", False))
     samplers: List[TimelineSampler] = []
     recorders: List[FlightRecorder] = []
     for name in systems:
@@ -272,13 +300,17 @@ def _run_fig16_shard(spec: ShardSpec) -> ShardResult:
             spec,
             name,
             workload.horizon_s,
-            timeline_period,
-            record,
+            obs.timeline_period_s,
+            obs.record,
             samplers,
             recorders,
+            record_capacity=obs.record_capacity,
         )
         report, conns, lb = workload.replay(
-            factories[name], attach=attach, batched=bool(p.get("batched", True))
+            factories[name],
+            attach=attach,
+            batched=driver.batched,
+            batch_size=driver.batch_size,
         )
         scope = registry.scope(name)
         scope.counter(
@@ -316,11 +348,10 @@ def _run_fig18_shard(spec: ShardSpec) -> ShardResult:
     from .common import build_workload, silkroad_factory
 
     p = spec.param_dict()
+    driver, obs = _shard_options(p)
     registry = _shard_registry(spec)
     audit = AuditReport()
     counters: Dict[str, float] = {}
-    timeline_period = p.get("timeline_period_s")
-    record = bool(p.get("record", False))
     samplers: List[TimelineSampler] = []
     recorders: List[FlightRecorder] = []
     for cell_index, size, timeout_s in p["cells"]:
@@ -346,13 +377,17 @@ def _run_fig18_shard(spec: ShardSpec) -> ShardResult:
             spec,
             cell,
             workload.horizon_s,
-            timeline_period,
-            record,
+            obs.timeline_period_s,
+            obs.record,
             samplers,
             recorders,
+            record_capacity=obs.record_capacity,
         )
         report, conns, lb = workload.replay(
-            factory, attach=attach, batched=bool(p.get("batched", True))
+            factory,
+            attach=attach,
+            batched=driver.batched,
+            batch_size=driver.batch_size,
         )
         scope = registry.scope(cell)
         scope.counter(
@@ -380,7 +415,7 @@ def _run_chaos_shard(spec: ShardSpec) -> ShardResult:
     from ..faults.chaos import run_chaos
 
     p = spec.param_dict()
-    timeline_period = p.get("timeline_period_s")
+    driver, obs = _shard_options(p)
     result = run_chaos(
         seed=spec.seed,
         scale=float(p.get("scale", 0.05)),
@@ -388,12 +423,8 @@ def _run_chaos_shard(spec: ShardSpec) -> ShardResult:
         warmup_s=float(p.get("warmup_s", 2.0)),
         updates_per_min=float(p.get("updates_per_min", 60.0)),
         faults_per_min=float(p.get("faults_per_min", 30.0)),
-        record=bool(p.get("record", False)),
-        batched=bool(p.get("batched", True)),
-        record_source=f"s{spec.shard_id}.chaos",
-        timeline_period_s=(
-            float(timeline_period) if timeline_period is not None else None
-        ),
+        driver=driver,
+        obs=replace(obs, record_source=f"s{spec.shard_id}.chaos"),
     )
     registry = _shard_registry(spec)
     scope = registry.scope("chaos")
@@ -448,11 +479,10 @@ def _run_fleet_shard(spec: ShardSpec) -> ShardResult:
     from ..faults.fleet import run_fleet
 
     p = spec.param_dict()
+    driver, obs = _shard_options(p)
     registry = _shard_registry(spec)
     audit = AuditReport()
     counters: Dict[str, float] = {}
-    timeline_period = p.get("timeline_period_s")
-    record = bool(p.get("record", False))
     timelines: List[Timeline] = []
     recorders: List[FlightRecorder] = []
     base_seed = int(p.get("base_seed", spec.seed))
@@ -470,12 +500,8 @@ def _run_fleet_shard(spec: ShardSpec) -> ShardResult:
             faults_per_min=float(p.get("faults_per_min", 4.0)),
             replication=p.get("replication"),
             conn_budget=p.get("conn_budget"),
-            record=record,
-            record_source=f"s{spec.shard_id}.{cell}",
-            timeline_period_s=(
-                float(timeline_period) if timeline_period is not None else None
-            ),
-            batched=bool(p.get("batched", True)),
+            driver=driver,
+            obs=replace(obs, record_source=f"s{spec.shard_id}.{cell}"),
         )
         audit.merge(result.audit.audit, label=cell)
         audit.checks_run += 2
@@ -859,6 +885,8 @@ def run_sharded(
     retries: int = 1,
     params: Optional[Dict[str, object]] = None,
     strict: bool = False,
+    driver: Optional[DriverOptions] = None,
+    obs: Optional[ObsOptions] = None,
 ) -> ShardedRunResult:
     """Run one experiment as ``num_shards`` deterministic shards.
 
@@ -867,11 +895,24 @@ def run_sharded(
     produces byte-identical results to any parallel pool because the
     shard layout and merge order are fixed by ``num_shards`` alone.
 
+    ``driver``/``obs`` carry the shared replay-driver and observability
+    knobs; they are flattened into the shard params as the scalar keys the
+    shard bodies read (an explicit key already in ``params`` wins), so
+    :class:`ShardSpec` stays a picklable bag of primitives.
+
     Every failed attempt is logged and counted in
     ``parallel.worker_errors_total``; shards still failing after the
     retry budget land in ``result.failed`` — or, with ``strict=True``,
     raise :class:`RuntimeError` carrying every terminal traceback.
     """
+    if driver is not None or obs is not None:
+        driver, obs = resolve_options(driver, obs)
+        params = dict(params or {})
+        params.setdefault("batched", driver.batched)
+        params.setdefault("batch_size", driver.batch_size)
+        params.setdefault("record", obs.record)
+        params.setdefault("record_capacity", obs.record_capacity)
+        params.setdefault("timeline_period_s", obs.timeline_period_s)
     specs = make_shards(task, num_shards=num_shards, seed=seed, params=params)
     if workers is None:
         workers = min(num_shards, os.cpu_count() or 1)
@@ -1330,11 +1371,13 @@ def run_fleet_partitioned(
     config: Optional[object] = None,
     fleet_config: Optional[object] = None,
     plan: Optional[object] = None,
-    record: bool = False,
-    record_capacity: int = DEFAULT_RING_SIZE,
-    timeline_period_s: Optional[float] = None,
-    batched: bool = True,
-    batch_size: int = 256,
+    driver: Optional[DriverOptions] = None,
+    obs: Optional[ObsOptions] = None,
+    record=UNSET,
+    record_capacity=UNSET,
+    timeline_period_s=UNSET,
+    batched=UNSET,
+    batch_size=UNSET,
 ) -> FleetPartitionedResult:
     """One fleet chaos run, space-partitioned over ``partition_workers``.
 
@@ -1346,6 +1389,9 @@ def run_fleet_partitioned(
     test_partition.py).  ``in_process`` (default: ``partition_workers ==
     1``) runs the replicas sequentially in this process — same results,
     no pool — with digests cross-checked post-hoc instead of per epoch.
+    ``driver``/``obs`` are the public spelling of the replay/observability
+    knobs; the loose ``record=``/``batched=``/... kwargs still work but
+    emit a :class:`DeprecationWarning`.
     """
     from ..deploy.fleet import (
         FleetConfig,
@@ -1353,6 +1399,17 @@ def run_fleet_partitioned(
         partition_epoch_length,
     )
 
+    driver, obs = resolve_options(
+        driver,
+        obs,
+        legacy={
+            "record": record,
+            "record_capacity": record_capacity,
+            "timeline_period_s": timeline_period_s,
+            "batched": batched,
+            "batch_size": batch_size,
+        },
+    )
     owned_sets = partition_switches(num_switches, partition_workers)
     resolved_fleet_config = (
         fleet_config
@@ -1378,11 +1435,11 @@ def run_fleet_partitioned(
         "config": config,
         "fleet_config": fleet_config,
         "plan": plan,
-        "record": record,
-        "record_capacity": int(record_capacity),
-        "timeline_period_s": timeline_period_s,
-        "batched": bool(batched),
-        "batch_size": int(batch_size),
+        "record": obs.record,
+        "record_capacity": int(obs.record_capacity),
+        "timeline_period_s": obs.timeline_period_s,
+        "batched": bool(driver.batched),
+        "batch_size": int(driver.batch_size),
     }
     if in_process:
         partials = [

@@ -27,7 +27,8 @@ from ..core import SilkRoadConfig, SilkRoadSwitch
 from ..core.verify import AuditReport, audit_switch
 from ..experiments.common import PccWorkload, build_workload
 from ..netsim import Connection, SimulationReport
-from ..obs import DEFAULT_RING_SIZE, FlightRecorder, Timeline, TimelineSampler
+from ..obs import FlightRecorder, Timeline, TimelineSampler
+from ..options import DriverOptions, ObsOptions, UNSET, resolve_options
 from .injector import FaultInjector
 from .plan import FaultPlan
 
@@ -113,25 +114,43 @@ def run_chaos(
     config: Optional[SilkRoadConfig] = None,
     plan: Optional[FaultPlan] = None,
     workload: Optional[PccWorkload] = None,
-    record: bool = False,
-    record_capacity: int = DEFAULT_RING_SIZE,
-    record_source: str = "chaos",
-    timeline_period_s: Optional[float] = None,
-    batched: bool = True,
-    batch_size: int = 256,
+    driver: Optional[DriverOptions] = None,
+    obs: Optional[ObsOptions] = None,
+    record=UNSET,
+    record_capacity=UNSET,
+    record_source=UNSET,
+    timeline_period_s=UNSET,
+    batched=UNSET,
+    batch_size=UNSET,
 ) -> ChaosResult:
     """One fully seeded chaos run; see the module docstring.
 
-    ``record=True`` attaches a :class:`~repro.obs.FlightRecorder` to the
-    switch (exposed as ``result.recorder`` — the input ``repro explain``
-    joins against the audit).  ``timeline_period_s`` arms a
+    ``obs=ObsOptions(record=True)`` attaches a
+    :class:`~repro.obs.FlightRecorder` to the switch (exposed as
+    ``result.recorder`` — the input ``repro explain`` joins against the
+    audit); ``ObsOptions(timeline_period_s=...)`` arms a
     :class:`~repro.obs.TimelineSampler` over the switch's registry and
     exposes the sampled :class:`~repro.obs.Timeline` as
     ``result.timeline``.  Both are off by default and add nothing to the
-    hot path when off.  ``batched=False`` replays through the scalar
-    event-at-a-time oracle instead of the chunked-arrival driver; both
-    produce bit-identical results (tests/asicsim/test_differential.py).
+    hot path when off.  ``driver=DriverOptions(batched=False)`` replays
+    through the scalar event-at-a-time oracle instead of the
+    chunked-arrival driver; both produce bit-identical results
+    (tests/asicsim/test_differential.py).  The loose ``record=`` /
+    ``batched=`` / ... kwargs are the deprecated pre-options spelling;
+    they still work but emit a :class:`DeprecationWarning`.
     """
+    driver, obs = resolve_options(
+        driver,
+        obs,
+        legacy={
+            "record": record,
+            "record_capacity": record_capacity,
+            "record_source": record_source,
+            "timeline_period_s": timeline_period_s,
+            "batched": batched,
+            "batch_size": batch_size,
+        },
+    )
     if fault_seed is None:
         fault_seed = seed + 1000
     if workload is None:
@@ -153,24 +172,27 @@ def run_chaos(
     recorder: Optional[FlightRecorder] = None
     sampler: Optional[TimelineSampler] = None
     attach = None
-    if record or timeline_period_s is not None:
-        if record:
-            recorder = FlightRecorder(capacity=record_capacity, source=record_source)
+    if obs.record or obs.timeline_period_s is not None:
+        if obs.record:
+            recorder = FlightRecorder(
+                capacity=obs.record_capacity,
+                source=obs.resolved_source("chaos"),
+            )
 
         def attach(sim, lb):
             nonlocal sampler
             if recorder is not None:
                 lb.attach_recorder(recorder)
-            if timeline_period_s is not None:
-                sampler = TimelineSampler(lb.metrics, timeline_period_s)
+            if obs.timeline_period_s is not None:
+                sampler = TimelineSampler(lb.metrics, obs.timeline_period_s)
                 sampler.attach(sim.queue, horizon_s=workload.horizon_s)
 
     report, connections, switch = workload.replay(
         lambda: SilkRoadSwitch(config, name="silkroad-chaos"),
         faults=injector,
         attach=attach,
-        batched=batched,
-        batch_size=batch_size,
+        batched=driver.batched,
+        batch_size=driver.batch_size,
     )
     audit = audit_switch(switch, connections=connections)
     return ChaosResult(
@@ -196,9 +218,11 @@ def run_chaos_sharded(
     warmup_s: float = 2.0,
     updates_per_min: float = 60.0,
     faults_per_min: float = 30.0,
-    record: bool = False,
-    timeline_period_s: Optional[float] = None,
-    batched: bool = True,
+    driver: Optional[DriverOptions] = None,
+    obs: Optional[ObsOptions] = None,
+    record=UNSET,
+    timeline_period_s=UNSET,
+    batched=UNSET,
 ):
     """``num_shards`` independent chaos runs under derived seeds, merged.
 
@@ -211,6 +235,15 @@ def run_chaos_sharded(
     """
     from ..experiments.parallel import run_sharded
 
+    driver, obs = resolve_options(
+        driver,
+        obs,
+        legacy={
+            "record": record,
+            "timeline_period_s": timeline_period_s,
+            "batched": batched,
+        },
+    )
     return run_sharded(
         "chaos",
         num_shards=num_shards,
@@ -222,8 +255,7 @@ def run_chaos_sharded(
             "warmup_s": warmup_s,
             "updates_per_min": updates_per_min,
             "faults_per_min": faults_per_min,
-            "record": record,
-            "timeline_period_s": timeline_period_s,
-            "batched": batched,
         },
+        driver=driver,
+        obs=obs,
     )

@@ -34,6 +34,7 @@ from ..experiments.common import PccWorkload, build_workload
 from ..netsim import Connection, SimulationReport
 from ..netsim.simulator import PRIO_INTERNAL
 from ..obs import DEFAULT_RING_SIZE, FlightRecorder, Timeline, TimelineSampler
+from ..options import DriverOptions, ObsOptions, UNSET, resolve_options
 
 
 class FleetFaultKind(Enum):
@@ -421,14 +422,33 @@ def run_fleet(
     fleet_config: Optional[FleetConfig] = None,
     plan: Optional[FleetFaultPlan] = None,
     workload: Optional[PccWorkload] = None,
-    record: bool = False,
-    record_capacity: int = DEFAULT_RING_SIZE,
-    record_source: str = "fleet",
-    timeline_period_s: Optional[float] = None,
-    batched: bool = True,
-    batch_size: int = 256,
+    driver: Optional[DriverOptions] = None,
+    obs: Optional[ObsOptions] = None,
+    record=UNSET,
+    record_capacity=UNSET,
+    record_source=UNSET,
+    timeline_period_s=UNSET,
+    batched=UNSET,
+    batch_size=UNSET,
 ) -> FleetChaosResult:
-    """One fully seeded fleet chaos run; see the module docstring."""
+    """One fully seeded fleet chaos run; see the module docstring.
+
+    ``driver``/``obs`` are the public replay/observability knobs (see
+    :mod:`repro.options`); the loose ``record=``/``batched=``/... kwargs
+    are deprecated but still honoured.
+    """
+    driver, obs = resolve_options(
+        driver,
+        obs,
+        legacy={
+            "record": record,
+            "record_capacity": record_capacity,
+            "record_source": record_source,
+            "timeline_period_s": timeline_period_s,
+            "batched": batched,
+            "batch_size": batch_size,
+        },
+    )
     workload, plan, config, fleet_config, fault_seed = resolve_fleet_run(
         seed=seed,
         fault_seed=fault_seed,
@@ -451,16 +471,19 @@ def run_fleet(
     recorder: Optional[FlightRecorder] = None
     sampler: Optional[TimelineSampler] = None
     attach = None
-    if record or timeline_period_s is not None:
-        if record:
-            recorder = FlightRecorder(capacity=record_capacity, source=record_source)
+    if obs.record or obs.timeline_period_s is not None:
+        if obs.record:
+            recorder = FlightRecorder(
+                capacity=obs.record_capacity,
+                source=obs.resolved_source("fleet"),
+            )
 
         def attach(sim, lb):
             nonlocal sampler
             if recorder is not None:
                 lb.attach_recorder(recorder)
-            if timeline_period_s is not None:
-                sampler = TimelineSampler(lb.metrics, timeline_period_s)
+            if obs.timeline_period_s is not None:
+                sampler = TimelineSampler(lb.metrics, obs.timeline_period_s)
                 sampler.attach(sim.queue, horizon_s=workload.horizon_s)
 
     report, connections, fleet = workload.replay(
@@ -471,8 +494,8 @@ def run_fleet(
         ),
         faults=injector,
         attach=attach,
-        batched=batched,
-        batch_size=batch_size,
+        batched=driver.batched,
+        batch_size=driver.batch_size,
     )
     audit = audit_fleet(fleet, connections)
     return FleetChaosResult(
@@ -504,9 +527,11 @@ def run_fleet_sharded(
     faults_per_min: float = 4.0,
     replication: Optional[int] = None,
     conn_budget: Optional[int] = None,
-    record: bool = False,
-    timeline_period_s: Optional[float] = None,
-    batched: bool = True,
+    driver: Optional[DriverOptions] = None,
+    obs: Optional[ObsOptions] = None,
+    record=UNSET,
+    timeline_period_s=UNSET,
+    batched=UNSET,
 ):
     """The survival sweep: ``patterns × plans_per_pattern`` fleet runs,
     sharded over a process pool and merged.
@@ -519,6 +544,15 @@ def run_fleet_sharded(
     """
     from ..experiments.parallel import run_sharded
 
+    driver, obs = resolve_options(
+        driver,
+        obs,
+        legacy={
+            "record": record,
+            "timeline_period_s": timeline_period_s,
+            "batched": batched,
+        },
+    )
     return run_sharded(
         "fleet",
         num_shards=num_shards,
@@ -535,8 +569,7 @@ def run_fleet_sharded(
             "faults_per_min": faults_per_min,
             "replication": replication,
             "conn_budget": conn_budget,
-            "record": record,
-            "timeline_period_s": timeline_period_s,
-            "batched": batched,
         },
+        driver=driver,
+        obs=obs,
     )

@@ -31,10 +31,26 @@ from .packet import DirectIP, VirtualIP
 
 
 class UpdateKind(enum.Enum):
-    """A DIP-pool update is an addition or a removal of one DIP."""
+    """One DIP-pool change.
+
+    The generated update streams (§3.1) only use ``ADD`` and ``REMOVE``;
+    the serving mode (:mod:`repro.serve`) adds two operator-initiated
+    kinds:
+
+    * ``DRAIN`` — a *graceful* removal: the DIP leaves the current pool
+      (new connections stop landing on it) but the server stays up, so
+      connections pinned to older pool versions keep flowing until they
+      end naturally.  ``REMOVE`` models the server dying — it breaks the
+      connections currently mapped to the DIP.
+    * ``WEIGHT`` — change a DIP's share of new connections by replicating
+      its slot in a *new* pool version (``UpdateEvent.weight`` copies);
+      existing versions are immutable, so pinned connections never move.
+    """
 
     ADD = "add"
     REMOVE = "remove"
+    DRAIN = "drain"
+    WEIGHT = "weight"
 
 
 class RootCause(enum.Enum):
@@ -105,6 +121,8 @@ class UpdateEvent:
     kind: UpdateKind
     dip: DirectIP
     cause: RootCause = RootCause.UPGRADE
+    #: Slot copies for ``WEIGHT`` updates; ignored by every other kind.
+    weight: int = 1
 
     def __str__(self) -> str:
         return f"[{self.time:9.3f}] {self.kind.value:6s} {self.dip} @ {self.vip} ({self.cause.value})"

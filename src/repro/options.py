@@ -1,0 +1,146 @@
+"""Shared runner options: replay-driver and observability knobs.
+
+Every batch runner (``run_chaos``, ``run_fleet``, their sharded variants,
+``run_fleet_partitioned``, ``run_sharded``) and the serving mode accept
+the same two axes of configuration:
+
+* :class:`DriverOptions` — which replay driver executes arrivals
+  (chunked-arrival batched vs the scalar event-at-a-time oracle) and the
+  chunk size.
+* :class:`ObsOptions` — the optional time-resolved observability layer
+  (flight recorder ring, timeline sampling period).
+
+Historically each runner grew its own copy of these as loose keyword
+arguments (``batched=``, ``record=``, ``timeline_period_s=``, ...).  The
+dataclasses are now the one public spelling; the legacy kwargs still work
+through :func:`resolve_options` but emit a :class:`DeprecationWarning`.
+Defaults are chosen so that resolving with nothing passed reproduces the
+historical behaviour bit-for-bit (same fingerprints).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+#: Default flight-recorder ring capacity (mirrors ``repro.obs.recorder``;
+#: duplicated here as a plain int so importing options stays dependency-free).
+DEFAULT_RECORD_CAPACITY = 65536
+
+
+class _Unset:
+    """Sentinel for 'legacy kwarg not passed' (distinct from None)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class DriverOptions:
+    """Replay-driver selection, shared by every runner and the serve loop.
+
+    ``batched`` picks the chunked-arrival driver (the default; bit-identical
+    to the scalar oracle, see tests/asicsim/test_differential.py);
+    ``batch_size`` caps the arrivals fused per chunk.
+    """
+
+    batched: bool = True
+    batch_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+
+@dataclass(frozen=True)
+class ObsOptions:
+    """Optional time-resolved observability, shared by every runner.
+
+    ``record`` attaches a :class:`~repro.obs.FlightRecorder` (ring of
+    ``record_capacity`` events, tagged ``record_source``);
+    ``timeline_period_s`` arms a :class:`~repro.obs.TimelineSampler` on
+    the run's registry.  ``record_source=None`` means "the runner's own
+    default" ("chaos" for chaos runs, "fleet" for fleet runs, "serve" for
+    the serving mode), so untouched defaults keep historical fingerprints.
+    """
+
+    record: bool = False
+    record_capacity: int = DEFAULT_RECORD_CAPACITY
+    record_source: Optional[str] = None
+    timeline_period_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.record_capacity < 1:
+            raise ValueError("record_capacity must be >= 1")
+        if self.timeline_period_s is not None and self.timeline_period_s <= 0:
+            raise ValueError("timeline_period_s must be positive")
+
+    def resolved_source(self, default: str) -> str:
+        """The recorder source tag, with the runner's default applied."""
+        return self.record_source if self.record_source is not None else default
+
+
+#: Which legacy kwarg maps onto which options field.
+_DRIVER_FIELDS = ("batched", "batch_size")
+_OBS_FIELDS = ("record", "record_capacity", "record_source", "timeline_period_s")
+
+
+def resolve_options(
+    driver: Optional[DriverOptions],
+    obs: Optional[ObsOptions],
+    legacy: Optional[Dict[str, object]] = None,
+    stacklevel: int = 3,
+) -> Tuple[DriverOptions, ObsOptions]:
+    """Fold deprecated loose kwargs into ``(DriverOptions, ObsOptions)``.
+
+    ``legacy`` maps legacy kwarg names to their passed values, with
+    :data:`UNSET` marking "caller did not pass this".  Any actually-passed
+    legacy kwarg emits one :class:`DeprecationWarning` and overrides the
+    corresponding options field, so old call sites keep producing
+    bit-identical results while they migrate.
+    """
+    resolved_driver = driver if driver is not None else DriverOptions()
+    resolved_obs = obs if obs is not None else ObsOptions()
+    if legacy:
+        passed = {
+            name: value
+            for name, value in legacy.items()
+            if not isinstance(value, _Unset)
+        }
+        if passed:
+            warnings.warn(
+                "legacy driver/observability kwargs "
+                f"({', '.join(sorted(passed))}) are deprecated; pass "
+                "driver=DriverOptions(...) / obs=ObsOptions(...) instead",
+                DeprecationWarning,
+                stacklevel=stacklevel,
+            )
+            driver_over = {
+                k: passed[k] for k in _DRIVER_FIELDS if k in passed
+            }
+            obs_over = {k: passed[k] for k in _OBS_FIELDS if k in passed}
+            unknown = set(passed) - set(_DRIVER_FIELDS) - set(_OBS_FIELDS)
+            if unknown:
+                raise TypeError(
+                    f"unknown legacy option kwargs: {sorted(unknown)}"
+                )
+            if driver_over:
+                resolved_driver = replace(resolved_driver, **driver_over)
+            if obs_over:
+                resolved_obs = replace(resolved_obs, **obs_over)
+    return resolved_driver, resolved_obs
+
+
+__all__ = [
+    "DEFAULT_RECORD_CAPACITY",
+    "DriverOptions",
+    "ObsOptions",
+    "UNSET",
+    "resolve_options",
+]

@@ -1,0 +1,257 @@
+"""The serving mode's HTTP control plane.
+
+:class:`ControlServer` speaks a deliberately small HTTP/1.1 over
+``asyncio.start_server`` — request line, headers, ``Content-Length``
+bodies, keep-alive — with no third-party dependency.  Every request is
+dispatched under one :class:`asyncio.Lock`, so the session only ever sees
+a *serial* stream of operations; with the virtual clock that makes any
+scripted interaction a deterministic total order (the property the serve
+determinism test and the CI smoke step pin).
+
+Routes (JSON in/out unless noted):
+
+====== ================================ =====================================
+GET    ``/healthz``                     liveness + current virtual time
+GET    ``/state``                       full session state (VIPs, drains)
+GET    ``/metrics``                     Prometheus text exposition
+GET    ``/telemetry``                   metrics + spans as JSONL
+POST   ``/advance``                     ``{"dt": seconds}`` — move time
+POST   ``/vips/{vip}/dips``             add a DIP (``{"dip": ...}`` optional:
+                                        omitted draws from the spare pool)
+POST   ``/vips/{vip}/reassign``         ``{"to_index": n}`` (fleet only)
+POST   ``/dips/{dip}/drain``            graceful drain (idempotent)
+GET    ``/dips/{dip}/drain``            drain progress
+DELETE ``/dips/{dip}``                  hard remove (breaks its connections)
+PATCH  ``/dips/{dip}``                  ``{"weight": n}`` — slot replication
+POST   ``/shutdown``                    finalize + audit; returns the final
+                                        report and stops the server
+====== ================================ =====================================
+
+Errors are structured: ``{"error": {"status", "code", "message"}}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+from urllib.parse import unquote
+
+from .clock import WallclockPacer
+from .session import ApiError, ServeSession
+
+_MAX_BODY = 1 << 20
+
+
+class ControlServer:
+    """Serves the control API for one :class:`ServeSession`."""
+
+    def __init__(
+        self, session: ServeSession, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.session = session
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._lock = asyncio.Lock()
+        self._pacer: Optional[WallclockPacer] = None
+        self._shutdown_event = asyncio.Event()
+
+    async def start(self) -> None:
+        """Bind and start serving; ``self.port`` is the bound port."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.session.config.wallclock:
+            self._pacer = WallclockPacer(self._paced_advance)
+            self._pacer.start()
+
+    def _paced_advance(self, dt: float) -> None:
+        async def tick() -> None:
+            async with self._lock:
+                if not self._shutdown_event.is_set():
+                    self.session.advance(dt)
+
+        asyncio.get_running_loop().create_task(tick())
+
+    async def wait_shutdown(self) -> None:
+        """Block until a ``POST /shutdown`` lands, then tear down."""
+        await self._shutdown_event.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        if self._pacer is not None:
+            await self._pacer.stop()
+            self._pacer = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._shutdown_event.set()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line or request_line in (b"\r\n", b"\n"):
+                    break
+                try:
+                    method, target, _version = (
+                        request_line.decode("latin-1").strip().split(" ", 2)
+                    )
+                except ValueError:
+                    await self._respond(writer, 400, self._error_payload(
+                        400, "bad_request", "malformed request line"
+                    ))
+                    break
+                headers: Dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0"))
+                except ValueError:
+                    length = -1
+                if not 0 <= length <= _MAX_BODY:
+                    await self._respond(writer, 400, self._error_payload(
+                        400, "bad_request", "bad Content-Length"
+                    ))
+                    break
+                body = await reader.readexactly(length) if length else b""
+                status, content_type, payload = await self._dispatch(
+                    method.upper(), target, body
+                )
+                keep_alive = headers.get("connection", "").lower() != "close"
+                await self._respond(
+                    writer, status, payload, content_type, keep_alive
+                )
+                if self._shutdown_event.is_set() or not keep_alive:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    def _error_payload(status: int, code: str, message: str) -> bytes:
+        return json.dumps(
+            {"error": {"status": status, "code": code, "message": message}}
+        ).encode()
+
+    _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                405: "Method Not Allowed", 409: "Conflict",
+                500: "Internal Server Error"}
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: bytes,
+        content_type: str = "application/json",
+        keep_alive: bool = True,
+    ) -> None:
+        reason = self._REASONS.get(status, "Unknown")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {connection}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, str, bytes]:
+        path = unquote(target.split("?", 1)[0])
+        parts = [p for p in path.split("/") if p]
+        try:
+            data: Dict[str, object] = {}
+            if body:
+                try:
+                    data = json.loads(body)
+                except json.JSONDecodeError:
+                    raise ApiError(400, "bad_json", "request body is not JSON")
+                if not isinstance(data, dict):
+                    raise ApiError(400, "bad_json", "request body must be an object")
+            async with self._lock:
+                return self._route(method, parts, data)
+        except ApiError as exc:
+            return exc.status, "application/json", json.dumps(
+                exc.to_payload()
+            ).encode()
+        except Exception as exc:  # surface, don't kill the connection
+            return 500, "application/json", self._error_payload(
+                500, "internal", f"{type(exc).__name__}: {exc}"
+            )
+
+    def _route(
+        self, method: str, parts: list, data: Dict[str, object]
+    ) -> Tuple[int, str, bytes]:
+        session = self.session
+
+        def ok(payload: object) -> Tuple[int, str, bytes]:
+            return 200, "application/json", json.dumps(payload).encode()
+
+        if parts == ["healthz"] and method == "GET":
+            return ok({"ok": True, "now": session.queue.now,
+                       "mode": "fleet" if session.is_fleet else "switch"})
+        if parts == ["state"] and method == "GET":
+            return ok(session.state())
+        if parts == ["metrics"] and method == "GET":
+            text = session.metrics_text()
+            return 200, "text/plain; version=0.0.4", text.encode()
+        if parts == ["telemetry"] and method == "GET":
+            text = "\n".join(session.telemetry_records())
+            if text:
+                text += "\n"
+            return 200, "application/x-ndjson", text.encode()
+        if parts == ["advance"] and method == "POST":
+            return ok(session.advance(data.get("dt", 0)))
+        if parts == ["shutdown"] and method == "POST":
+            report = session.shutdown()
+            self._shutdown_event.set()
+            return ok(report)
+        if len(parts) == 3 and parts[0] == "vips":
+            vip = parts[1]
+            if parts[2] == "dips" and method == "POST":
+                dip = data.get("dip")
+                if dip is not None and not isinstance(dip, str):
+                    raise ApiError(400, "bad_dip", "dip must be a string")
+                return ok(session.add_dip(vip, dip))
+            if parts[2] == "reassign" and method == "POST":
+                return ok(session.reassign(vip, data.get("to_index", -1)))
+        if len(parts) >= 2 and parts[0] == "dips":
+            dip = parts[1]
+            if len(parts) == 3 and parts[2] == "drain":
+                if method == "POST":
+                    return ok(session.drain_dip(dip))
+                if method == "GET":
+                    return ok(session.drain_state(dip))
+            if len(parts) == 2:
+                if method == "DELETE":
+                    return ok(session.remove_dip(dip))
+                if method == "PATCH":
+                    return ok(session.set_weight(dip, data.get("weight", 0)))
+        raise ApiError(404, "no_route", f"{method} /{'/'.join(parts)}")

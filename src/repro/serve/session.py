@@ -1,0 +1,538 @@
+"""The serving-mode session: one long-lived switch (or fleet) plus the
+operations the control API exposes against it.
+
+:class:`ServeSession` owns a :class:`~repro.core.silkroad.SilkRoadSwitch`
+(``num_switches == 1``) or a :class:`~repro.deploy.fleet.FleetSilkRoad`,
+bound to one :class:`~repro.netsim.events.EventQueue`, and a
+:class:`~repro.serve.source.StreamingFlowSource` feeding it.  Time moves
+only through :meth:`advance`; every mutation (:meth:`add_dip`,
+:meth:`drain_dip`, :meth:`remove_dip`, :meth:`set_weight`,
+:meth:`reassign`) executes at the quiescent ``queue.now`` between
+advances and maps onto the existing PCC-safe machinery — the 3-step
+update coordinator for pool changes, the fleet's announce→drain→redirect
+for reassignment.  The session adds *no* second consistency mechanism.
+
+Mutations raise :class:`ApiError` with an HTTP status and a machine
+``code``; the HTTP layer (:mod:`repro.serve.http`) renders them as
+structured 4xx bodies.  All methods are synchronous and must be called
+serially (the HTTP layer holds a lock): determinism comes from the fact
+that a serial script of calls against the virtual clock is a total order
+of state transitions over seeded RNG draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core import SilkRoadConfig, SilkRoadSwitch
+from ..core.verify import audit_switch
+from ..deploy.fleet import FleetSilkRoad, audit_fleet
+from ..experiments.common import (
+    BASE_DIPS_PER_VIP,
+    BASE_NEW_CONNS_PER_MIN,
+    BASE_VIPS,
+)
+from ..netsim.cluster import make_cluster, spare_pool
+from ..netsim.arrivals import uniform_vip_workloads
+from ..netsim.events import EventQueue
+from ..netsim.flows import Connection
+from ..netsim.packet import DirectIP, VirtualIP
+from ..netsim.simulator import PRIO_ARRIVAL, PRIO_END
+from ..netsim.updates import RootCause, UpdateEvent, UpdateKind
+from ..obs import FlightRecorder, TimelineSampler
+from ..obs.export import iter_jsonl, to_prometheus_text
+from ..options import DriverOptions, ObsOptions, resolve_options
+from .source import StreamingFlowSource
+
+
+class ApiError(Exception):
+    """A structured control-API failure (rendered as an HTTP 4xx)."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "error": {
+                "status": self.status,
+                "code": self.code,
+                "message": self.message,
+            }
+        }
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a serving session is built from (all seeded)."""
+
+    seed: int = 7
+    #: workload scale, as in the experiment runners (VIP count + rate).
+    scale: float = 0.05
+    #: 1 = single switch; >1 = a heartbeat-managed fleet.
+    num_switches: int = 1
+    #: fleet only: switches announcing each VIP.  Defaults to 1 (each VIP
+    #: owned by one switch) so ``reassign`` has somewhere to move a VIP;
+    #: ``None`` replicates onto every switch, the §5.3 default.
+    replication: Optional[int] = 1
+    #: attach the seeded fault injector (single-switch or fleet flavor).
+    chaos: bool = False
+    faults_per_min: float = 30.0
+    #: horizon the fault plan (and the optional timeline sampler) covers.
+    plan_horizon_s: float = 600.0
+    spares_per_vip: int = 8
+    config: Optional[SilkRoadConfig] = None
+    driver: Optional[DriverOptions] = None
+    obs: Optional[ObsOptions] = None
+    #: pace time from the wallclock instead of explicit ``/advance``.
+    wallclock: bool = False
+
+
+@dataclass
+class _DrainState:
+    """Lifecycle of one admin-initiated graceful drain."""
+
+    vip: VirtualIP
+    dip: DirectIP
+    requested_at: float
+    status: str = "draining"  # draining -> drained
+    #: t_finish of the DRAIN update (switch path; from ``on_finished``).
+    update_finished_at: Optional[float] = None
+    completed_at: Optional[float] = None
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "vip": str(self.vip),
+            "dip": str(self.dip),
+            "status": self.status,
+            "requested_at": self.requested_at,
+            "update_finished_at": self.update_finished_at,
+            "completed_at": self.completed_at,
+        }
+
+
+class ServeSession:
+    """A long-lived load balancer plus its control-plane operations."""
+
+    def __init__(self, config: ServeConfig = ServeConfig()) -> None:
+        self.config = config
+        driver, obs = resolve_options(config.driver, config.obs)
+        self.driver = driver
+        self.obs = obs
+        sr_config = config.config if config.config is not None else SilkRoadConfig()
+
+        self.cluster = make_cluster(
+            name="serve",
+            num_vips=max(int(BASE_VIPS * config.scale), 2),
+            dips_per_vip=BASE_DIPS_PER_VIP,
+        )
+        workloads = uniform_vip_workloads(
+            self.cluster.vips, BASE_NEW_CONNS_PER_MIN * config.scale
+        )
+        self.source = StreamingFlowSource(workloads, seed=config.seed)
+        self.queue = EventQueue()
+        self.is_fleet = config.num_switches > 1
+        if self.is_fleet:
+            from ..deploy.fleet import FleetConfig
+
+            self.lb = FleetSilkRoad(
+                num_switches=config.num_switches,
+                config=sr_config,
+                fleet_config=FleetConfig(replication=config.replication),
+                name="fleet-serve",
+            )
+        else:
+            self.lb = SilkRoadSwitch(sr_config, name="silkroad-serve")
+        for service in self.cluster.services:
+            self.lb.announce_vip(service.vip, service.dips)
+        self.lb.bind(self.queue)
+
+        self.recorder: Optional[FlightRecorder] = None
+        self.sampler: Optional[TimelineSampler] = None
+        if obs.record:
+            self.recorder = FlightRecorder(
+                capacity=obs.record_capacity,
+                source=obs.resolved_source("serve"),
+            )
+            self.lb.attach_recorder(self.recorder)
+        if obs.timeline_period_s is not None:
+            self.sampler = TimelineSampler(self._registry(), obs.timeline_period_s)
+            self.sampler.attach(self.queue, horizon_s=config.plan_horizon_s)
+
+        self.injector = None
+        if config.chaos:
+            if self.is_fleet:
+                from ..faults.fleet import FleetFaultInjector, FleetFaultPlan
+
+                plan = FleetFaultPlan.generate(
+                    config.seed + 1000,
+                    horizon_s=config.plan_horizon_s,
+                    num_switches=config.num_switches,
+                    faults_per_min=config.faults_per_min,
+                )
+                self.injector = FleetFaultInjector(plan)
+            else:
+                from ..faults.injector import FaultInjector
+                from ..faults.plan import FaultPlan
+
+                plan = FaultPlan.generate(
+                    config.seed + 1000,
+                    horizon_s=config.plan_horizon_s,
+                    faults_per_min=config.faults_per_min,
+                )
+                self.injector = FaultInjector(plan)
+            self.injector.attach(self.lb, self.queue)
+
+        #: every connection ever drawn — the final audit replays over these.
+        self.connections: List[Connection] = []
+        self._vips: Dict[str, VirtualIP] = {
+            str(s.vip): s.vip for s in self.cluster.services
+        }
+        #: every DIP the session has ever known, by rendered address.
+        self._dips: Dict[str, DirectIP] = {}
+        self._dip_vip: Dict[DirectIP, VirtualIP] = {}
+        for service in self.cluster.services:
+            for dip in service.dips:
+                self._dips[str(dip)] = dip
+                self._dip_vip[dip] = service.vip
+        self._spares = spare_pool(self.cluster, spares_per_vip=config.spares_per_vip)
+        self._drains: Dict[DirectIP, _DrainState] = {}
+        self.advances = 0
+        self.mutations = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def _registry(self):
+        return self.lb.metrics
+
+    def _vip(self, vip_str: str) -> VirtualIP:
+        vip = self._vips.get(vip_str)
+        if vip is None:
+            raise ApiError(404, "unknown_vip", f"VIP not announced: {vip_str}")
+        return vip
+
+    def _dip(self, dip_str: str) -> DirectIP:
+        dip = self._dips.get(dip_str)
+        if dip is None:
+            raise ApiError(404, "unknown_dip", f"unknown DIP: {dip_str}")
+        return dip
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ApiError(409, "session_closed", "session already shut down")
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+
+    def advance(self, dt: float) -> Dict[str, object]:
+        """Move time forward ``dt`` seconds, streaming arrivals in.
+
+        Ends ride the event heap (``PRIO_END``), so both drivers see the
+        exact scalar ``(time, priority, seq)`` order: the scalar path
+        schedules arrivals as heap events; the batched path dispatches
+        them in ``batch_size`` chunks through ``on_connection_batch``,
+        whose per-element ``run_until_before`` sweep fires interleaved
+        heap events (ends, CPU installs, faults) first — the same
+        intra-batch ordering rule the replay driver relies on.
+        """
+        self._check_open()
+        if not isinstance(dt, (int, float)) or dt <= 0 or dt != dt:
+            raise ApiError(400, "bad_advance", "dt must be a positive number")
+        queue = self.queue
+        lb = self.lb
+        t0 = queue.now
+        t1 = t0 + float(dt)
+        conns = self.source.draw(t0, t1)
+        self.connections.extend(conns)
+
+        def make_end(conn: Connection) -> Callable[[], None]:
+            return lambda: lb.on_connection_end(conn)
+
+        for conn in conns:
+            queue.schedule(conn.end, make_end(conn), PRIO_END)
+        on_batch = getattr(lb, "on_connection_batch", None)
+        if self.driver.batched and on_batch is not None:
+            prepare = getattr(lb, "prepare_batch", None)
+            size = self.driver.batch_size
+            for i in range(0, len(conns), size):
+                chunk = conns[i : i + size]
+                if prepare is not None:
+                    prepare(chunk)
+                on_batch(chunk)
+        else:
+
+            def make_arrival(conn: Connection) -> Callable[[], None]:
+                return lambda: lb.on_connection_arrival(conn)
+
+            for conn in conns:
+                queue.schedule(conn.start, make_arrival(conn), PRIO_ARRIVAL)
+        queue.run_until(t1)
+        self._refresh_drains()
+        self.advances += 1
+        return {
+            "now": queue.now,
+            "arrivals": len(conns),
+            "total_connections": len(self.connections),
+        }
+
+    # ------------------------------------------------------------------
+    # Pool mutations (all PCC-safe: they go through apply_update)
+    # ------------------------------------------------------------------
+
+    def _submit(
+        self,
+        vip: VirtualIP,
+        kind: UpdateKind,
+        dip: DirectIP,
+        weight: int = 1,
+        on_finished: Optional[Callable] = None,
+    ) -> None:
+        event = UpdateEvent(
+            time=self.queue.now,
+            vip=vip,
+            kind=kind,
+            dip=dip,
+            cause=RootCause.UPGRADE,
+            weight=weight,
+        )
+        if not self.is_fleet and on_finished is not None:
+            self.lb.apply_update(event, on_finished=on_finished)
+        else:
+            self.lb.apply_update(event)
+        self.mutations += 1
+
+    def add_dip(
+        self, vip_str: str, dip_str: Optional[str] = None
+    ) -> Dict[str, object]:
+        """Add a backend to a VIP — a spare when no address is given."""
+        self._check_open()
+        vip = self._vip(vip_str)
+        if dip_str is not None:
+            try:
+                dip = DirectIP.parse(dip_str)
+            except (ValueError, KeyError):
+                raise ApiError(400, "bad_dip", f"unparseable DIP: {dip_str}")
+            owner = self._dip_vip.get(dip)
+            if owner is not None and owner != vip:
+                raise ApiError(
+                    409, "dip_owned", f"{dip_str} belongs to VIP {owner}"
+                )
+        else:
+            spares = self._spares.get(vip, [])
+            if not spares:
+                raise ApiError(409, "no_spare_dips", f"no spare DIPs for {vip}")
+            dip = spares[0]
+        if dip in self.lb.current_dips(vip):
+            raise ApiError(409, "dip_exists", f"{dip} already in pool of {vip}")
+        # Commit only after every check passed.
+        if dip_str is None:
+            self._spares[vip].pop(0)
+        self._dips[str(dip)] = dip
+        self._dip_vip[dip] = vip
+        self._drains.pop(dip, None)  # a re-added DIP is no longer drained
+        self._submit(vip, UpdateKind.ADD, dip)
+        return self.vip_state(vip)
+
+    def drain_dip(self, dip_str: str) -> Dict[str, object]:
+        """Gracefully drain a backend: new connections stop landing on it;
+        pinned connections keep their old pool versions until they end.
+
+        Idempotent: re-draining a draining (or drained) DIP returns its
+        current drain record without submitting a second update.
+        """
+        self._check_open()
+        dip = self._dip(dip_str)
+        vip = self._dip_vip[dip]
+        existing = self._drains.get(dip)
+        if existing is not None:
+            return existing.to_payload()
+        current = self.lb.current_dips(vip)
+        if dip not in current:
+            raise ApiError(409, "not_in_pool", f"{dip} not in current pool of {vip}")
+        if len(current) <= 1:
+            raise ApiError(409, "last_dip", f"{dip} is the last DIP of {vip}")
+        state = _DrainState(vip=vip, dip=dip, requested_at=self.queue.now)
+        self._drains[dip] = state
+
+        def finished(_vip, _timings, state: _DrainState = state) -> None:
+            state.update_finished_at = self.queue.now
+
+        self._submit(vip, UpdateKind.DRAIN, dip, on_finished=finished)
+        self._refresh_drains()
+        return state.to_payload()
+
+    def remove_dip(self, dip_str: str) -> Dict[str, object]:
+        """Hard-remove a backend (the server dies: its connections break)."""
+        self._check_open()
+        dip = self._dip(dip_str)
+        vip = self._dip_vip[dip]
+        current = self.lb.current_dips(vip)
+        if dip not in current:
+            raise ApiError(409, "not_in_pool", f"{dip} not in current pool of {vip}")
+        if len(current) <= 1:
+            raise ApiError(409, "last_dip", f"{dip} is the last DIP of {vip}")
+        self._drains.pop(dip, None)
+        self._submit(vip, UpdateKind.REMOVE, dip)
+        return self.vip_state(vip)
+
+    def set_weight(self, dip_str: str, weight: int) -> Dict[str, object]:
+        """Change a backend's share of *new* connections (slot copies)."""
+        self._check_open()
+        if not isinstance(weight, int) or isinstance(weight, bool) or weight < 1:
+            raise ApiError(400, "bad_weight", "weight must be an integer >= 1")
+        if weight > 64:
+            raise ApiError(400, "bad_weight", "weight must be <= 64")
+        dip = self._dip(dip_str)
+        vip = self._dip_vip[dip]
+        if dip not in self.lb.current_dips(vip):
+            raise ApiError(409, "not_in_pool", f"{dip} not in current pool of {vip}")
+        self._submit(vip, UpdateKind.WEIGHT, dip, weight=weight)
+        payload = self.vip_state(vip)
+        payload["requested_weight"] = weight
+        return payload
+
+    def reassign(self, vip_str: str, to_index: int) -> Dict[str, object]:
+        """Fleet only: move a VIP announcement onto another switch."""
+        self._check_open()
+        vip = self._vip(vip_str)
+        if not self.is_fleet:
+            raise ApiError(
+                409, "not_a_fleet", "reassign requires a fleet (num_switches > 1)"
+            )
+        if not isinstance(to_index, int) or isinstance(to_index, bool):
+            raise ApiError(400, "bad_index", "to_index must be an integer")
+        if not 0 <= to_index < self.config.num_switches:
+            raise ApiError(400, "bad_index", f"no switch {to_index} in the fleet")
+        if not self.lb.reassign_vip(vip, to_index):
+            raise ApiError(
+                409,
+                "reassign_refused",
+                "reassignment refused (target down/unsynced, VIP shed, "
+                "already announced there, or mid-reassignment)",
+            )
+        return {"vip": str(vip), "to_index": to_index, "started_at": self.queue.now}
+
+    # ------------------------------------------------------------------
+    # Drain bookkeeping
+    # ------------------------------------------------------------------
+
+    def _refresh_drains(self) -> None:
+        """Complete drains whose DIP left the pool and has no live conns."""
+        for state in self._drains.values():
+            if state.status != "draining":
+                continue
+            gone = state.dip not in self.lb.current_dips(state.vip)
+            if gone and self.lb.live_connections_on(state.vip, state.dip) == 0:
+                state.status = "drained"
+                state.completed_at = self.queue.now
+
+    def drain_state(self, dip_str: str) -> Dict[str, object]:
+        dip = self._dip(dip_str)
+        state = self._drains.get(dip)
+        if state is None:
+            raise ApiError(404, "not_draining", f"{dip} has no drain in progress")
+        self._refresh_drains()
+        return state.to_payload()
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+
+    def vip_state(self, vip: VirtualIP) -> Dict[str, object]:
+        dips = self.lb.current_dips(vip)
+        payload: Dict[str, object] = {
+            "vip": str(vip),
+            "dips": [str(d) for d in dips],
+            "spares_left": len(self._spares.get(vip, [])),
+            "draining": [
+                str(s.dip)
+                for s in self._drains.values()
+                if s.vip == vip and s.status == "draining"
+            ],
+        }
+        if self.is_fleet:
+            payload["owners"] = self.lb.assigned_switches(vip)
+        else:
+            payload["weights"] = {str(d): self.lb.dip_weight(vip, d) for d in dips}
+            payload["update_phase"] = self.lb.coordinator.phase(vip).value
+            payload["queued_updates"] = self.lb.coordinator.queue_depth(vip)
+        return payload
+
+    def state(self) -> Dict[str, object]:
+        self._refresh_drains()
+        return {
+            "now": self.queue.now,
+            "mode": "fleet" if self.is_fleet else "switch",
+            "num_switches": self.config.num_switches,
+            "seed": self.config.seed,
+            "chaos": self.config.chaos,
+            "advances": self.advances,
+            "mutations": self.mutations,
+            "total_connections": len(self.connections),
+            "vips": [self.vip_state(vip) for vip in self._vips.values()],
+            "drains": [s.to_payload() for s in self._drains.values()],
+            "switches": self.lb.switch_status() if self.is_fleet else None,
+        }
+
+    def metrics_text(self) -> str:
+        registry = self.lb.merged_registry() if self.is_fleet else self.lb.metrics
+        return to_prometheus_text(registry)
+
+    def telemetry_records(self):
+        """JSONL lines (metrics + finished spans) for artifact dumps."""
+        registry = self.lb.merged_registry() if self.is_fleet else self.lb.metrics
+        return iter_jsonl(registry)
+
+    def fingerprint(self) -> str:
+        if self.is_fleet:
+            return self.lb.fingerprint()
+        return self.lb.metrics.fingerprint()
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> Dict[str, object]:
+        """Finalize, audit, fingerprint.  Idempotent; closes the session."""
+        if not self._closed:
+            self.lb.finalize()
+            self._refresh_drains()
+            self._closed = True
+            measured = [c for c in self.connections if c.start >= 0.0]
+            violations = sum(1 for c in measured if c.pcc_violated)
+            if self.is_fleet:
+                audit = audit_fleet(self.lb, self.connections)
+                audit_ok = audit.ok
+                unattributed = audit.unattributed_violations
+                audit_detail = str(audit)
+            else:
+                audit = audit_switch(self.lb, connections=self.connections)
+                audit_ok = audit.ok
+                # The attribution check reports "<N> PCC violations not
+                # attributable ..."; recover N for the report.
+                unattributed = sum(
+                    int(v.split()[0])
+                    for v in audit.violations
+                    if "not attributable" in v
+                )
+                audit_detail = "; ".join(audit.violations) or "ok"
+            self._final_report = {
+                "now": self.queue.now,
+                "fingerprint": self.fingerprint(),
+                "audit_ok": audit_ok,
+                "audit_detail": audit_detail,
+                "pcc_violations": violations,
+                "unattributed_violations": unattributed,
+                "total_connections": len(self.connections),
+                "advances": self.advances,
+                "mutations": self.mutations,
+                "drains": [s.to_payload() for s in self._drains.values()],
+            }
+        return self._final_report

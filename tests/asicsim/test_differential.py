@@ -31,6 +31,7 @@ from repro.core.verify import audit_switch
 from repro.experiments.common import build_workload, silkroad_factory
 from repro.faults.chaos import chaos_config, run_chaos
 from repro.faults.injector import FaultInjector
+from repro.options import DriverOptions
 from repro.faults.plan import FaultPlan
 
 BATCH_SIZES = (1, 7, 64, 1024)
@@ -109,8 +110,12 @@ def test_batched_matches_scalar_oracle(batch_size):
 
 def test_batched_matches_scalar_under_faults():
     """Chaos run: faults hit mid-chunk and the interleaving must still match."""
-    scalar = run_chaos(seed=11, scale=0.04, horizon_s=15.0, batched=False)
-    batched = run_chaos(seed=11, scale=0.04, horizon_s=15.0, batched=True)
+    scalar = run_chaos(
+        seed=11, scale=0.04, horizon_s=15.0, driver=DriverOptions(batched=False)
+    )
+    batched = run_chaos(
+        seed=11, scale=0.04, horizon_s=15.0, driver=DriverOptions(batched=True)
+    )
     assert batched.fingerprint == scalar.fingerprint
     assert str(batched.audit) == str(scalar.audit)
     assert _conn_table_snapshot(batched.switch) == _conn_table_snapshot(

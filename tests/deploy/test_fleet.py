@@ -15,6 +15,7 @@ from repro.deploy.fleet import (
     audit_fleet,
 )
 from repro.faults.fleet import run_fleet, run_fleet_sharded
+from repro.options import DriverOptions
 from repro.netsim import (
     ArrivalGenerator,
     FlowSimulator,
@@ -279,8 +280,8 @@ class TestAcceptanceSweep:
             warmup_s=1.0,
             faults_per_min=8.0,
         )
-        batched = run_fleet(batched=True, **kw)
-        scalar = run_fleet(batched=False, **kw)
+        batched = run_fleet(driver=DriverOptions(batched=True), **kw)
+        scalar = run_fleet(driver=DriverOptions(batched=False), **kw)
         assert batched.fingerprint == scalar.fingerprint
         assert batched.survival == scalar.survival
 

@@ -15,6 +15,7 @@ from repro.experiments.parallel import (
     partition_switches,
     run_fleet_partitioned,
 )
+from repro.options import ObsOptions
 from repro.faults.fleet import (
     FleetFaultEvent,
     FleetFaultKind,
@@ -146,7 +147,9 @@ class TestObservabilityInvariance:
     fleet-scope instruments live on the primary replica only, per-switch
     instruments and recorders on the owner only."""
 
-    OBS_PARAMS = dict(RUN_PARAMS, record=True, timeline_period_s=1.0)
+    OBS_PARAMS = dict(
+        RUN_PARAMS, obs=ObsOptions(record=True, timeline_period_s=1.0)
+    )
 
     @pytest.fixture(scope="class")
     def results(self):
@@ -213,7 +216,7 @@ class TestResumeUnderPartition:
         scale=0.05,
         horizon_s=20.0,
         warmup_s=2.0,
-        record=True,
+        obs=ObsOptions(record=True),
     )
 
     @pytest.fixture(scope="class")

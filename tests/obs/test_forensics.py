@@ -7,6 +7,7 @@ from typing import List, Tuple
 
 from repro.obs.forensics import coverage, explain_violations, format_stories
 from repro.obs.recorder import FlightRecorder
+from repro.options import ObsOptions
 
 
 @dataclass
@@ -127,7 +128,7 @@ class TestChaosIntegration:
             updates_per_min=200.0,
             faults_per_min=90.0,
             config=chaos_config(conn_table_capacity=400),
-            record=True,
+            obs=ObsOptions(record=True),
         )
         assert result.report.pcc_violations > 0, "scenario must induce violations"
         stories = explain_violations(

@@ -1,0 +1,181 @@
+"""HTTP roundtrip tests for the serve control plane.
+
+These go through a real socket (``asyncio.open_connection`` against
+``asyncio.start_server``) so the request-line parsing, routing, error
+rendering and keep-alive handling are all exercised — no shortcut into
+the session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serve import ControlServer, ServeConfig, ServeSession
+from repro.serve.script import _Client
+
+
+def roundtrip(requests, config=None):
+    """Boot a server, run ``requests`` on one keep-alive connection,
+    return the (status, parsed-body) pairs."""
+
+    async def go():
+        session = ServeSession(config or ServeConfig(seed=11, scale=0.01))
+        server = ControlServer(session)
+        await server.start()
+        client = _Client(server.host, server.port)
+        await client.connect()
+        results = []
+        try:
+            for method, path, body in requests:
+                status, text = await client.request(method, path, body)
+                try:
+                    payload = json.loads(text) if text else {}
+                except json.JSONDecodeError:
+                    payload = text
+                results.append((status, payload))
+        finally:
+            await client.close()
+            await server.stop()
+        return results
+
+    return asyncio.run(go())
+
+
+class TestRoutes:
+    def test_healthz(self):
+        [(status, payload)] = roundtrip([("GET", "/healthz", None)])
+        assert status == 200
+        assert payload == {"ok": True, "now": 0.0, "mode": "switch"}
+
+    def test_state_and_advance(self):
+        results = roundtrip([
+            ("GET", "/state", None),
+            ("POST", "/advance", {"dt": 2.0}),
+            ("GET", "/state", None),
+        ])
+        assert [s for s, _ in results] == [200, 200, 200]
+        before, advance, after = (p for _, p in results)
+        assert before["now"] == 0.0 and after["now"] == 2.0
+        assert advance["arrivals"] == after["total_connections"]
+        assert after["vips"] and after["vips"][0]["dips"]
+
+    def test_metrics_is_prometheus_text(self):
+        [_, (status, text)] = roundtrip([
+            ("POST", "/advance", {"dt": 2.0}),
+            ("GET", "/metrics", None),
+        ])
+        assert status == 200
+        assert isinstance(text, str) or isinstance(text, dict) is False
+        # Exposition format: HELP/TYPE comment lines present.
+        assert "# TYPE" in str(text)
+
+    def test_full_mutation_cycle_over_http(self):
+        # state -> add spare -> drain old -> poll -> weight, all via HTTP.
+        async def go():
+            session = ServeSession(ServeConfig(seed=11, scale=0.01))
+            server = ControlServer(session)
+            await server.start()
+            client = _Client(server.host, server.port)
+            await client.connect()
+            try:
+                await client.json("POST", "/advance", {"dt": 5.0})
+                _, state = await client.json("GET", "/state")
+                vip = state["vips"][0]["vip"]
+                old = state["vips"][0]["dips"][0]
+                status, added = await client.json(
+                    "POST", f"/vips/{vip}/dips", {}
+                )
+                assert status == 200
+                assert len(added["dips"]) == len(state["vips"][0]["dips"]) + 1
+                status, record = await client.json(
+                    "POST", f"/dips/{old}/drain", {}
+                )
+                assert status == 200
+                assert record["status"] in ("draining", "drained")
+                for _ in range(80):
+                    await client.json("POST", "/advance", {"dt": 5.0})
+                    status, record = await client.json(
+                        "GET", f"/dips/{old}/drain"
+                    )
+                    if record["status"] == "drained":
+                        break
+                assert record["status"] == "drained"
+                survivor = added["dips"][-1]
+                status, out = await client.json(
+                    "PATCH", f"/dips/{survivor}", {"weight": 3}
+                )
+                assert status == 200 and out["requested_weight"] == 3
+                status, report = await client.json("POST", "/shutdown", {})
+                assert status == 200
+                assert report["audit_ok"]
+                assert report["unattributed_violations"] == 0
+            finally:
+                await client.close()
+                await server.stop()
+
+        asyncio.run(go())
+
+
+class TestStructuredHttpErrors:
+    def test_no_route_404(self):
+        [(status, payload)] = roundtrip([("GET", "/nope", None)])
+        assert status == 404
+        assert payload["error"]["code"] == "no_route"
+
+    def test_unknown_dip_404_body(self):
+        [(status, payload)] = roundtrip([
+            ("POST", "/dips/1.2.3.4:99/drain", {}),
+        ])
+        assert status == 404
+        assert payload["error"] == {
+            "status": 404,
+            "code": "unknown_dip",
+            "message": "unknown DIP: 1.2.3.4:99",
+        }
+
+    def test_bad_json_400(self):
+        async def go():
+            session = ServeSession(ServeConfig(seed=11, scale=0.01))
+            server = ControlServer(session)
+            await server.start()
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            try:
+                body = b"{not json"
+                writer.write(
+                    b"POST /advance HTTP/1.1\r\nHost: x\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+                await writer.drain()
+                status_line = await reader.readline()
+                status = int(status_line.split(b" ")[1])
+                length = 0
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    if line.lower().startswith(b"content-length:"):
+                        length = int(line.split(b":")[1])
+                payload = json.loads(await reader.readexactly(length))
+            finally:
+                writer.close()
+                await writer.wait_closed()
+                await server.stop()
+            return status, payload
+
+        status, payload = asyncio.run(go())
+        assert status == 400
+        assert payload["error"]["code"] == "bad_json"
+
+    def test_bad_advance_400_and_connection_survives(self):
+        # A 4xx must not kill the keep-alive connection.
+        results = roundtrip([
+            ("POST", "/advance", {"dt": -1}),
+            ("GET", "/healthz", None),
+        ])
+        assert results[0][0] == 400
+        assert results[0][1]["error"]["code"] == "bad_advance"
+        assert results[1][0] == 200

@@ -1,0 +1,69 @@
+"""End-to-end scripted serve runs: the flagship migration + determinism.
+
+The acceptance property this file pins: a scripted live DIP migration
+through the HTTP API — with chaos faults firing mid-migration — completes
+with zero unattributed PCC violations and is bit-identical across two
+virtual-clock runs.
+"""
+
+from __future__ import annotations
+
+from repro.options import DriverOptions
+from repro.serve import ServeConfig, run_serve_script
+
+
+def _config(**overrides) -> ServeConfig:
+    defaults = dict(seed=11, scale=0.02)
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+class TestMigrationScript:
+    def test_migration_with_chaos_is_clean_and_deterministic(self):
+        first = run_serve_script(_config(chaos=True))
+        second = run_serve_script(_config(chaos=True))
+        for result in (first, second):
+            assert result.ok, result.report["audit_detail"]
+            assert result.report["unattributed_violations"] == 0
+            # The drained backend actually finished draining.
+            drains = result.report["drains"]
+            assert drains and drains[0]["status"] == "drained"
+            assert drains[0]["completed_at"] is not None
+        assert first.fingerprint == second.fingerprint
+        assert first.fingerprint  # non-empty
+
+    def test_script_responses_trace_the_migration(self):
+        result = run_serve_script(_config())
+        by_op = {}
+        for entry in result.responses:
+            by_op.setdefault(entry["op"], []).append(entry)
+        assert by_op["add_spare"][0]["status"] == 200
+        assert by_op["drain"][0]["status"] == 200
+        # The idempotency probe returns the same drain record, not an error.
+        redrain = by_op["redrain"][0]
+        assert redrain["status"] == 200
+        assert redrain["response"]["dip"] == by_op["drain"][0]["response"]["dip"]
+        assert by_op["weight"][0]["status"] == 200
+        # Single switch: the fleet_only reassign step was skipped.
+        assert "reassign" not in by_op
+        assert by_op["shutdown"][0]["status"] == 200
+        # A graceful migration breaks nothing: every PCC violation would
+        # be unattributed on a chaos-free run, so there must be none.
+        assert result.report["pcc_violations"] == 0
+
+    def test_scalar_driver_matches_batched(self):
+        batched = run_serve_script(_config())
+        scalar = run_serve_script(
+            _config(driver=DriverOptions(batched=False))
+        )
+        assert batched.ok and scalar.ok
+        assert batched.fingerprint == scalar.fingerprint
+
+    def test_fleet_migration_with_reassign(self):
+        result = run_serve_script(_config(num_switches=3, chaos=True))
+        assert result.ok, result.report["audit_detail"]
+        by_op = {e["op"]: e for e in result.responses}
+        assert by_op["reassign"]["status"] == 200
+        assert result.report["drains"][0]["status"] == "drained"
+        # Telemetry is non-empty JSONL.
+        assert result.telemetry.strip()

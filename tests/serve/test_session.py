@@ -1,0 +1,280 @@
+"""Tests for the serving-mode session and its control operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeConfig, ServeSession
+from repro.serve.session import ApiError
+
+
+def small_session(**overrides) -> ServeSession:
+    """A cheap session: 2 VIPs, low arrival rate, virtual clock."""
+    defaults = dict(seed=11, scale=0.01)
+    defaults.update(overrides)
+    return ServeSession(ServeConfig(**defaults))
+
+
+def first_vip(session: ServeSession) -> str:
+    return next(iter(session._vips))
+
+
+def advance_until_drained(session: ServeSession, dip: str, max_steps=80) -> dict:
+    for _ in range(max_steps):
+        session.advance(5.0)
+        record = session.drain_state(dip)
+        if record["status"] == "drained":
+            return record
+    raise AssertionError(f"drain of {dip} never completed")
+
+
+class TestAdvance:
+    def test_advance_moves_clock_and_streams_arrivals(self):
+        session = small_session()
+        out = session.advance(10.0)
+        assert out["now"] == 10.0
+        assert out["arrivals"] > 0
+        assert out["total_connections"] == len(session.connections)
+
+    def test_bad_dt_rejected(self):
+        session = small_session()
+        for dt in (0, -1.0, float("nan"), "soon"):
+            with pytest.raises(ApiError) as exc:
+                session.advance(dt)
+            assert exc.value.status == 400
+            assert exc.value.code == "bad_advance"
+
+    def test_determinism_same_seed_same_fingerprint(self):
+        def run() -> str:
+            session = small_session()
+            vip = first_vip(session)
+            session.advance(5.0)
+            dip = session.vip_state(session._vip(vip))["dips"][0]
+            session.drain_dip(dip)
+            session.advance(5.0)
+            session.shutdown()
+            return session.fingerprint()
+
+        assert run() == run()
+
+
+class TestDrain:
+    def test_drain_is_graceful_and_completes(self):
+        session = small_session()
+        vip_str = first_vip(session)
+        vip = session._vip(vip_str)
+        session.advance(10.0)
+        # Drain the backend with the most live connections so the pinned
+        # phase is actually exercised.
+        dips = session.lb.current_dips(vip)
+        dip = max(dips, key=lambda d: session.lb.live_connections_on(vip, d))
+        record = session.drain_dip(str(dip))
+        assert record["status"] == "draining"
+
+        record = advance_until_drained(session, str(dip))
+        assert record["update_finished_at"] is not None
+        assert record["completed_at"] is not None
+        assert dip not in session.lb.current_dips(vip)
+        assert session.lb.live_connections_on(vip, dip) == 0
+        # Graceful: a drain never breaks a single connection.
+        assert not any(c.broken_by_removal for c in session.connections)
+        report = session.shutdown()
+        assert report["audit_ok"]
+        assert report["unattributed_violations"] == 0
+
+    def test_drain_keeps_pinned_connections_flowing(self):
+        session = small_session()
+        vip_str = first_vip(session)
+        vip = session._vip(vip_str)
+        session.advance(10.0)
+        dips = session.lb.current_dips(vip)
+        dip = max(dips, key=lambda d: session.lb.live_connections_on(vip, d))
+        before = session.lb.live_connections_on(vip, dip)
+        assert before > 0
+        session.drain_dip(str(dip))
+        session.advance(0.5)
+        # The pool flipped (or is flipping) but pinned connections stay on
+        # their old versions: none were broken by the drain.
+        assert not any(c.broken_by_removal for c in session.connections)
+
+    def test_redrain_is_idempotent(self):
+        session = small_session()
+        session.advance(5.0)
+        vip = session._vip(first_vip(session))
+        dip = str(session.lb.current_dips(vip)[0])
+        first = session.drain_dip(dip)
+        mutations = session.mutations
+        again = session.drain_dip(dip)
+        assert again == first  # same record, by value
+        assert session.mutations == mutations  # no second update submitted
+        # Still idempotent after completion.
+        advance_until_drained(session, dip)
+        final = session.drain_dip(dip)
+        assert final["status"] == "drained"
+        assert session.mutations == mutations
+
+    def test_remove_breaks_connections_drain_does_not(self):
+        session = small_session()
+        vip_str = first_vip(session)
+        vip = session._vip(vip_str)
+        session.advance(10.0)
+        dips = session.lb.current_dips(vip)
+        victim = max(dips, key=lambda d: session.lb.live_connections_on(vip, d))
+        assert session.lb.live_connections_on(vip, victim) > 0
+        session.remove_dip(str(victim))
+        session.advance(0.5)
+        assert any(c.broken_by_removal for c in session.connections)
+
+
+class TestStructuredErrors:
+    def test_unknown_dip_404(self):
+        session = small_session()
+        with pytest.raises(ApiError) as exc:
+            session.drain_dip("1.2.3.4:99")
+        assert (exc.value.status, exc.value.code) == (404, "unknown_dip")
+        payload = exc.value.to_payload()
+        assert payload["error"]["code"] == "unknown_dip"
+
+    def test_unknown_vip_404(self):
+        session = small_session()
+        with pytest.raises(ApiError) as exc:
+            session.add_dip("99.99.99.99:1")
+        assert (exc.value.status, exc.value.code) == (404, "unknown_vip")
+
+    def test_add_existing_dip_409(self):
+        session = small_session()
+        vip_str = first_vip(session)
+        vip = session._vip(vip_str)
+        existing = str(session.lb.current_dips(vip)[0])
+        with pytest.raises(ApiError) as exc:
+            session.add_dip(vip_str, existing)
+        assert (exc.value.status, exc.value.code) == (409, "dip_exists")
+
+    def test_add_unparseable_dip_400(self):
+        session = small_session()
+        with pytest.raises(ApiError) as exc:
+            session.add_dip(first_vip(session), "not-an-address")
+        assert (exc.value.status, exc.value.code) == (400, "bad_dip")
+
+    def test_remove_last_dip_409(self):
+        session = small_session()
+        vip_str = first_vip(session)
+        vip = session._vip(vip_str)
+        # No connections yet, so removals complete synchronously.
+        while len(session.lb.current_dips(vip)) > 1:
+            session.remove_dip(str(session.lb.current_dips(vip)[0]))
+        last = str(session.lb.current_dips(vip)[0])
+        with pytest.raises(ApiError) as exc:
+            session.remove_dip(last)
+        assert (exc.value.status, exc.value.code) == (409, "last_dip")
+        with pytest.raises(ApiError) as exc:
+            session.drain_dip(last)
+        assert (exc.value.status, exc.value.code) == (409, "last_dip")
+
+    def test_weight_validation_400(self):
+        session = small_session()
+        vip = session._vip(first_vip(session))
+        dip = str(session.lb.current_dips(vip)[0])
+        for bad in (0, -3, 65, True, 1.5, "heavy"):
+            with pytest.raises(ApiError) as exc:
+                session.set_weight(dip, bad)
+            assert (exc.value.status, exc.value.code) == (400, "bad_weight")
+
+    def test_not_in_pool_409(self):
+        session = small_session()
+        vip = session._vip(first_vip(session))
+        gone = str(session.lb.current_dips(vip)[0])
+        session.remove_dip(gone)  # completes instantly: no connections
+        with pytest.raises(ApiError) as exc:
+            session.set_weight(gone, 2)
+        assert (exc.value.status, exc.value.code) == (409, "not_in_pool")
+
+    def test_reassign_on_single_switch_409(self):
+        session = small_session()
+        with pytest.raises(ApiError) as exc:
+            session.reassign(first_vip(session), 1)
+        assert (exc.value.status, exc.value.code) == (409, "not_a_fleet")
+
+    def test_closed_session_409(self):
+        session = small_session()
+        session.advance(1.0)
+        session.shutdown()
+        with pytest.raises(ApiError) as exc:
+            session.advance(1.0)
+        assert (exc.value.status, exc.value.code) == (409, "session_closed")
+        # Shutdown itself stays idempotent.
+        assert session.shutdown()["advances"] == 1
+
+
+class TestMutations:
+    def test_add_spare_grows_pool(self):
+        session = small_session()
+        vip_str = first_vip(session)
+        vip = session._vip(vip_str)
+        before = session.vip_state(vip)
+        out = session.add_dip(vip_str)
+        assert out["spares_left"] == before["spares_left"] - 1
+        assert len(out["dips"]) == len(before["dips"]) + 1
+
+    def test_no_spares_left_409(self):
+        session = small_session(spares_per_vip=1)
+        vip_str = first_vip(session)
+        session.add_dip(vip_str)
+        with pytest.raises(ApiError) as exc:
+            session.add_dip(vip_str)
+        assert (exc.value.status, exc.value.code) == (409, "no_spare_dips")
+
+    def test_set_weight_replicates_slots(self):
+        session = small_session()
+        vip = session._vip(first_vip(session))
+        dip_obj = session.lb.current_dips(vip)[0]
+        session.set_weight(str(dip_obj), 3)
+        assert session.lb.dip_weight(vip, dip_obj) == 3
+        # A no-op weight change must be safe through the coordinator.
+        session.set_weight(str(dip_obj), 3)
+        assert session.lb.dip_weight(vip, dip_obj) == 3
+
+    def test_readded_dip_clears_drain_record(self):
+        session = small_session()
+        vip_str = first_vip(session)
+        vip = session._vip(vip_str)
+        dip = str(session.lb.current_dips(vip)[0])
+        session.drain_dip(dip)
+        advance_until_drained(session, dip)
+        session.add_dip(vip_str, dip)
+        with pytest.raises(ApiError) as exc:
+            session.drain_state(dip)
+        assert exc.value.code == "not_draining"
+
+
+class TestFleetSession:
+    def test_fleet_state_and_reassign(self):
+        session = small_session(num_switches=3)
+        vip_str = first_vip(session)
+        session.advance(5.0)
+        state = session.state()
+        assert state["mode"] == "fleet"
+        assert len(state["switches"]) == 3
+        entry = next(v for v in state["vips"] if v["vip"] == vip_str)
+        owners = entry["owners"]
+        assert len(owners) == 1  # replication=1 by default in serve
+        target = next(i for i in range(3) if i not in owners)
+        out = session.reassign(vip_str, target)
+        assert out["to_index"] == target
+        with pytest.raises(ApiError) as exc:
+            session.reassign(vip_str, 99)
+        assert (exc.value.status, exc.value.code) == (400, "bad_index")
+
+    def test_fleet_drain_completes(self):
+        session = small_session(num_switches=2)
+        vip_str = first_vip(session)
+        vip = session._vip(vip_str)
+        session.advance(10.0)
+        dips = session.lb.current_dips(vip)
+        dip = max(dips, key=lambda d: session.lb.live_connections_on(vip, d))
+        session.drain_dip(str(dip))
+        record = advance_until_drained(session, str(dip))
+        assert record["status"] == "drained"
+        report = session.shutdown()
+        assert report["audit_ok"]
+        assert report["unattributed_violations"] == 0

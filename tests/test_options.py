@@ -1,0 +1,107 @@
+"""Tests for the consolidated runner options (DriverOptions/ObsOptions).
+
+The consolidation contract: the dataclasses are the one public spelling,
+legacy loose kwargs still work bit-identically but warn, and defaults
+reproduce the historical fingerprints.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.options import (
+    UNSET,
+    DriverOptions,
+    ObsOptions,
+    resolve_options,
+)
+
+
+class TestResolveOptions:
+    def test_defaults(self):
+        driver, obs = resolve_options(None, None)
+        assert driver == DriverOptions()
+        assert obs == ObsOptions()
+        assert driver.batched and driver.batch_size == 256
+        assert not obs.record and obs.timeline_period_s is None
+
+    def test_explicit_options_pass_through(self):
+        d = DriverOptions(batched=False, batch_size=7)
+        o = ObsOptions(record=True, record_source="x")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no warning for the new spelling
+            driver, obs = resolve_options(d, o)
+        assert driver is d and obs is o
+
+    def test_unset_legacy_kwargs_do_not_warn(self):
+        legacy = {"batched": UNSET, "record": UNSET}
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            driver, obs = resolve_options(None, None, legacy)
+        assert driver == DriverOptions() and obs == ObsOptions()
+
+    def test_passed_legacy_kwargs_warn_and_override(self):
+        legacy = {
+            "batched": False,
+            "batch_size": UNSET,
+            "record": True,
+            "record_capacity": 128,
+        }
+        with pytest.warns(DeprecationWarning, match="batched.*record"):
+            driver, obs = resolve_options(None, None, legacy)
+        assert driver == DriverOptions(batched=False)
+        assert obs == ObsOptions(record=True, record_capacity=128)
+
+    def test_legacy_overrides_explicit_options(self):
+        legacy = {"batch_size": 16}
+        with pytest.warns(DeprecationWarning):
+            driver, _ = resolve_options(DriverOptions(batch_size=512), None, legacy)
+        assert driver.batch_size == 16
+
+    def test_unknown_legacy_kwarg_raises(self):
+        with pytest.raises(TypeError, match="unknown legacy"):
+            with pytest.warns(DeprecationWarning):
+                resolve_options(None, None, {"bogus": 1})
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            DriverOptions(batch_size=0)
+        with pytest.raises(ValueError, match="record_capacity"):
+            ObsOptions(record_capacity=0)
+        with pytest.raises(ValueError, match="timeline_period_s"):
+            ObsOptions(timeline_period_s=0.0)
+
+    def test_resolved_source(self):
+        assert ObsOptions().resolved_source("chaos") == "chaos"
+        assert ObsOptions(record_source="mine").resolved_source("chaos") == "mine"
+
+
+class TestRunnersAcceptOptions:
+    def test_run_chaos_legacy_kwargs_warn_but_match(self):
+        from repro.faults.chaos import run_chaos
+
+        kwargs = dict(seed=5, scale=0.02, horizon_s=6.0, warmup_s=1.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # new spelling: no warning
+            new = run_chaos(driver=DriverOptions(batched=False), **kwargs)
+        with pytest.warns(DeprecationWarning, match="batched"):
+            old = run_chaos(batched=False, **kwargs)
+        assert new.fingerprint == old.fingerprint
+
+    def test_serve_accepts_options(self):
+        from repro.serve import ServeConfig, ServeSession
+
+        session = ServeSession(
+            ServeConfig(
+                seed=5,
+                scale=0.01,
+                driver=DriverOptions(batched=False),
+                obs=ObsOptions(record=True, record_capacity=256),
+            )
+        )
+        session.advance(2.0)
+        assert session.recorder is not None
+        assert session.recorder.source == "serve"
+        assert session.driver.batched is False
